@@ -1,0 +1,67 @@
+// Reproduces the paper's Section 4.3 "additional attempts" — the honest
+// negative result. Attempt 1 proposed shaping time-varying beams with the
+// phone's TWO speakers to decompose the near-field HRTF into per-ray
+// components (Eq. 6); the paper found "the system of equations being
+// ill-ranked", causing "large errors for the estimated H(X_k, theta_i)".
+// This bench quantifies exactly that: the measurement matrix's rank is
+// capped at the speaker count no matter how many beam patterns are played,
+// and recovery error stays large at any realistic SNR.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/ray_decomposition.h"
+#include "eval/reporting.h"
+
+using namespace uniq;
+
+int main() {
+  eval::printHeader(std::cout, "Section 4.3 attempts",
+                    "two-speaker beamforming ray decomposition is "
+                    "ill-ranked (negative-result reproduction)");
+
+  core::SpeakerBeamformingStudyOptions opts;
+
+  std::cout << "\nrank of the measurement system (12 ray directions, 48 "
+               "patterns):\n";
+  const auto phoneMatrix = core::buildBeamformingMatrix(opts);
+  std::cout << "  matrix " << phoneMatrix.rows() << " x "
+            << phoneMatrix.cols() << ", numerical rank "
+            << optim::numericalRank(phoneMatrix, 1e-5) << " (unknowns: "
+            << phoneMatrix.cols()
+            << ") -> rank-deficient: every beam pattern lies in the span "
+               "of 2 per-speaker steering vectors\n";
+
+  std::cout << "\ncounterfactual conditioning vs number of ideal emitters:\n";
+  for (std::size_t s : {2ul, 4ul, 8ul, 12ul, 16ul, 24ul}) {
+    const double c = core::conditionNumberForSpeakerCount(opts, s);
+    std::cout << "  " << s << " speakers: cond = ";
+    if (std::isfinite(c) && c < 1e9) {
+      std::cout << c << "\n";
+    } else {
+      std::cout << "singular (rank < unknowns)\n";
+    }
+  }
+
+  std::cout << "per-ray recovery error with the phone's two speakers:\n";
+  std::vector<double> snrs, errors;
+  for (double snr : {60.0, 40.0, 30.0, 20.0, 10.0}) {
+    const auto result = core::runRayRecoveryStudy(opts, snr);
+    snrs.push_back(snr);
+    errors.push_back(result.noisyError);
+  }
+  eval::printSeries(std::cout, "relative L2 error of recovered rays vs SNR",
+                    {"snr_db", "rel_error"}, {snrs, errors});
+
+  core::SpeakerBeamformingStudyOptions few = opts;
+  few.rayCount = 2;
+  const auto fewResult = core::runRayRecoveryStudy(few, 40.0);
+  std::cout << "with only 2 ray directions (rank sufficient): rel error "
+            << fewResult.noisyError << " at 40 dB — the failure is "
+            << "specific to fine angular decomposition\n";
+  std::cout << "\nconclusion matches the paper: two speakers cannot form a "
+               "spatially narrow beam, the system is ill-ranked, and the "
+               "per-ray estimates come out wrong; UNIQ instead uses the "
+               "first-order geometric heuristic of Figure 12.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces paper Figure 5: acoustic time-difference-of-arrival between a
+// reference microphone (right ear) and a test microphone moved along the
+// left cheek matches the DIFFRACTED (along-the-surface) path difference,
+// not the straight Euclidean one — audible sound does not penetrate the
+// head.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/random.h"
+#include "dsp/convolution.h"
+#include "dsp/correlation.h"
+#include "dsp/fractional_delay.h"
+#include "dsp/signal_generators.h"
+#include "eval/reporting.h"
+#include "geometry/head_boundary.h"
+#include "geometry/polar.h"
+
+using namespace uniq;
+
+namespace {
+
+constexpr double kFs = 48000.0;
+
+/// Shortest acoustic path from an external speaker to a point ON the head
+/// surface: straight if visible, otherwise straight to the tangency point
+/// plus the creeping arc (same construction the library uses for ears,
+/// specialized to an arbitrary surface index).
+double surfacePathLength(const geo::HeadBoundary& head, geo::Vec2 speaker,
+                         double surfaceIdx) {
+  const geo::Vec2 target = head.pointAt(surfaceIdx);
+  // Visible test: outward normal at the nearest sample faces the speaker.
+  const auto i = static_cast<std::size_t>(surfaceIdx) % head.size();
+  if (head.visibilityValue(speaker, i) < 0.0) {
+    return geo::distance(speaker, target);
+  }
+  const auto tangents = head.tangentsFrom(speaker);
+  double best = 1e9;
+  for (double u : {tangents.u1, tangents.u2}) {
+    const geo::Vec2 t = head.pointAt(u);
+    const double viaArc = geo::distance(speaker, t) +
+                          head.arcShortest(u, surfaceIdx);
+    best = std::min(best, viaArc);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  eval::printHeader(std::cout, "Figure 5",
+                    "delta_t * v from audio matches the diffracted path, "
+                    "not the Euclidean one");
+
+  const geo::HeadBoundary head(0.075, 0.103, 0.091, 512);
+  // Speaker on the user's right, slightly front.
+  const geo::Vec2 speaker = geo::pointFromPolarDeg(-50.0, 0.8);
+  // Reference mic at the right ear (surface index 0).
+  const double refIdx = 0.0;
+  const double refPath = surfacePathLength(head, speaker, refIdx);
+
+  Pcg32 rng(7);
+  const auto chirp = dsp::linearChirp(200.0, 18000.0, 1920, kFs);
+
+  // Test mic positions along the front-left cheek: surface parameters from
+  // just left of the nose toward the left ear.
+  std::vector<double> posCm, measured, dDiff, dEuc;
+  const double n = static_cast<double>(head.size());
+  for (double frac : {0.30, 0.33, 0.36, 0.40, 0.44, 0.48}) {
+    const double idx = frac * n;  // 0.25*n = nose, 0.5*n = left ear
+    const geo::Vec2 test = head.pointAt(idx);
+    const double testPath = surfacePathLength(head, speaker, idx);
+
+    // Synthesize the two wired-synchronized microphone recordings.
+    const std::size_t len = 4096;
+    std::vector<double> irRef(len, 0.0), irTest(len, 0.0);
+    dsp::addFractionalTap(irRef, refPath / kSpeedOfSound * kFs, 1.0);
+    dsp::addFractionalTap(irTest, testPath / kSpeedOfSound * kFs,
+                          0.8);  // slightly quieter around the head
+    auto recRef = dsp::convolve(chirp, irRef);
+    auto recTest = dsp::convolve(chirp, irTest);
+    dsp::addNoiseSnrDb(recRef, 30.0, rng);
+    dsp::addNoiseSnrDb(recTest, 30.0, rng);
+
+    // TDoA: test lags reference by (testPath - refPath)/v.
+    const double lag = dsp::estimateDelayGccPhat(recRef, recTest, 300.0);
+    const double deltaD = lag / kFs * kSpeedOfSound;
+
+    // Horizontal distance of the test mic from the nose, for the X axis.
+    const geo::Vec2 nose = head.pointAt(0.25 * n);
+    posCm.push_back(geo::distance(test, nose) * 100.0);
+    measured.push_back((deltaD + refPath) * 100.0);  // total path, cm
+    dDiff.push_back(testPath * 100.0);
+    dEuc.push_back(geo::distance(speaker, test) * 100.0);
+  }
+
+  eval::printSeries(std::cout,
+                    "mic position on face (cm from nose) vs path length (cm)",
+                    {"mic_pos_cm", "dt*v (cm)", "d_diff (cm)", "d_euc (cm)"},
+                    {posCm, measured, dDiff, dEuc});
+
+  double errDiff = 0.0, errEuc = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    errDiff += std::fabs(measured[i] - dDiff[i]);
+    errEuc += std::fabs(measured[i] - dEuc[i]);
+  }
+  std::cout << "mean |dt*v - d_diff| = " << errDiff / measured.size()
+            << " cm,  mean |dt*v - d_euc| = " << errEuc / measured.size()
+            << " cm\n";
+  std::cout << "(paper: the acoustic measurement follows the diffracted "
+               "path, diverging from the Euclidean one as the mic moves "
+               "toward the shadowed side)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Figure 18: cross-correlation of the personalized (UNIQ)
+// far-field HRIR, the global-template HRIR, and a repeated ground-truth
+// measurement, all against the ground-truth HRIR, per angle and per ear.
+// Paper headline: UNIQ averages 0.74 (left) / 0.71 (right) vs 0.41 for the
+// global template — a ~1.75x personalization gain.
+#include <iostream>
+#include <vector>
+
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "eval/reporting.h"
+
+using namespace uniq;
+
+int main() {
+  eval::printHeader(std::cout, "Figure 18",
+                    "HRIR correlation vs angle: UNIQ / global / "
+                    "repeat-measurement, per ear (volunteer 1)");
+
+  eval::ExperimentConfig config;
+  const auto population = eval::makeStudyPopulation(config);
+  const auto run = eval::calibrate(population[0], config);
+  const auto series = eval::correlationVsAngle(run, 5.0);
+
+  eval::printSeries(
+      std::cout, "(a) left ear",
+      {"angle_deg", "UNIQ", "global", "gnd-repeat"},
+      {series.anglesDeg, series.uniqLeft, series.globalLeft,
+       series.repeatLeft});
+  eval::printSeries(
+      std::cout, "(b) right ear",
+      {"angle_deg", "UNIQ", "global", "gnd-repeat"},
+      {series.anglesDeg, series.uniqRight, series.globalRight,
+       series.repeatRight});
+
+  const double uniqL = eval::mean(series.uniqLeft);
+  const double uniqR = eval::mean(series.uniqRight);
+  const double globalL = eval::mean(series.globalLeft);
+  const double globalR = eval::mean(series.globalRight);
+  const double repeatL = eval::mean(series.repeatLeft);
+  const double repeatR = eval::mean(series.repeatRight);
+  std::cout << "\naverages:  UNIQ L/R = " << uniqL << " / " << uniqR
+            << "   global L/R = " << globalL << " / " << globalR
+            << "   repeat L/R = " << repeatL << " / " << repeatR << "\n";
+  const double gain =
+      0.5 * (uniqL + uniqR) / (0.5 * (globalL + globalR));
+  std::cout << "personalization gain (UNIQ avg / global avg) = " << gain
+            << "x   (paper: ~1.75x; UNIQ 0.74/0.71 vs global 0.41)\n";
+  std::cout << "(paper also notes the right ear dips near 90 deg where the "
+               "phone is opposite that ear and SNR drops)\n";
+  return 0;
+}

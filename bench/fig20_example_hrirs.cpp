@@ -1,0 +1,73 @@
+// Reproduces paper Figure 20: sample HRIRs in the time domain — best,
+// average, and worst cases of the UNIQ estimate next to the ground truth
+// and the global template. UNIQ decodes taps at the correct positions even
+// in the worst case; the global template misplaces them.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/near_far.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "eval/reporting.h"
+
+using namespace uniq;
+
+int main() {
+  eval::printHeader(std::cout, "Figure 20",
+                    "example HRIRs: best / average / worst UNIQ estimate");
+
+  eval::ExperimentConfig config;
+  const auto population = eval::makeStudyPopulation(config);
+  const auto run = eval::calibrate(population[0], config);
+
+  head::HrtfDatabase::Options dbOpts;
+  const head::HrtfDatabase truthDb(run.volunteer.subject, dbOpts);
+  const head::HrtfDatabase globalDb(head::globalTemplateSubject(), dbOpts);
+  const auto truthTable = core::farTableFromDatabase(truthDb);
+  const auto globalTable = core::farTableFromDatabase(globalDb);
+  const auto& uniqTable = run.personal.table.farTable();
+
+  struct Case {
+    double angle;
+    double corr;
+  };
+  std::vector<Case> cases;
+  for (double ang = 5; ang <= 175; ang += 5) {
+    cases.push_back(
+        {ang, eval::hrirSimilarity(uniqTable.at(ang), truthTable.at(ang))});
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const Case& a, const Case& b) { return a.corr > b.corr; });
+  const Case best = cases.front();
+  const Case avg = cases[cases.size() / 2];
+  const Case worst = cases.back();
+
+  const char* names[3] = {"best", "average", "worst"};
+  const Case picks[3] = {best, avg, worst};
+  for (int k = 0; k < 3; ++k) {
+    const Case& c = picks[k];
+    std::cout << "\n(" << static_cast<char>('a' + k) << ") " << names[k]
+              << " case: angle " << c.angle << " deg, corr = " << c.corr
+              << " (global corr = "
+              << eval::hrirSimilarity(globalTable.at(c.angle),
+                                      truthTable.at(c.angle))
+              << ")\n";
+    std::vector<double> idx, uniqV, truthV, globalV;
+    const auto& u = uniqTable.at(c.angle).left;
+    const auto& t = truthTable.at(c.angle).left;
+    const auto& g = globalTable.at(c.angle).left;
+    for (std::size_t i = 24; i < 120 && i < u.size(); i += 2) {
+      idx.push_back(static_cast<double>(i));
+      uniqV.push_back(u[i]);
+      truthV.push_back(i < t.size() ? t[i] : 0.0);
+      globalV.push_back(i < g.size() ? g[i] : 0.0);
+    }
+    eval::printSeries(std::cout, "left-ear HRIR samples",
+                      {"sample", "UNIQ", "truth", "global"},
+                      {idx, uniqV, truthV, globalV});
+  }
+  std::cout << "\n(paper cases: best corr 0.96, average 0.85, worst 0.43; "
+               "global HRIRs almost always inferior)\n";
+  return 0;
+}

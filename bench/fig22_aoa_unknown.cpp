@@ -1,0 +1,78 @@
+// Reproduces paper Figure 22: unknown-source AoA error CDFs for white
+// noise, music, and speech (a-c), plus front/back identification accuracy
+// (d). Paper: personalized HRTF gains are consistent across signal types;
+// UNIQ front/back accuracy averages 82.8% (white noise 87.2%, speech
+// 72.8%) vs 59.8% for the global template.
+#include <iostream>
+#include <vector>
+
+#include "core/near_far.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "eval/reporting.h"
+
+using namespace uniq;
+
+int main() {
+  eval::printHeader(std::cout, "Figure 22",
+                    "unknown-source AoA per signal class + front/back "
+                    "accuracy (all 5 volunteers)");
+
+  eval::ExperimentConfig config;
+  const auto population = eval::makeStudyPopulation(config);
+  head::HrtfDatabase::Options dbOpts;
+  const head::HrtfDatabase globalDb(head::globalTemplateSubject(), dbOpts);
+  const auto globalTable = core::farTableFromDatabase(globalDb);
+
+  // Calibrate once per volunteer, reuse across the three signal classes.
+  std::vector<eval::CalibratedVolunteer> runs;
+  for (const auto& volunteer : population)
+    runs.push_back(eval::calibrate(volunteer, config));
+
+  const eval::SignalKind kinds[3] = {eval::SignalKind::kWhiteNoise,
+                                     eval::SignalKind::kMusic,
+                                     eval::SignalKind::kSpeech};
+  double uniqFbSum = 0.0, globalFbSum = 0.0;
+  char panel = 'a';
+  for (const auto kind : kinds) {
+    std::vector<double> uniqErrs, globalErrs;
+    double uniqFbCorrect = 0.0, globalFbCorrect = 0.0;
+    std::size_t trials = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      head::HrtfDatabase truthDb(runs[i].volunteer.subject, dbOpts);
+      eval::AoaExperimentOptions opts;
+      opts.seed = 500 + i * 17 + static_cast<std::size_t>(kind);
+      const auto personalTrials =
+          eval::runAoaTrials(truthDb, runs[i].personal.table.farTable(),
+                             false, kind, opts);
+      const auto globalTrials =
+          eval::runAoaTrials(truthDb, globalTable, false, kind, opts);
+      for (const auto& t : personalTrials) {
+        uniqErrs.push_back(t.absErrorDeg);
+        uniqFbCorrect += t.frontBackCorrect ? 1.0 : 0.0;
+      }
+      for (const auto& t : globalTrials) {
+        globalErrs.push_back(t.absErrorDeg);
+        globalFbCorrect += t.frontBackCorrect ? 1.0 : 0.0;
+        ++trials;
+      }
+    }
+    std::cout << "\n(" << panel++ << ") signal class: "
+              << eval::signalKindName(kind) << "\n";
+    eval::printCdfSummary(std::cout, "UNIQ error (deg)", uniqErrs);
+    eval::printCdfSummary(std::cout, "global error (deg)", globalErrs);
+    const double uniqFb = uniqFbCorrect / static_cast<double>(trials);
+    const double globalFb = globalFbCorrect / static_cast<double>(trials);
+    std::cout << "front/back accuracy: UNIQ " << 100.0 * uniqFb
+              << "% vs global " << 100.0 * globalFb << "%\n";
+    uniqFbSum += uniqFb;
+    globalFbSum += globalFb;
+  }
+
+  std::cout << "\n(d) front/back accuracy averaged over signal classes:\n"
+            << "    UNIQ " << 100.0 * uniqFbSum / 3.0 << "% vs global "
+            << 100.0 * globalFbSum / 3.0
+            << "%  (paper: 82.8% vs 59.8%; white noise easiest, speech "
+               "hardest because it reveals the least of the channel)\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Performance micro-benchmarks (google-benchmark) for the hot paths of the
+// UNIQ pipeline: FFT, convolution, deconvolution, diffraction path queries,
+// localization, the fusion objective, and HRIR synthesis.
+#include <benchmark/benchmark.h>
+
+#include "common/constants.h"
+#include "core/localizer.h"
+#include "core/sensor_fusion.h"
+#include "dsp/convolution.h"
+#include "dsp/deconvolution.h"
+#include "dsp/fft.h"
+#include "dsp/signal_generators.h"
+#include "geometry/diffraction.h"
+#include "geometry/polar.h"
+#include "head/hrtf_database.h"
+
+using namespace uniq;
+
+namespace {
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Pcg32 rng(1);
+  std::vector<dsp::Complex> data(n);
+  for (auto& v : data) v = dsp::Complex(rng.gaussian(), rng.gaussian());
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fftPow2InPlace(copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Pcg32 rng(2);
+  std::vector<dsp::Complex> data(n);
+  for (auto& v : data) v = dsp::Complex(rng.gaussian(), 0);
+  for (auto _ : state) {
+    auto out = dsp::fft(data, false);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(4097);
+
+void BM_ConvolveFft(benchmark::State& state) {
+  Pcg32 rng(3);
+  const auto signal = dsp::whiteNoise(static_cast<std::size_t>(state.range(0)),
+                                      rng);
+  const auto kernel = dsp::whiteNoise(256, rng);
+  for (auto _ : state) {
+    auto out = dsp::convolveFft(signal, kernel);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ConvolveFft)->Arg(4096)->Arg(24000);
+
+void BM_Deconvolve(benchmark::State& state) {
+  Pcg32 rng(4);
+  const auto chirp = dsp::linearChirp(100.0, 20000.0, 960, 48000.0);
+  std::vector<double> channel(128, 0.0);
+  channel[30] = 1.0;
+  channel[50] = 0.4;
+  auto received = dsp::convolve(chirp, channel);
+  dsp::addNoiseSnrDb(received, 25.0, rng);
+  for (auto _ : state) {
+    auto h = dsp::deconvolve(received, chirp);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_Deconvolve);
+
+void BM_NearFieldPath(benchmark::State& state) {
+  const geo::HeadBoundary head(0.075, 0.103, 0.091,
+                               static_cast<std::size_t>(state.range(0)));
+  const geo::Vec2 source = geo::pointFromPolarDeg(40.0, 0.35);
+  for (auto _ : state) {
+    auto path = geo::nearFieldPath(head, source, geo::Ear::kRight);
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_NearFieldPath)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_LocalizerLocate(benchmark::State& state) {
+  const geo::HeadBoundary head(0.075, 0.103, 0.091, 128);
+  const geo::Vec2 source = geo::pointFromPolarDeg(55.0, 0.35);
+  const double tL =
+      geo::nearFieldPath(head, source, geo::Ear::kLeft).length /
+      kSpeedOfSound;
+  const double tR =
+      geo::nearFieldPath(head, source, geo::Ear::kRight).length /
+      kSpeedOfSound;
+  const core::Localizer localizer(head);
+  for (auto _ : state) {
+    auto fix = localizer.locate(tL, tR, 55.0);
+    benchmark::DoNotOptimize(fix);
+  }
+}
+BENCHMARK(BM_LocalizerLocate);
+
+void BM_FusionObjective(benchmark::State& state) {
+  const head::HeadParameters truth{0.071, 0.104, 0.089};
+  const geo::HeadBoundary head(truth.a, truth.b, truth.c, 256);
+  std::vector<core::FusionMeasurement> measurements;
+  for (int i = 0; i < 36; ++i) {
+    const double theta = 5.0 + 170.0 * i / 35.0;
+    const geo::Vec2 pos = geo::pointFromPolarDeg(theta, 0.35);
+    core::FusionMeasurement m;
+    m.imuAngleDeg = theta;
+    m.delayLeftSec =
+        geo::nearFieldPath(head, pos, geo::Ear::kLeft).length / kSpeedOfSound;
+    m.delayRightSec =
+        geo::nearFieldPath(head, pos, geo::Ear::kRight).length /
+        kSpeedOfSound;
+    measurements.push_back(m);
+  }
+  const core::SensorFusion fusion;
+  for (auto _ : state) {
+    const double cost = fusion.objective(truth, measurements);
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_FusionObjective);
+
+void BM_GroundTruthHrir(benchmark::State& state) {
+  head::Subject s;
+  s.headParams = {0.075, 0.103, 0.091};
+  s.pinnaSeed = 5;
+  const head::HrtfDatabase db(s);
+  for (auto _ : state) {
+    auto hrir = db.farField(60.0);
+    benchmark::DoNotOptimize(hrir);
+  }
+}
+BENCHMARK(BM_GroundTruthHrir);
+
+void BM_RenderBinaural(benchmark::State& state) {
+  head::Subject s;
+  s.headParams = {0.075, 0.103, 0.091};
+  s.pinnaSeed = 6;
+  const head::HrtfDatabase db(s);
+  const auto hrir = db.farField(45.0);
+  Pcg32 rng(7);
+  const auto mono = dsp::whiteNoise(48000, rng, 0.2);
+  for (auto _ : state) {
+    auto out = head::renderBinaural(hrir, mono);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 48000);
+}
+BENCHMARK(BM_RenderBinaural);
+
+}  // namespace
+
+BENCHMARK_MAIN();

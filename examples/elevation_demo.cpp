@@ -1,0 +1,55 @@
+// Elevation rendering (paper Section 7, "3D HRTF"): the prototype measures
+// the horizontal-plane HRTF; this demo synthesizes out-of-plane sources
+// from the personal table — a drone circling from below the shoulder up to
+// nearly overhead — and writes the binaural sweep to a WAV file.
+#include <iomanip>
+#include <iostream>
+
+#include "audio/wav.h"
+#include "core/pipeline.h"
+#include "dsp/peak_picking.h"
+#include "dsp/signal_generators.h"
+#include "head/subject.h"
+#include "sim/measurement_session.h"
+#include "spatial3d/elevation_renderer.h"
+
+using namespace uniq;
+
+int main() {
+  std::cout << "calibrating listener...\n";
+  const auto subject = head::makePopulation(1, 888)[0];
+  const sim::MeasurementSession session;
+  const auto capture = session.run(subject, sim::defaultGesture());
+  const core::CalibrationPipeline pipeline;
+  const auto personal = pipeline.run(capture);
+  const double fs = capture.sampleRate;
+
+  const spatial3d::ElevationRenderer renderer(personal.table.farTable(),
+                                              subject.pinnaSeed);
+
+  // A buzzing drone rises in 15-degree steps at a fixed 55-degree azimuth.
+  Pcg32 rng(4);
+  const auto buzz = dsp::musicLike(static_cast<std::size_t>(0.4 * fs), fs,
+                                   rng);
+  std::vector<double> left, right;
+  std::cout << std::fixed << std::setprecision(1);
+  for (double el = -30.0; el <= 75.0; el += 15.0) {
+    const auto seg = renderer.render(55.0, el, buzz);
+    const auto tapL = dsp::findFirstTap(seg.left);
+    const auto tapR = dsp::findFirstTap(seg.right);
+    const double itdUs =
+        tapL && tapR ? (tapR->position - tapL->position) / fs * 1e6 : 0.0;
+    std::cout << "elevation " << std::setw(6) << el
+              << " deg: lateral-equivalent angle "
+              << renderer.equivalentLateralAngleDeg(55.0, el)
+              << " deg, ITD " << std::setprecision(0) << itdUs << " us\n"
+              << std::setprecision(1);
+    left.insert(left.end(), seg.left.begin(), seg.left.end());
+    right.insert(right.end(), seg.right.begin(), seg.right.end());
+  }
+  audio::writeStereoWav("elevation_sweep.wav", left, right, fs);
+  std::cout << "wrote elevation_sweep.wav — the interaural cues collapse "
+               "toward the median plane and the pinna notch climbs as the "
+               "drone rises.\n";
+  return 0;
+}

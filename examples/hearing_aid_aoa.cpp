@@ -1,0 +1,70 @@
+// Smart hearing aid (paper Section 4.5): when someone calls the user's
+// name, the earbuds estimate the direction the voice came from — so the
+// device can beamform toward it, or cue the user. Classical array AoA
+// fails on earbuds because the head diffracts and the pinna scatters the
+// sound; UNIQ matches the binaural structure against the personal HRTF.
+#include <iomanip>
+#include <iostream>
+
+#include "common/math_util.h"
+#include "core/aoa.h"
+#include "core/pipeline.h"
+#include "eval/experiments.h"
+#include "head/subject.h"
+#include "sim/measurement_session.h"
+#include "sim/recorder.h"
+
+using namespace uniq;
+
+int main() {
+  std::cout << "calibrating hearing-aid wearer...\n";
+  const auto subject = head::makePopulation(1, 99)[0];
+  const sim::MeasurementSession session;
+  const auto capture = session.run(subject, sim::defaultGesture());
+  const core::CalibrationPipeline pipeline;
+  const auto personal = pipeline.run(capture);
+  const double fs = capture.sampleRate;
+
+  // Alice calls from a few directions in a reverberant room; her voice is
+  // unknown to the device.
+  head::HrtfDatabase::Options dbOpts;
+  dbOpts.sampleRate = fs;
+  const head::HrtfDatabase world(subject, dbOpts);
+  const sim::HardwareModel hardware;
+  const sim::RoomModel room;
+  sim::BinauralRecorder::Options recOpts;
+  recOpts.snrDb = 22.0;
+  const sim::BinauralRecorder recorder(world, hardware, room, recOpts);
+
+  const core::AoaEstimator personalEstimator(personal.table.farTable());
+  const head::HrtfDatabase globalDb(head::globalTemplateSubject(), dbOpts);
+  const auto globalTable = core::farTableFromDatabase(globalDb);
+  const core::AoaEstimator globalEstimator(globalTable);
+
+  Pcg32 rng(123);
+  std::cout << std::fixed << std::setprecision(1);
+  double personalErr = 0.0, globalErr = 0.0;
+  int n = 0;
+  for (double truth : {25.0, 70.0, 120.0, 160.0}) {
+    Pcg32 sigRng = rng.fork(static_cast<std::uint64_t>(truth));
+    const auto voice = eval::makeSignal(eval::SignalKind::kSpeech,
+                                        static_cast<std::size_t>(0.5 * fs),
+                                        fs, sigRng);
+    const auto rec = recorder.recordFarField(truth, voice, sigRng, false);
+    const auto withPersonal =
+        personalEstimator.estimateUnknown(rec.left, rec.right);
+    const auto withGlobal =
+        globalEstimator.estimateUnknown(rec.left, rec.right);
+    std::cout << "voice from " << std::setw(5) << truth
+              << " deg -> personal HRTF says " << std::setw(5)
+              << withPersonal.angleDeg << " deg, global template says "
+              << std::setw(5) << withGlobal.angleDeg << " deg\n";
+    personalErr += angularDistanceDeg(withPersonal.angleDeg, truth);
+    globalErr += angularDistanceDeg(withGlobal.angleDeg, truth);
+    ++n;
+  }
+  std::cout << "mean AoA error: personal " << personalErr / n
+            << " deg vs global " << globalErr / n << " deg\n";
+  std::cout << "the hearing aid can now beamform toward the caller.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Immersive room audio (paper Section 7, "Integrating Room Multipath"):
+// rendering realistic indoor 3D audio requires filtering the sound with
+// both the room impulse response and the personal HRTF. This example
+// calibrates a listener, places them in a living room with a speaker in
+// the corner, renders the binaural signal with early reflections, and
+// writes WAV files you can listen to.
+#include <iostream>
+
+#include "audio/wav.h"
+#include "core/pipeline.h"
+#include "dsp/signal_generators.h"
+#include "head/subject.h"
+#include "room/binaural_reverb.h"
+#include "sim/measurement_session.h"
+
+using namespace uniq;
+
+int main() {
+  std::cout << "calibrating listener...\n";
+  const auto subject = head::makePopulation(1, 321)[0];
+  const sim::MeasurementSession session;
+  const auto capture = session.run(subject, sim::defaultGesture());
+  const core::CalibrationPipeline pipeline;
+  const auto personal = pipeline.run(capture);
+  const double fs = capture.sampleRate;
+
+  room::RoomGeometry livingRoom;
+  livingRoom.widthM = 5.0;
+  livingRoom.depthM = 4.0;
+  livingRoom.wallReflection = 0.55;
+  livingRoom.maxOrder = 4;
+  const room::BinauralRoomRenderer renderer(personal.table.farTable(),
+                                            livingRoom);
+
+  const geo::Vec2 listener{2.5, 1.5};
+  const geo::Vec2 speaker{4.5, 3.5};  // far corner
+  Pcg32 rng(5);
+  const auto music = dsp::musicLike(static_cast<std::size_t>(2.0 * fs), fs,
+                                    rng);
+
+  std::cout << "rendering with room reflections (order "
+            << livingRoom.maxOrder << ")...\n";
+  const auto wet = renderer.render(listener, 0.0, speaker, music);
+
+  // For comparison: the same source anechoic (direct path only).
+  room::RoomGeometry anechoic = livingRoom;
+  anechoic.wallReflection = 0.0;
+  anechoic.maxOrder = 0;
+  const room::BinauralRoomRenderer dryRenderer(personal.table.farTable(),
+                                               anechoic);
+  const auto dry = dryRenderer.render(listener, 0.0, speaker, music);
+
+  const auto images = room::computeImageSources(livingRoom, speaker);
+  std::cout << "image sources rendered: " << images.size()
+            << "; reverberant-to-direct energy ratio "
+            << room::reverberantToDirectRatio(images, listener) << "\n";
+
+  audio::writeStereoWav("immersive_room_wet.wav", wet.left, wet.right, fs);
+  audio::writeStereoWav("immersive_room_dry.wav", dry.left, dry.right, fs);
+  std::cout << "wrote immersive_room_wet.wav and immersive_room_dry.wav — "
+               "the wet version carries the early reflections that make "
+               "the source sound external and in-the-room.\n";
+
+  // Head rotation: the whole acoustic scene (source AND reflections)
+  // counter-rotates, which is what makes externalized audio stable.
+  const auto turned = renderer.render(listener, 40.0, speaker, music);
+  audio::writeStereoWav("immersive_room_turned.wav", turned.left,
+                        turned.right, fs);
+  std::cout << "wrote immersive_room_turned.wav (head turned 40 degrees; "
+               "the room stays put).\n";
+  return 0;
+}

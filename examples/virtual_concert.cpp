@@ -1,0 +1,86 @@
+// Virtual concert (paper Section 1, application 3): each instrument is
+// pinned to a fixed direction in the world. As the listener's head rotates
+// (earbud motion sensors), the per-instrument HRTF angle is re-derived so
+// the piano and the violin stay put in absolute space.
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "common/math_util.h"
+#include "core/pipeline.h"
+#include "dsp/signal_generators.h"
+#include "head/subject.h"
+#include "sim/measurement_session.h"
+
+using namespace uniq;
+
+namespace {
+
+struct Instrument {
+  const char* name;
+  double worldAngleDeg;  // fixed direction in the room
+  double baseFreq;
+};
+
+/// Head-relative angle of a world direction given the listener's yaw,
+/// clamped into the measured left hemicircle [0, 180].
+double headRelativeAngle(double worldDeg, double headYawDeg) {
+  const double rel = worldDeg - headYawDeg;
+  return clamp(std::fabs(wrapPi(degToRad(rel))) * 180.0 / kPi, 0.0, 180.0);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "calibrating listener...\n";
+  const auto subject = head::makePopulation(1, 2024)[0];
+  const sim::MeasurementSession session;
+  const auto capture = session.run(subject, sim::defaultGesture());
+  const core::CalibrationPipeline pipeline;
+  const auto personal = pipeline.run(capture);
+
+  const std::vector<Instrument> stage = {
+      {"piano", 40.0, 220.0},
+      {"violin", 90.0, 440.0},
+      {"cello", 150.0, 110.0},
+  };
+
+  // The listener slowly turns the head; 0.5 s frames.
+  const double fs = capture.sampleRate;
+  const auto frameLen = static_cast<std::size_t>(0.5 * fs);
+  Pcg32 rng(3);
+
+  std::cout << std::fixed << std::setprecision(1);
+  for (double yaw : {0.0, 15.0, 30.0, 45.0}) {
+    std::vector<double> mixLeft, mixRight;
+    std::cout << "head yaw " << yaw << " deg:\n";
+    for (const auto& instrument : stage) {
+      const double rel = headRelativeAngle(instrument.worldAngleDeg, yaw);
+      Pcg32 noteRng = rng.fork(static_cast<std::uint64_t>(
+          instrument.worldAngleDeg * 100 + yaw));
+      auto notes = dsp::musicLike(frameLen, fs, noteRng);
+      const auto binaural = personal.table.renderFar(rel, notes);
+      if (mixLeft.empty()) {
+        mixLeft.assign(binaural.left.size(), 0.0);
+        mixRight.assign(binaural.right.size(), 0.0);
+      }
+      for (std::size_t i = 0; i < mixLeft.size() && i < binaural.left.size();
+           ++i) {
+        mixLeft[i] += binaural.left[i];
+        mixRight[i] += binaural.right[i];
+      }
+      std::cout << "  " << instrument.name << " stays at world "
+                << instrument.worldAngleDeg << " deg -> HRTF angle " << rel
+                << " deg\n";
+    }
+    const double ild = 10.0 * std::log10(head::channelEnergy(mixLeft) /
+                                         head::channelEnergy(mixRight));
+    std::cout << "  frame mix: " << mixLeft.size()
+              << " samples per ear, stage ILD " << std::setprecision(2)
+              << ild << " dB\n"
+              << std::setprecision(1);
+  }
+  std::cout << "the ensemble remains fixed in world coordinates while the "
+               "head turns.\n";
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "audio/wav.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace uniq::audio {
+
+namespace {
+
+void writeU32(std::ostream& os, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF),
+               static_cast<char>((v >> 16) & 0xFF),
+               static_cast<char>((v >> 24) & 0xFF)};
+  os.write(b, 4);
+}
+
+void writeU16(std::ostream& os, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF)};
+  os.write(b, 2);
+}
+
+std::uint32_t readU32(std::istream& is) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint16_t readU16(std::istream& is) {
+  unsigned char b[2];
+  is.read(reinterpret_cast<char*>(b), 2);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::int16_t toPcm16(double v) {
+  const double clipped = std::clamp(v, -1.0, 1.0);
+  return static_cast<std::int16_t>(std::lround(clipped * 32767.0));
+}
+
+}  // namespace
+
+void writeWav(const std::string& path, const WavData& data) {
+  UNIQ_REQUIRE(!data.channels.empty() && data.channels.size() <= 2,
+               "writeWav supports 1 or 2 channels");
+  UNIQ_REQUIRE(data.sampleRate > 0, "sample rate must be positive");
+  const std::size_t frames = data.channels[0].size();
+  for (const auto& ch : data.channels)
+    UNIQ_REQUIRE(ch.size() == frames, "channel lengths differ");
+
+  std::ofstream os(path, std::ios::binary);
+  UNIQ_REQUIRE(os.good(), "cannot open output file: " + path);
+
+  const auto numChannels = static_cast<std::uint16_t>(data.channels.size());
+  const auto sampleRate = static_cast<std::uint32_t>(data.sampleRate);
+  const std::uint16_t bitsPerSample = 16;
+  const std::uint32_t byteRate = sampleRate * numChannels * 2;
+  const auto dataBytes =
+      static_cast<std::uint32_t>(frames * numChannels * 2);
+
+  os.write("RIFF", 4);
+  writeU32(os, 36 + dataBytes);
+  os.write("WAVE", 4);
+  os.write("fmt ", 4);
+  writeU32(os, 16);
+  writeU16(os, 1);  // PCM
+  writeU16(os, numChannels);
+  writeU32(os, sampleRate);
+  writeU32(os, byteRate);
+  writeU16(os, static_cast<std::uint16_t>(numChannels * 2));
+  writeU16(os, bitsPerSample);
+  os.write("data", 4);
+  writeU32(os, dataBytes);
+  for (std::size_t i = 0; i < frames; ++i) {
+    for (std::uint16_t c = 0; c < numChannels; ++c) {
+      const std::int16_t s = toPcm16(data.channels[c][i]);
+      writeU16(os, static_cast<std::uint16_t>(s));
+    }
+  }
+  UNIQ_CHECK(os.good(), "write failed: " + path);
+}
+
+void writeStereoWav(const std::string& path, const std::vector<double>& left,
+                    const std::vector<double>& right, double sampleRate) {
+  WavData data;
+  data.sampleRate = sampleRate;
+  const std::size_t frames = std::max(left.size(), right.size());
+  data.channels.resize(2);
+  data.channels[0] = left;
+  data.channels[0].resize(frames, 0.0);
+  data.channels[1] = right;
+  data.channels[1].resize(frames, 0.0);
+  normalizeForPlayback(data.channels);
+  writeWav(path, data);
+}
+
+WavData readWav(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  UNIQ_REQUIRE(is.good(), "cannot open input file: " + path);
+  char tag[5] = {0};
+  is.read(tag, 4);
+  UNIQ_REQUIRE(std::strncmp(tag, "RIFF", 4) == 0, "not a RIFF file");
+  readU32(is);  // riff size
+  is.read(tag, 4);
+  UNIQ_REQUIRE(std::strncmp(tag, "WAVE", 4) == 0, "not a WAVE file");
+
+  WavData data;
+  std::uint16_t numChannels = 0;
+  std::uint16_t bitsPerSample = 0;
+  for (;;) {
+    is.read(tag, 4);
+    if (!is.good()) break;
+    const std::uint32_t chunkSize = readU32(is);
+    if (std::strncmp(tag, "fmt ", 4) == 0) {
+      const std::uint16_t format = readU16(is);
+      UNIQ_REQUIRE(format == 1, "only PCM supported");
+      numChannels = readU16(is);
+      data.sampleRate = readU32(is);
+      readU32(is);  // byte rate
+      readU16(is);  // block align
+      bitsPerSample = readU16(is);
+      UNIQ_REQUIRE(bitsPerSample == 16, "only 16-bit supported");
+      is.ignore(chunkSize - 16);
+    } else if (std::strncmp(tag, "data", 4) == 0) {
+      UNIQ_REQUIRE(numChannels >= 1 && numChannels <= 2,
+                   "unsupported channel count");
+      const std::size_t frames = chunkSize / (numChannels * 2);
+      data.channels.assign(numChannels, std::vector<double>(frames));
+      for (std::size_t i = 0; i < frames; ++i) {
+        for (std::uint16_t c = 0; c < numChannels; ++c) {
+          const auto raw = static_cast<std::int16_t>(readU16(is));
+          data.channels[c][i] = static_cast<double>(raw) / 32767.0;
+        }
+      }
+      return data;
+    } else {
+      is.ignore(chunkSize);
+    }
+  }
+  throw InvalidArgument("no data chunk found in " + path);
+}
+
+void normalizeForPlayback(std::vector<std::vector<double>>& channels,
+                          double peak) {
+  UNIQ_REQUIRE(peak > 0 && peak <= 1.0, "peak must be in (0, 1]");
+  double maxAbs = 0.0;
+  for (const auto& ch : channels)
+    for (double v : ch) maxAbs = std::max(maxAbs, std::fabs(v));
+  if (maxAbs < 1e-12) return;
+  const double g = peak / maxAbs;
+  for (auto& ch : channels)
+    for (auto& v : ch) v *= g;
+}
+
+}  // namespace uniq::audio

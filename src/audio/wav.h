@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uniq::audio {
+
+/// Minimal RIFF/WAVE I/O so the examples can export listenable binaural
+/// renders. 16-bit PCM, mono or stereo.
+struct WavData {
+  double sampleRate = 48000.0;
+  std::vector<std::vector<double>> channels;  ///< 1 or 2, each in [-1, 1]
+};
+
+/// Write a WAV file (16-bit PCM). Samples are clipped to [-1, 1].
+void writeWav(const std::string& path, const WavData& data);
+
+/// Convenience: stereo writer for binaural pairs.
+void writeStereoWav(const std::string& path, const std::vector<double>& left,
+                    const std::vector<double>& right, double sampleRate);
+
+/// Read a 16-bit PCM WAV file written by writeWav (round-trip support for
+/// tests and examples; not a general-purpose WAV parser).
+WavData readWav(const std::string& path);
+
+/// Peak-normalize a set of channels in place to the given peak (<= 1).
+void normalizeForPlayback(std::vector<std::vector<double>>& channels,
+                          double peak = 0.9);
+
+}  // namespace uniq::audio

@@ -1,0 +1,22 @@
+#pragma once
+
+/// Physical and numerical constants shared across the UNIQ library.
+namespace uniq {
+
+/// Speed of sound in air at ~20 C, meters per second. The paper's acoustic
+/// ranging multiplies time-difference-of-arrival by this value (Section 2).
+inline constexpr double kSpeedOfSound = 343.0;
+
+/// Pi. (std::numbers::pi exists but keeping a project constant makes the
+/// dependency surface of low-level headers minimal.)
+inline constexpr double kPi = 3.14159265358979323846;
+
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Default sample rate for all simulated audio, Hz. The paper records at
+/// 96 kHz; 48 kHz is used here by default (everything is parameterized on
+/// the rate, and first-tap timing uses sub-sample interpolation, so the
+/// effective delay resolution is equivalent).
+inline constexpr double kDefaultSampleRate = 48000.0;
+
+}  // namespace uniq

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace uniq {
+
+/// Base exception for all UNIQ library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an iterative numerical procedure fails to converge or a
+/// geometric query has no solution.
+class NumericalFailure : public Error {
+ public:
+  explicit NumericalFailure(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+inline std::string formatCheckMessage(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace uniq
+
+/// Precondition check that throws uniq::InvalidArgument. Always active
+/// (these guard public API boundaries, not hot loops).
+#define UNIQ_REQUIRE(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      throw ::uniq::InvalidArgument(::uniq::detail::formatCheckMessage( \
+          #expr, __FILE__, __LINE__, (msg)));                          \
+    }                                                                  \
+  } while (false)
+
+/// Internal-consistency check that throws uniq::NumericalFailure.
+#define UNIQ_CHECK(expr, msg)                                           \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      throw ::uniq::NumericalFailure(::uniq::detail::formatCheckMessage( \
+          #expr, __FILE__, __LINE__, (msg)));                           \
+    }                                                                   \
+  } while (false)

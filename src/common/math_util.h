@@ -1,0 +1,61 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+
+/// Small, dependency-free math helpers used across all modules.
+namespace uniq {
+
+inline constexpr double degToRad(double deg) { return deg * kPi / 180.0; }
+inline constexpr double radToDeg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap an angle in radians into [0, 2*pi).
+inline double wrapTwoPi(double rad) {
+  double r = std::fmod(rad, kTwoPi);
+  if (r < 0) r += kTwoPi;
+  return r;
+}
+
+/// Wrap an angle in radians into (-pi, pi].
+inline double wrapPi(double rad) {
+  double r = wrapTwoPi(rad);
+  if (r > kPi) r -= kTwoPi;
+  return r;
+}
+
+/// Absolute angular distance between two angles in degrees, result in
+/// [0, 180]. Used for AoA error metrics.
+inline double angularDistanceDeg(double aDeg, double bDeg) {
+  double d = std::fmod(std::fabs(aDeg - bDeg), 360.0);
+  if (d > 180.0) d = 360.0 - d;
+  return d;
+}
+
+inline double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// Inverse lerp: the t for which lerp(a, b, t) == x. Requires a != b.
+inline double inverseLerp(double a, double b, double x) {
+  return (x - a) / (b - a);
+}
+
+inline double clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+inline double square(double x) { return x * x; }
+
+/// Convert a linear amplitude ratio to decibels (floor at -300 dB).
+inline double amplitudeToDb(double amp) {
+  return 20.0 * std::log10(std::max(std::fabs(amp), 1e-15));
+}
+
+inline double dbToAmplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// True when |a - b| <= tol (absolute tolerance).
+inline bool nearAbs(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+}  // namespace uniq

@@ -1,0 +1,70 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace uniq {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  nextU32();
+  state_ += seed;
+  nextU32();
+}
+
+std::uint32_t Pcg32::nextU32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Pcg32::nextDouble() {
+  return static_cast<double>(nextU32()) * (1.0 / 4294967296.0);
+}
+
+double Pcg32::uniform(double lo, double hi) {
+  return lo + (hi - lo) * nextDouble();
+}
+
+double Pcg32::gaussian() {
+  if (hasCachedGaussian_) {
+    hasCachedGaussian_ = false;
+    return cachedGaussian_;
+  }
+  // Box-Muller; guard against log(0).
+  double u1 = nextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = nextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  cachedGaussian_ = r * std::sin(kTwoPi * u2);
+  hasCachedGaussian_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+double Pcg32::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+std::uint32_t Pcg32::nextBounded(std::uint32_t bound) {
+  if (bound == 0) return 0;
+  const std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint32_t r = nextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+Pcg32 Pcg32::fork(std::uint64_t tag) const {
+  // splitmix-style mixing of state with the tag for decorrelated streams.
+  std::uint64_t z = state_ + 0x9e3779b97f4a7c15ULL * (tag + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return Pcg32(z, tag * 2 + 1);
+}
+
+}  // namespace uniq

@@ -1,0 +1,272 @@
+#include "core/aoa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"  // square, clamp, angularDistanceDeg
+#include "dsp/correlation.h"
+#include "dsp/deconvolution.h"
+#include "dsp/fractional_delay.h"
+#include "dsp/peak_picking.h"
+#include "dsp/spectrum.h"
+
+namespace uniq::core {
+
+AoaEstimator::AoaEstimator(const FarFieldTable& table, Options opts)
+    : table_(table), opts_(opts) {
+  UNIQ_REQUIRE(table_.byDegree.size() == 181, "table must cover 0..180");
+  UNIQ_REQUIRE(opts_.lambdaPerSecond >= 0, "lambda must be >= 0");
+}
+
+double AoaEstimator::templateDelaySec(double thetaDeg) const {
+  const auto idx = static_cast<std::size_t>(
+      clamp(std::lround(thetaDeg), 0.0, 180.0));
+  return (table_.tapLeftSamples[idx] - table_.tapRightSamples[idx]) /
+         table_.sampleRate;
+}
+
+namespace {
+
+struct ExtractedChannel {
+  std::vector<double> h;
+  double tapSec = 0.0;
+  bool valid = false;
+};
+
+ExtractedChannel extractChannel(const std::vector<double>& recording,
+                                const std::vector<double>& source,
+                                double sampleRate, double regularization,
+                                double headWindowSec) {
+  ExtractedChannel out;
+  dsp::DeconvolutionOptions dopts;
+  dopts.relativeRegularization = regularization;
+  dopts.responseLength = 512;
+  out.h = dsp::deconvolve(recording, source, dopts);
+  dsp::FirstTapOptions tapOpts;
+  const auto tap = dsp::findFirstTap(out.h, tapOpts);
+  if (!tap) return out;
+  out.tapSec = tap->position / sampleRate;
+  const auto hi = static_cast<long>(
+      std::ceil(tap->position + headWindowSec * sampleRate));
+  const auto lo = static_cast<long>(std::floor(tap->position - 16.0));
+  for (long i = 0; i < static_cast<long>(out.h.size()); ++i) {
+    if (i < lo || i > hi) out.h[static_cast<std::size_t>(i)] = 0.0;
+  }
+  out.valid = true;
+  return out;
+}
+
+}  // namespace
+
+double AoaEstimator::knownSourceObjective(
+    double thetaDeg, double t0Sec, const std::vector<double>& hLeft,
+    const std::vector<double>& hRight) const {
+  const auto& tmpl = table_.at(thetaDeg);
+  const double tTheta = templateDelaySec(thetaDeg);
+  const auto cL = dsp::normalizedCorrelationPeak(hLeft, tmpl.left,
+                                                 opts_.shapeMaxLagSamples);
+  const auto cR = dsp::normalizedCorrelationPeak(hRight, tmpl.right,
+                                                 opts_.shapeMaxLagSamples);
+  return opts_.lambdaPerSecond * std::fabs(t0Sec - tTheta) +
+         (1.0 - cL.value) + (1.0 - cR.value);
+}
+
+AoaEstimate AoaEstimator::estimateKnown(
+    const std::vector<double>& leftRecording,
+    const std::vector<double>& rightRecording,
+    const std::vector<double>& source) const {
+  UNIQ_REQUIRE(!leftRecording.empty() && !rightRecording.empty() &&
+                   !source.empty(),
+               "empty input");
+  const double fs = table_.sampleRate;
+  const auto chL = extractChannel(leftRecording, source, fs,
+                                  opts_.relativeRegularization,
+                                  opts_.headWindowSec);
+  const auto chR = extractChannel(rightRecording, source, fs,
+                                  opts_.relativeRegularization,
+                                  opts_.headWindowSec);
+  UNIQ_CHECK(chL.valid && chR.valid, "could not detect first taps");
+  const double t0 = chL.tapSec - chR.tapSec;
+
+  // Pre-align each measured channel to the template anchor so the shape
+  // correlation compares like with like: shift the channel so its first tap
+  // lands at that angle's template tap position, per candidate angle.
+  AoaEstimate best;
+  best.score = std::numeric_limits<double>::infinity();
+  for (double theta = 0.0; theta <= 180.0; theta += opts_.searchStepDeg) {
+    const auto idx = static_cast<std::size_t>(std::lround(theta));
+    auto alignedL = dsp::fractionalShift(
+        chL.h, table_.tapLeftSamples[idx] - chL.tapSec * fs);
+    auto alignedR = dsp::fractionalShift(
+        chR.h, table_.tapRightSamples[idx] - chR.tapSec * fs);
+    alignedL.resize(table_.byDegree[idx].left.size(), 0.0);
+    alignedR.resize(table_.byDegree[idx].right.size(), 0.0);
+    const double score = knownSourceObjective(theta, t0, alignedL, alignedR);
+    if (score < best.score) {
+      best.score = score;
+      best.angleDeg = theta;
+    }
+  }
+  return best;
+}
+
+std::vector<double> AoaEstimator::candidateAnglesForDelay(
+    double deltaSec) const {
+  // Find all grid angles where the template interaural delay crosses the
+  // observed delay.
+  std::vector<double> candidates;
+  double prev = templateDelaySec(0.0) - deltaSec;
+  for (int deg = 1; deg <= 180; ++deg) {
+    const double cur = templateDelaySec(static_cast<double>(deg)) - deltaSec;
+    if (prev == 0.0) candidates.push_back(static_cast<double>(deg - 1));
+    else if ((prev < 0) != (cur < 0)) {
+      const double f = prev / (prev - cur);
+      candidates.push_back(static_cast<double>(deg - 1) + f);
+    }
+    prev = cur;
+  }
+  if (prev == 0.0) candidates.push_back(180.0);
+  return candidates;
+}
+
+AoaEstimate AoaEstimator::estimateUnknown(
+    const std::vector<double>& leftRecording,
+    const std::vector<double>& rightRecording) const {
+  UNIQ_REQUIRE(!leftRecording.empty() && !rightRecording.empty(),
+               "empty input");
+  const double fs = table_.sampleRate;
+
+  // Relative channel via GCC-PHAT; each strong peak is a candidate
+  // interaural delay (paper Figure 14: pinna multipath produces several).
+  const double maxItdSec = 1.2e-3;  // generous physical bound for a head
+  auto rel = dsp::gccPhat(leftRecording, rightRecording);
+  dsp::FirstTapOptions peakOpts;
+  peakOpts.relativeThreshold = opts_.peakRelativeThreshold;
+  const auto taps = dsp::findTaps(rel, peakOpts);
+  const double zeroLag = static_cast<double>(rightRecording.size() - 1);
+
+  std::vector<double> candidates;
+  for (const auto& tap : taps) {
+    const double lag = tap.position - zeroLag;  // right lags left by `lag`
+    const double delta = -lag / fs;             // t0 = tapL - tapR = -lag/fs
+    if (std::fabs(delta) > maxItdSec) continue;
+    for (double ang : candidateAnglesForDelay(delta))
+      candidates.push_back(ang);
+  }
+  if (candidates.empty()) {
+    for (double ang = 0.0; ang <= 180.0; ang += 4.0)
+      candidates.push_back(ang);
+  }
+
+  // Disambiguate with the multiplicative relative-channel match (Eq. 11):
+  // L(f) * H_R(theta)(f) should equal R(f) * H_L(theta)(f).
+  //
+  // Two robustness measures for *estimated* templates:
+  //  - Magnitude form: the interaural delay already selected the
+  //    candidates, so the residual compares level spectra only. Phase at
+  //    several kHz rotates wildly per sample of template timing error.
+  //  - Frame aggregation: tonal sources (music, speech) excite different
+  //    sparse harmonic sets over time; summing per-frame residuals pools
+  //    quasi-independent evidence instead of betting on one spectrum.
+  const std::size_t total = std::min(leftRecording.size(),
+                                     rightRecording.size());
+  const std::size_t frameLen = opts_.frameAggregation ? 8192 : total;
+  const std::size_t hop = frameLen / 2;
+  std::vector<std::size_t> frameStarts;
+  if (total <= frameLen) {
+    frameStarts.push_back(0);
+  } else {
+    for (std::size_t s = 0; s + frameLen <= total; s += hop)
+      frameStarts.push_back(s);
+  }
+
+  const std::size_t n = dsp::nextPowerOfTwo(
+      std::max(std::min(total, frameLen), table_.byDegree[0].left.size()) *
+      2);
+  const std::size_t bLo = dsp::frequencyToBin(opts_.bandLoHz, n, fs);
+  const std::size_t bHi =
+      std::min(dsp::frequencyToBin(opts_.bandHiHz, n, fs), n / 2);
+
+  // Per-frame spectra of both ears.
+  std::vector<std::vector<dsp::Complex>> framesL, framesR;
+  for (std::size_t start : frameStarts) {
+    const std::size_t len = std::min(frameLen, total - start);
+    std::vector<dsp::Complex> fl(n, dsp::Complex(0, 0));
+    std::vector<dsp::Complex> fr(n, dsp::Complex(0, 0));
+    for (std::size_t i = 0; i < len; ++i) {
+      fl[i] = dsp::Complex(leftRecording[start + i], 0);
+      fr[i] = dsp::Complex(rightRecording[start + i], 0);
+    }
+    dsp::fftPow2InPlace(fl, false);
+    dsp::fftPow2InPlace(fr, false);
+    framesL.push_back(std::move(fl));
+    framesR.push_back(std::move(fr));
+  }
+
+  AoaEstimate best;
+  best.score = std::numeric_limits<double>::infinity();
+  for (double theta : candidates) {
+    const auto& tmpl = table_.at(theta);
+    std::vector<dsp::Complex> hl(n, dsp::Complex(0, 0));
+    std::vector<dsp::Complex> hr(n, dsp::Complex(0, 0));
+    for (std::size_t i = 0; i < tmpl.left.size(); ++i)
+      hl[i] = dsp::Complex(tmpl.left[i], 0);
+    for (std::size_t i = 0; i < tmpl.right.size(); ++i)
+      hr[i] = dsp::Complex(tmpl.right[i], 0);
+    dsp::fftPow2InPlace(hl, false);
+    dsp::fftPow2InPlace(hr, false);
+    double score = 0.0;
+    for (std::size_t f = 0; f < framesL.size(); ++f) {
+      double num = 0.0, den = 0.0;
+      for (std::size_t k = bLo; k <= bHi; ++k) {
+        const double lhs = std::abs(framesL[f][k] * hr[k]);
+        const double rhs = std::abs(framesR[f][k] * hl[k]);
+        num += square(lhs - rhs);
+        den += square(lhs) + square(rhs);
+      }
+      score += den > 1e-30 ? num / den : 2.0;
+    }
+    score /= static_cast<double>(framesL.size());
+    if (score < best.score) {
+      best.score = score;
+      best.angleDeg = theta;
+    }
+  }
+  return best;
+}
+
+double trainLambda(const FarFieldTable& table, const std::vector<double>& grid,
+                   const std::vector<double>& trueAnglesDeg,
+                   const std::vector<std::vector<double>>& leftRecordings,
+                   const std::vector<std::vector<double>>& rightRecordings,
+                   const std::vector<double>& source,
+                   const AoaEstimatorOptions& baseOpts) {
+  UNIQ_REQUIRE(!grid.empty(), "empty lambda grid");
+  UNIQ_REQUIRE(trueAnglesDeg.size() == leftRecordings.size() &&
+                   trueAnglesDeg.size() == rightRecordings.size(),
+               "mismatched training set sizes");
+  double bestLambda = grid.front();
+  double bestErr = std::numeric_limits<double>::infinity();
+  for (double lambda : grid) {
+    AoaEstimatorOptions opts = baseOpts;
+    opts.lambdaPerSecond = lambda;
+    const AoaEstimator est(table, opts);
+    double err = 0.0;
+    for (std::size_t i = 0; i < trueAnglesDeg.size(); ++i) {
+      const auto result =
+          est.estimateKnown(leftRecordings[i], rightRecordings[i], source);
+      err += angularDistanceDeg(result.angleDeg, trueAnglesDeg[i]);
+    }
+    err /= static_cast<double>(trueAnglesDeg.size());
+    if (err < bestErr) {
+      bestErr = err;
+      bestLambda = lambda;
+    }
+  }
+  return bestLambda;
+}
+
+}  // namespace uniq::core

@@ -1,0 +1,94 @@
+#include "core/channel_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/deconvolution.h"
+#include "dsp/peak_picking.h"
+
+namespace uniq::core {
+
+ChannelExtractor::ChannelExtractor(
+    std::vector<dsp::Complex> hardwareResponseEstimate, double sampleRate,
+    Options opts)
+    : hardwareEstimate_(std::move(hardwareResponseEstimate)),
+      sampleRate_(sampleRate),
+      opts_(opts) {
+  UNIQ_REQUIRE(sampleRate_ > 8000, "sample rate too low");
+  UNIQ_REQUIRE(opts_.channelLength >= 64, "channel length too short");
+}
+
+std::vector<double> ChannelExtractor::extractEar(
+    const std::vector<double>& recording,
+    const std::vector<double>& source) const {
+  UNIQ_REQUIRE(!recording.empty() && !source.empty(), "empty input");
+  const std::size_t n =
+      dsp::nextPowerOfTwo(recording.size() + source.size());
+  std::vector<dsp::Complex> fy(n, dsp::Complex(0, 0));
+  std::vector<dsp::Complex> fx(n, dsp::Complex(0, 0));
+  for (std::size_t i = 0; i < recording.size(); ++i)
+    fy[i] = dsp::Complex(recording[i], 0);
+  for (std::size_t i = 0; i < source.size(); ++i)
+    fx[i] = dsp::Complex(source[i], 0);
+  dsp::fftPow2InPlace(fy, false);
+  dsp::fftPow2InPlace(fx, false);
+
+  // Fold the estimated hardware response into the known transmit chain so
+  // the spectral division compensates it in one step.
+  if (opts_.compensateHardware && !hardwareEstimate_.empty()) {
+    const std::size_t rn = hardwareEstimate_.size();
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+      const double frac = static_cast<double>(k) / static_cast<double>(n);
+      const auto rk = static_cast<std::size_t>(std::min<double>(
+          std::lround(frac * static_cast<double>(rn)),
+          static_cast<double>(rn / 2)));
+      fx[k] *= hardwareEstimate_[rk];
+      if (k > 0 && k < n / 2) fx[n - k] = std::conj(fx[k]);
+    }
+  }
+
+  auto fh =
+      dsp::regularizedSpectralDivide(fy, fx, opts_.relativeRegularization);
+  dsp::fftPow2InPlace(fh, true);
+  std::vector<double> h(opts_.channelLength, 0.0);
+  const std::size_t keep = std::min<std::size_t>(opts_.channelLength, n);
+  for (std::size_t i = 0; i < keep; ++i) h[i] = fh[i].real();
+  return h;
+}
+
+BinauralChannel ChannelExtractor::extract(
+    const std::vector<double>& leftRecording,
+    const std::vector<double>& rightRecording,
+    const std::vector<double>& source) const {
+  BinauralChannel out;
+  out.sampleRate = sampleRate_;
+  out.left = extractEar(leftRecording, source);
+  out.right = extractEar(rightRecording, source);
+
+  dsp::FirstTapOptions tapOpts;
+  tapOpts.relativeThreshold = opts_.firstTapRelativeThreshold;
+  const double preGuard = opts_.preGuardSec * sampleRate_;
+  const double window = opts_.headWindowSec * sampleRate_;
+
+  for (int e = 0; e < 2; ++e) {
+    auto& channel = e == 0 ? out.left : out.right;
+    auto& tapOut = e == 0 ? out.firstTapLeftSec : out.firstTapRightSec;
+    const auto tap = dsp::findFirstTap(channel, tapOpts);
+    if (!tap) {
+      tapOut = std::nullopt;
+      continue;
+    }
+    tapOut = tap->position / sampleRate_;
+    // Zero everything outside [tap - preGuard, tap + headWindow]: earlier is
+    // deconvolution noise, later is room reverberation.
+    const auto lo = static_cast<long>(std::floor(tap->position - preGuard));
+    const auto hi = static_cast<long>(std::ceil(tap->position + window));
+    for (long i = 0; i < static_cast<long>(channel.size()); ++i) {
+      if (i < lo || i > hi) channel[static_cast<std::size_t>(i)] = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace uniq::core

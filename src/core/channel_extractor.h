@@ -1,0 +1,69 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace uniq::core {
+
+/// A per-stop binaural acoustic channel estimate with absolute timing
+/// preserved (the phone and earbuds are synchronized, so tap positions are
+/// true propagation delays).
+struct BinauralChannel {
+  std::vector<double> left;
+  std::vector<double> right;
+  double sampleRate = 0.0;
+  /// First-tap (diffraction path) delays in seconds; nullopt when no tap
+  /// cleared the detection threshold in that ear.
+  std::optional<double> firstTapLeftSec;
+  std::optional<double> firstTapRightSec;
+};
+
+struct ChannelExtractorOptions {
+  /// Tikhonov regularization for the spectral division.
+  double relativeRegularization = 1e-3;
+  /// Keep this much channel after the first tap; everything later is a room
+  /// reflection and is zeroed (paper Section 4.6, "Tackling room
+  /// reflections": head diffraction and pinna multipath arrive earlier than
+  /// room reflections).
+  double headWindowSec = 2.5e-3;
+  /// Guard window kept before the first tap (hardware ringing).
+  double preGuardSec = 0.3e-3;
+  /// Output channel length in samples.
+  std::size_t channelLength = 256;
+  /// First-tap detection threshold relative to the channel peak.
+  double firstTapRelativeThreshold = 0.35;
+  /// Compensate the speaker-mic frequency response (Section 4.6).
+  bool compensateHardware = true;
+};
+
+/// Estimates binaural channels from raw earbud recordings of the known
+/// chirp: deconvolution, hardware-response compensation, room-reflection
+/// removal, and first-tap extraction.
+class ChannelExtractor {
+ public:
+  using Options = ChannelExtractorOptions;
+
+  /// `hardwareResponseEstimate` is the co-located speaker-mic response
+  /// estimate (Section 4.6); pass an empty vector to skip compensation.
+  ChannelExtractor(std::vector<dsp::Complex> hardwareResponseEstimate,
+                   double sampleRate, Options opts = {});
+
+  /// Extract the binaural channel from one stop's recordings.
+  BinauralChannel extract(const std::vector<double>& leftRecording,
+                          const std::vector<double>& rightRecording,
+                          const std::vector<double>& source) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  std::vector<double> extractEar(const std::vector<double>& recording,
+                                 const std::vector<double>& source) const;
+
+  std::vector<dsp::Complex> hardwareEstimate_;
+  double sampleRate_;
+  Options opts_;
+};
+
+}  // namespace uniq::core

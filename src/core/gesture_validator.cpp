@@ -1,0 +1,62 @@
+#include "core/gesture_validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace uniq::core {
+
+GestureValidator::GestureValidator(Options opts) : opts_(opts) {}
+
+GestureReport GestureValidator::validate(
+    const SensorFusionResult& fusion) const {
+  GestureReport report;
+  std::vector<double> radii;
+  std::size_t tooClose = 0;
+  for (const auto& stop : fusion.stops) {
+    if (!stop.localized) continue;
+    radii.push_back(stop.radiusM);
+    if (stop.radiusM < opts_.minStopRadiusM) ++tooClose;
+  }
+
+  const double localizedFraction =
+      fusion.stops.empty()
+          ? 0.0
+          : static_cast<double>(fusion.localizedCount) /
+                static_cast<double>(fusion.stops.size());
+  if (localizedFraction < opts_.minLocalizedFraction) {
+    std::ostringstream os;
+    os << "only " << fusion.localizedCount << "/" << fusion.stops.size()
+       << " stops could be localized — redo the sweep";
+    report.issues.push_back(os.str());
+  }
+
+  if (!radii.empty()) {
+    std::sort(radii.begin(), radii.end());
+    const double median = radii[radii.size() / 2];
+    if (median < opts_.minMedianRadiusM) {
+      std::ostringstream os;
+      os << "phone held too close to the head (median radius " << median
+         << " m) — extend the arm further";
+      report.issues.push_back(os.str());
+    }
+    if (tooClose > radii.size() / 4) {
+      report.issues.push_back(
+          "arm drooped toward the head on many stops — keep the radius "
+          "steady");
+    }
+  }
+
+  const double rmsResidual = std::sqrt(fusion.meanSquaredResidualDeg2);
+  if (rmsResidual > opts_.maxRmsResidualDeg) {
+    std::ostringstream os;
+    os << "IMU and acoustic angles disagree (RMS " << rmsResidual
+       << " deg) — face the phone screen toward the eyes and redo";
+    report.issues.push_back(os.str());
+  }
+
+  report.ok = report.issues.empty();
+  return report;
+}
+
+}  // namespace uniq::core

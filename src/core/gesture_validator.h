@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sensor_fusion.h"
+
+namespace uniq::core {
+
+/// Outcome of the automatic gesture sanity check (paper Section 4.6,
+/// "Automatically correcting user gestures"): UNIQ asks the user to redo
+/// the sweep when the estimated phone distance is too small or the fusion
+/// residual too large.
+struct GestureReport {
+  bool ok = true;
+  std::vector<std::string> issues;
+};
+
+struct GestureValidatorOptions {
+  /// Minimum acceptable median phone radius (m): closer and the model's
+  /// point-source assumptions and SNR degrade.
+  double minMedianRadiusM = 0.22;
+  /// Minimum acceptable single-stop radius (m).
+  double minStopRadiusM = 0.16;
+  /// Maximum acceptable RMS IMU-vs-acoustic disagreement (deg).
+  double maxRmsResidualDeg = 8.0;
+  /// Minimum fraction of stops the localizer must place.
+  double minLocalizedFraction = 0.7;
+};
+
+/// Validates a fusion result against the gesture-quality rules.
+class GestureValidator {
+ public:
+  using Options = GestureValidatorOptions;
+
+  explicit GestureValidator(Options opts = {});
+
+  GestureReport validate(const SensorFusionResult& fusion) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace uniq::core

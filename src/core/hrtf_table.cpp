@@ -1,0 +1,81 @@
+#include "core/hrtf_table.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dsp/fractional_delay.h"
+#include "geometry/diffraction.h"
+#include "geometry/polar.h"
+
+namespace uniq::core {
+
+HrtfTable::HrtfTable(NearFieldTable nearTable, FarFieldTable farTable)
+    : near_(std::move(nearTable)), far_(std::move(farTable)) {
+  UNIQ_REQUIRE(near_.byDegree.size() == 181 && far_.byDegree.size() == 181,
+               "tables must cover 0..180 degrees");
+  UNIQ_REQUIRE(near_.sampleRate == far_.sampleRate,
+               "near/far sample rates must match");
+  boundary_ = std::make_unique<geo::HeadBoundary>(
+      near_.headParams.a, near_.headParams.b, near_.headParams.c, 256);
+}
+
+const head::Hrir& HrtfTable::nearAt(double thetaDeg) const {
+  return near_.at(thetaDeg);
+}
+
+const head::Hrir& HrtfTable::farAt(double thetaDeg) const {
+  return far_.at(thetaDeg);
+}
+
+head::BinauralSignal HrtfTable::renderFrom(
+    geo::Vec2 location, const std::vector<double>& mono) const {
+  const double theta = geo::azimuthDegOfPoint(location);
+  const double r = geo::radiusOfPoint(location);
+  // The 2D prototype covers the left hemicircle [0, 180]; mirror-symmetric
+  // requests are clamped (the paper's prototype measures one side).
+  const double clamped = clamp(theta, 0.0, 180.0);
+  if (r >= kFarFieldBoundaryM) return renderFar(clamped, mono);
+  return renderNear(clamped, r, mono);
+}
+
+head::BinauralSignal HrtfTable::renderFar(
+    double thetaDeg, const std::vector<double>& mono) const {
+  return head::renderBinaural(farAt(thetaDeg), mono);
+}
+
+head::Hrir HrtfTable::nearHrirAt(double thetaDeg, double radiusM) const {
+  UNIQ_REQUIRE(radiusM > 0.12 && radiusM <= kFarFieldBoundaryM + 0.5,
+               "near-field radius out of range");
+  head::Hrir hrir = nearAt(thetaDeg);
+  const double tableRadius = near_.medianRadiusM;
+  if (std::fabs(radiusM - tableRadius) < 1e-6) return hrir;
+
+  const double theta = clamp(thetaDeg, 0.0, 180.0);
+  const geo::Vec2 pTable = geo::pointFromPolarDeg(theta, tableRadius);
+  const geo::Vec2 pWanted = geo::pointFromPolarDeg(theta, radiusM);
+  const double fs = near_.sampleRate;
+  constexpr double kBeta = 8.0;  // the model's creeping attenuation
+
+  for (geo::Ear ear : {geo::Ear::kLeft, geo::Ear::kRight}) {
+    const auto atTable = geo::nearFieldPath(*boundary_, pTable, ear);
+    const auto atWanted = geo::nearFieldPath(*boundary_, pWanted, ear);
+    const double deltaSamples =
+        (atWanted.length - atTable.length) / kSpeedOfSound * fs;
+    const double gain =
+        (atTable.length / atWanted.length) *
+        std::exp(-kBeta * (atWanted.arcLength - atTable.arcLength));
+    auto& channel = ear == geo::Ear::kLeft ? hrir.left : hrir.right;
+    channel = dsp::fractionalShift(channel, deltaSamples);
+    for (auto& v : channel) v *= gain;
+  }
+  return hrir;
+}
+
+head::BinauralSignal HrtfTable::renderNear(
+    double thetaDeg, double radiusM, const std::vector<double>& mono) const {
+  return head::renderBinaural(nearHrirAt(thetaDeg, radiusM), mono);
+}
+
+}  // namespace uniq::core

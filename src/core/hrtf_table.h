@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+
+#include "core/near_far.h"
+#include "core/near_field_hrtf.h"
+#include "geometry/head_boundary.h"
+#include "geometry/vec2.h"
+#include "head/hrir.h"
+
+namespace uniq::core {
+
+/// The lookup table UNIQ exports to earphone applications (paper
+/// Section 4.4): for each angle theta, the near-field and far-field
+/// binaural filter pairs. Applications pick near or far by the desired
+/// virtual source distance and filter any sound through the pair.
+class HrtfTable {
+ public:
+  /// Sources beyond this distance use the far-field entry (the paper cites
+  /// ~1 m as the conventional near/far boundary).
+  static constexpr double kFarFieldBoundaryM = 1.0;
+
+  HrtfTable(NearFieldTable nearTable, FarFieldTable farTable);
+
+  const head::Hrir& nearAt(double thetaDeg) const;
+  const head::Hrir& farAt(double thetaDeg) const;
+
+  const NearFieldTable& nearTable() const { return near_; }
+  const FarFieldTable& farTable() const { return far_; }
+  double sampleRate() const { return near_.sampleRate; }
+
+  /// Render a mono sound as if emitted from a location around the head
+  /// (near/far decision by distance).
+  head::BinauralSignal renderFrom(geo::Vec2 location,
+                                  const std::vector<double>& mono) const;
+
+  /// Render a mono sound as a plane wave from `thetaDeg`.
+  head::BinauralSignal renderFar(double thetaDeg,
+                                 const std::vector<double>& mono) const;
+
+  /// Render a mono sound from a nearby point at (thetaDeg, radius). The
+  /// near table is measured at its median radius; for other radii the
+  /// per-ear delays and levels are re-derived from the personalized
+  /// diffraction model (head parameters E), so moving a virtual source
+  /// closer genuinely changes the interaural cues, not just the loudness.
+  head::BinauralSignal renderNear(double thetaDeg, double radiusM,
+                                  const std::vector<double>& mono) const;
+
+  /// The radius-adjusted near-field HRIR used by renderNear; exposed for
+  /// tests and for applications that cache filters.
+  head::Hrir nearHrirAt(double thetaDeg, double radiusM) const;
+
+ private:
+  NearFieldTable near_;
+  FarFieldTable far_;
+  std::unique_ptr<geo::HeadBoundary> boundary_;
+};
+
+}  // namespace uniq::core

@@ -1,0 +1,152 @@
+#include "core/localizer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "geometry/diffraction.h"
+#include "geometry/polar.h"
+#include "optim/root_finding.h"
+
+namespace uniq::core {
+
+namespace {
+
+double pathLength(const geo::HeadBoundary& head, geo::Vec2 p, geo::Ear ear) {
+  return geo::nearFieldPath(head, p, ear).length;
+}
+
+}  // namespace
+
+Localizer::Localizer(const geo::HeadBoundary& head, Options opts)
+    : head_(head), opts_(opts) {
+  UNIQ_REQUIRE(opts_.minRadiusM > head.a() && opts_.minRadiusM > head.b() &&
+                   opts_.minRadiusM > head.c(),
+               "minRadius must clear the head");
+  UNIQ_REQUIRE(opts_.maxRadiusM > opts_.minRadiusM, "bad radius range");
+}
+
+std::optional<double> Localizer::radiusForLeftPath(double angleDeg,
+                                                   double targetLen) const {
+  const auto f = [&](double r) {
+    return pathLength(head_, geo::pointFromPolarDeg(angleDeg, r),
+                      geo::Ear::kLeft) -
+           targetLen;
+  };
+  const double fLo = f(opts_.minRadiusM);
+  const double fHi = f(opts_.maxRadiusM);
+  if (fLo > 0.0 || fHi < 0.0) return std::nullopt;
+  optim::RootOptions ropts;
+  ropts.xTolerance = 1e-5;
+  return optim::brent(f, opts_.minRadiusM, opts_.maxRadiusM, ropts);
+}
+
+double Localizer::rightPathResidual(double angleDeg, double targetLenLeft,
+                                    double targetLenRight) const {
+  const auto r = radiusForLeftPath(angleDeg, targetLenLeft);
+  if (!r) return std::numeric_limits<double>::quiet_NaN();
+  return pathLength(head_, geo::pointFromPolarDeg(angleDeg, *r),
+                    geo::Ear::kRight) -
+         targetLenRight;
+}
+
+std::vector<PolarFix> Localizer::locateAll(double delayLeftSec,
+                                           double delayRightSec) const {
+  UNIQ_REQUIRE(delayLeftSec > 0 && delayRightSec > 0, "delays must be > 0");
+  const double dL = delayLeftSec * kSpeedOfSound;
+  const double dR = delayRightSec * kSpeedOfSound;
+
+  const double lo = -opts_.angleMarginDeg;
+  const double hi = 180.0 + opts_.angleMarginDeg;
+
+  std::vector<PolarFix> fixes;
+  // Coarse scan for sign changes of the right-ear residual, then refine by
+  // interval subdivision (the residual is only defined where the left-ear
+  // iso-delay curve exists, so plain Brent could step out of the domain).
+  double prevAngle = lo;
+  double prevRes = rightPathResidual(lo, dL, dR);
+  for (double ang = lo + opts_.scanStepDeg; ang <= hi + 1e-9;
+       ang += opts_.scanStepDeg) {
+    const double res = rightPathResidual(ang, dL, dR);
+    if (!std::isnan(prevRes) && !std::isnan(res) &&
+        (prevRes < 0) != (res < 0)) {
+      // Refine within [prevAngle, ang] by repeated subdivision.
+      double a = prevAngle, b = ang;
+      double fa = prevRes;
+      for (int level = 0; level < 4; ++level) {
+        const int kSub = 8;
+        double bestA = a, bestB = b, bestFa = fa;
+        double x0 = a, f0 = fa;
+        bool found = false;
+        for (int s = 1; s <= kSub; ++s) {
+          const double x1 = a + (b - a) * s / kSub;
+          const double f1 = s == kSub ? rightPathResidual(b, dL, dR)
+                                      : rightPathResidual(x1, dL, dR);
+          if (!std::isnan(f0) && !std::isnan(f1) && (f0 < 0) != (f1 < 0)) {
+            bestA = x0;
+            bestB = x1;
+            bestFa = f0;
+            found = true;
+            break;
+          }
+          x0 = x1;
+          f0 = f1;
+        }
+        if (!found) break;
+        a = bestA;
+        b = bestB;
+        fa = bestFa;
+      }
+      const double angleRoot = 0.5 * (a + b);
+      const auto r = radiusForLeftPath(angleRoot, dL);
+      if (r) fixes.push_back({angleRoot, *r});
+    }
+    prevAngle = ang;
+    prevRes = res;
+  }
+  return fixes;
+}
+
+std::optional<PolarFix> Localizer::locate(double delayLeftSec,
+                                          double delayRightSec,
+                                          double imuAngleDeg) const {
+  const auto fixes = locateAll(delayLeftSec, delayRightSec);
+  if (!fixes.empty()) {
+    const PolarFix* best = nullptr;
+    double bestErr = std::numeric_limits<double>::infinity();
+    for (const auto& fix : fixes) {
+      const double err = std::fabs(fix.angleDeg - imuAngleDeg);
+      if (err < bestErr) {
+        bestErr = err;
+        best = &fix;
+      }
+    }
+    return *best;
+  }
+
+  // No exact intersection (slight model mismatch): fall back to the angle
+  // of closest approach between the two iso-delay curves.
+  const double dL = delayLeftSec * kSpeedOfSound;
+  const double dR = delayRightSec * kSpeedOfSound;
+  const double lo = -opts_.angleMarginDeg;
+  const double hi = 180.0 + opts_.angleMarginDeg;
+  double bestAngle = 0.0;
+  double bestAbs = std::numeric_limits<double>::infinity();
+  const double fineStep = opts_.scanStepDeg / 3.0;
+  for (double ang = lo; ang <= hi + 1e-9; ang += fineStep) {
+    const double res = rightPathResidual(ang, dL, dR);
+    if (std::isnan(res)) continue;
+    if (std::fabs(res) < bestAbs) {
+      bestAbs = std::fabs(res);
+      bestAngle = ang;
+    }
+  }
+  if (bestAbs > opts_.approximateResidualM) return std::nullopt;
+  const auto r = radiusForLeftPath(bestAngle, dL);
+  if (!r) return std::nullopt;
+  return PolarFix{bestAngle, *r};
+}
+
+}  // namespace uniq::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/head_boundary.h"
+#include "head/head_parameters.h"
+
+namespace uniq::core {
+
+/// A localized phone position in polar coordinates around the head center.
+struct PolarFix {
+  double angleDeg = 0.0;
+  double radiusM = 0.0;
+};
+
+struct LocalizerOptions {
+  double minRadiusM = 0.13;
+  double maxRadiusM = 1.2;
+  /// Scan step for the exhaustive angle sweep (degrees).
+  double scanStepDeg = 3.0;
+  /// Allow angles slightly outside [0, 180] (gesture overshoot).
+  double angleMarginDeg = 25.0;
+  /// Convergence threshold on the residual path-length error (meters).
+  double residualToleranceM = 2e-4;
+  /// When the two iso-delay curves do not intersect exactly (model
+  /// mismatch on a real head), accept the closest-approach point if the
+  /// remaining path-length discrepancy is below this (meters); otherwise
+  /// report failure.
+  double approximateResidualM = 0.02;
+};
+
+/// Localizes the phone from the two first-tap (diffraction path) delays,
+/// given a candidate head geometry — the intersection of two iso-delay
+/// trajectories (paper Section 4.1, Figure 10(b)). The intersection is
+/// generally ambiguous (a front and a back solution); `locate` resolves the
+/// ambiguity with the IMU angle, while `locateAll` exposes every solution.
+class Localizer {
+ public:
+  using Options = LocalizerOptions;
+
+  explicit Localizer(const geo::HeadBoundary& head, Options opts = {});
+
+  /// All iso-delay intersections for left/right first-tap delays (seconds).
+  std::vector<PolarFix> locateAll(double delayLeftSec,
+                                  double delayRightSec) const;
+
+  /// The intersection closest to the IMU angle estimate, or nullopt when no
+  /// intersection exists (inconsistent delays for this head candidate).
+  std::optional<PolarFix> locate(double delayLeftSec, double delayRightSec,
+                                 double imuAngleDeg) const;
+
+ private:
+  /// Radius at which the left-ear path length equals `targetLen` along the
+  /// ray at angleDeg, or nullopt when out of range.
+  std::optional<double> radiusForLeftPath(double angleDeg,
+                                          double targetLen) const;
+  double rightPathResidual(double angleDeg, double targetLenLeft,
+                           double targetLenRight) const;
+
+  const geo::HeadBoundary& head_;
+  Options opts_;
+};
+
+}  // namespace uniq::core

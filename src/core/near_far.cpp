@@ -1,0 +1,190 @@
+#include "core/near_far.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dsp/fractional_delay.h"
+#include "geometry/diffraction.h"
+#include "geometry/polar.h"
+
+namespace uniq::core {
+
+const head::Hrir& FarFieldTable::at(double thetaDeg) const {
+  UNIQ_REQUIRE(!byDegree.empty(), "empty far-field table");
+  const auto idx = static_cast<std::size_t>(clamp(
+      std::lround(thetaDeg), 0.0, static_cast<double>(byDegree.size() - 1)));
+  return byDegree[idx];
+}
+
+NearFarConverter::NearFarConverter(Options opts) : opts_(opts) {
+  UNIQ_REQUIRE(opts_.outputLength >= 64, "output length too short");
+}
+
+namespace {
+
+void accumulate(std::vector<double>& acc, const std::vector<double>& channel,
+                double currentTap, double targetTap, double weight = 1.0) {
+  const auto shifted = dsp::fractionalShift(channel, targetTap - currentTap);
+  for (std::size_t i = 0; i < acc.size() && i < shifted.size(); ++i)
+    acc[i] += weight * shifted[i];
+}
+
+}  // namespace
+
+FarFieldTable NearFarConverter::convert(const NearFieldTable& nearTable) const {
+  UNIQ_REQUIRE(nearTable.byDegree.size() == 181, "near table must cover 0-180");
+  const auto& E = nearTable.headParams;
+  const geo::HeadBoundary boundary(E.a, E.b, E.c, opts_.boundaryResolution);
+  const double fs = nearTable.sampleRate;
+  const double radius = nearTable.medianRadiusM;
+
+  FarFieldTable far;
+  far.sampleRate = fs;
+  far.headParams = E;
+  far.byDegree.resize(181);
+  far.tapLeftSamples.resize(181);
+  far.tapRightSamples.resize(181);
+
+  // Precompute measurement-circle positions for all near-table angles.
+  std::vector<geo::Vec2> positions(181);
+  for (int psi = 0; psi <= 180; ++psi)
+    positions[psi] = geo::pointFromPolarDeg(static_cast<double>(psi), radius);
+
+  for (int deg = 0; deg <= 180; ++deg) {
+    const double theta = static_cast<double>(deg);
+    const geo::Vec2 d = -geo::directionFromAzimuthDeg(theta);
+    const geo::Vec2 e = d.perp();
+
+    // Crown point Q: boundary point facing the incoming wave head-on.
+    const double crownIdx = boundary.indexWithNormal(-d);
+    const double sQ = dot(boundary.pointAt(crownIdx), e);
+
+    head::Hrir hrir;
+    hrir.sampleRate = fs;
+    hrir.left.assign(opts_.outputLength, 0.0);
+    hrir.right.assign(opts_.outputLength, 0.0);
+
+    const auto pathL = geo::farFieldPath(boundary, d, geo::Ear::kLeft);
+    const auto pathR = geo::farFieldPath(boundary, d, geo::Ear::kRight);
+    const double dMin = std::min(pathL.length, pathR.length);
+    const double tapLFar =
+        opts_.alignSample + (pathL.length - dMin) / kSpeedOfSound * fs;
+    const double tapRFar =
+        opts_.alignSample + (pathR.length - dMin) / kSpeedOfSound * fs;
+
+    for (geo::Ear ear : {geo::Ear::kLeft, geo::Ear::kRight}) {
+      const auto& path = ear == geo::Ear::kLeft ? pathL : pathR;
+      auto& channel = ear == geo::Ear::kLeft ? hrir.left : hrir.right;
+      const auto& nearTaps = ear == geo::Ear::kLeft
+                                 ? nearTable.tapLeftSamples
+                                 : nearTable.tapRightSamples;
+
+      // Impact-parameter band of rays feeding this ear: between the crown
+      // ray and the ear's grazing/direct ray.
+      const double sEar = path.diffracted ? dot(path.tangentPoint, e)
+                                          : dot(earPosition(boundary, ear), e);
+      const double sLo = std::min(sQ, sEar);
+      const double sHi = std::max(sQ, sEar);
+      // Contributions are weighted toward the ray that actually reaches the
+      // ear (impact parameter sEar); rays near the crown graze away from it
+      // and carry less of this ear's far-field character. The weighting
+      // keeps the averaged response angle-specific enough to preserve
+      // front/back spectral cues.
+      const double sigma =
+          std::max((sHi - sLo) / opts_.raySigmaDivisor, 1e-4);
+      const double ampFar =
+          std::exp(-opts_.arcAttenuationNepersPerMeter * path.arcLength);
+
+      // Each near-field contribution is rescaled by the model's far/near
+      // attenuation ratio. This converts the geometric (distance + creep)
+      // part of the level to far-field conditions while PRESERVING the
+      // measured pinna gain — the interaural level detail that
+      // distinguishes front from back for an application like binaural AoA.
+      double weightSum = 0.0;
+      for (int psi = 0; psi <= 180; ++psi) {
+        const geo::Vec2 p = positions[psi];
+        if (dot(d, p) >= 0.0) continue;  // downstream of the head center
+        const double s = dot(p, e);
+        if (s < sLo || s > sHi) continue;
+        const double w = std::exp(-0.5 * square((s - sEar) / sigma));
+        const auto nearPath = geo::nearFieldPath(boundary, p, ear);
+        const double ampNear =
+            (1.0 / std::max(nearPath.length, 0.05)) *
+            std::exp(-opts_.arcAttenuationNepersPerMeter *
+                     nearPath.arcLength);
+        const auto& src = ear == geo::Ear::kLeft
+                              ? nearTable.byDegree[psi].left
+                              : nearTable.byDegree[psi].right;
+        accumulate(channel, src, nearTaps[psi], opts_.alignSample,
+                   w * ampFar / ampNear);
+        weightSum += w;
+      }
+      if (weightSum < 1e-12) {
+        // Sparse-coverage fallback: use the near-field response at the same
+        // polar angle.
+        const auto nearPath =
+            geo::nearFieldPath(boundary, positions[deg], ear);
+        const double ampNear =
+            (1.0 / std::max(nearPath.length, 0.05)) *
+            std::exp(-opts_.arcAttenuationNepersPerMeter *
+                     nearPath.arcLength);
+        const auto& src = ear == geo::Ear::kLeft
+                              ? nearTable.byDegree[deg].left
+                              : nearTable.byDegree[deg].right;
+        accumulate(channel, src, nearTaps[deg], opts_.alignSample,
+                   ampFar / ampNear);
+        weightSum = 1.0;
+      }
+      for (auto& v : channel) v /= weightSum;
+
+      const double targetTap = ear == geo::Ear::kLeft ? tapLFar : tapRFar;
+      channel = dsp::fractionalShift(channel, targetTap - opts_.alignSample);
+    }
+
+    far.tapLeftSamples[deg] = tapLFar;
+    far.tapRightSamples[deg] = tapRFar;
+    far.byDegree[deg] = std::move(hrir);
+  }
+  return far;
+}
+
+FarFieldTable farTableFromDatabase(const head::HrtfDatabase& db,
+                                   double alignSample,
+                                   std::size_t outputLength) {
+  const auto& boundary = db.boundary();
+  const double fs = db.options().sampleRate;
+  FarFieldTable far;
+  far.sampleRate = fs;
+  far.headParams = db.subject().headParams;
+  far.byDegree.resize(181);
+  far.tapLeftSamples.resize(181);
+  far.tapRightSamples.resize(181);
+  for (int deg = 0; deg <= 180; ++deg) {
+    const double theta = static_cast<double>(deg);
+    const geo::Vec2 d = -geo::directionFromAzimuthDeg(theta);
+    const auto pathL = geo::farFieldPath(boundary, d, geo::Ear::kLeft);
+    const auto pathR = geo::farFieldPath(boundary, d, geo::Ear::kRight);
+    const double dMin = std::min(pathL.length, pathR.length);
+    const double tapL = alignSample + (pathL.length - dMin) / kSpeedOfSound * fs;
+    const double tapR = alignSample + (pathR.length - dMin) / kSpeedOfSound * fs;
+    auto hrir = db.farField(theta);
+    // The database anchors taps at leadSec + path/v; move the earlier ear's
+    // tap to alignSample while preserving the interaural delay exactly.
+    const double currentMinTap =
+        (db.options().farFieldLeadSec + dMin / kSpeedOfSound) * fs;
+    const double shift = alignSample - currentMinTap;
+    hrir.left = dsp::fractionalShift(hrir.left, shift);
+    hrir.right = dsp::fractionalShift(hrir.right, shift);
+    hrir.left.resize(outputLength, 0.0);
+    hrir.right.resize(outputLength, 0.0);
+    far.tapLeftSamples[deg] = tapL;
+    far.tapRightSamples[deg] = tapR;
+    far.byDegree[deg] = std::move(hrir);
+  }
+  return far;
+}
+
+}  // namespace uniq::core

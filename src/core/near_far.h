@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "core/near_field_hrtf.h"
+#include "head/hrtf_database.h"
+
+namespace uniq::core {
+
+/// Far-field HRTF table on a 1-degree grid over [0, 180].
+struct FarFieldTable {
+  std::vector<head::Hrir> byDegree;  ///< 181 entries
+  /// First-tap positions per degree and ear (samples), relative model
+  /// delays imposed by the converter.
+  std::vector<double> tapLeftSamples;
+  std::vector<double> tapRightSamples;
+  double sampleRate = 0.0;
+  head::HeadParameters headParams;
+
+  const head::Hrir& at(double thetaDeg) const;
+};
+
+struct NearFarConverterOptions {
+  double alignSample = 32.0;
+  std::size_t outputLength = 192;
+  /// Creeping-wave attenuation used for the model fine-tuning (must mirror
+  /// the physical constant, not fitted).
+  double arcAttenuationNepersPerMeter = 8.0;
+  /// Sharpness of the ray-proximity weighting across the contribution arc:
+  /// sigma = band / raySigmaDivisor. Larger = more selective around the
+  /// ray that reaches the ear; ~1 reproduces the paper's plain arc average
+  /// (ablation knob).
+  double raySigmaDivisor = 5.0;
+  std::size_t boundaryResolution = 256;
+};
+
+/// Synthesizes the far-field HRTF from the near-field table (paper
+/// Section 4.3, Figure 12): for each target angle, parallel rays intersect
+/// the measurement circle; near-field HRTFs measured between the crown
+/// point C and the left-side grazing ray B average into the left-ear
+/// far-field response, those between C and D into the right-ear response.
+/// Delays and interaural levels are then re-imposed from the plane-wave
+/// diffraction model with the personalized head parameters.
+class NearFarConverter {
+ public:
+  using Options = NearFarConverterOptions;
+
+  explicit NearFarConverter(Options opts = {});
+
+  FarFieldTable convert(const NearFieldTable& nearTable) const;
+
+ private:
+  Options opts_;
+};
+
+/// Build a far-field table directly from a ground-truth database (used for
+/// the paper's upper-bound comparisons and for the "global HRTF" baseline).
+FarFieldTable farTableFromDatabase(const head::HrtfDatabase& db,
+                                   double alignSample = 32.0,
+                                   std::size_t outputLength = 192);
+
+}  // namespace uniq::core

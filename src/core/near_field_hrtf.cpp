@@ -1,0 +1,177 @@
+#include "core/near_field_hrtf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dsp/fractional_delay.h"
+#include "geometry/diffraction.h"
+#include "geometry/polar.h"
+
+namespace uniq::core {
+
+const head::Hrir& NearFieldTable::at(double thetaDeg) const {
+  UNIQ_REQUIRE(!byDegree.empty(), "empty near-field table");
+  const auto idx = static_cast<std::size_t>(
+      clamp(std::lround(thetaDeg), 0.0, static_cast<double>(byDegree.size() - 1)));
+  return byDegree[idx];
+}
+
+NearFieldHrtfBuilder::NearFieldHrtfBuilder(Options opts) : opts_(opts) {
+  UNIQ_REQUIRE(opts_.outputLength >= 64, "output length too short");
+  UNIQ_REQUIRE(opts_.amplitudeBlend >= 0.0 && opts_.amplitudeBlend <= 1.0,
+               "amplitudeBlend must be in [0,1]");
+}
+
+namespace {
+
+/// One usable calibration stop, with each ear's channel re-anchored so its
+/// own first tap sits at `alignSample` (per-ear alignment makes linear
+/// interpolation between neighboring angles meaningful — the paper aligns
+/// HRIRs "carefully along their first taps before the interpolation").
+struct AlignedStop {
+  double angleDeg;
+  double radiusM;
+  std::vector<double> left;   // first tap at alignSample
+  std::vector<double> right;  // first tap at alignSample
+  double energyLeft;
+  double energyRight;
+};
+
+std::vector<double> alignChannel(const std::vector<double>& channel,
+                                 double tapSeconds, double sampleRate,
+                                 double alignSample, std::size_t length) {
+  const double shift = alignSample - tapSeconds * sampleRate;
+  auto shifted = dsp::fractionalShift(channel, shift);
+  shifted.resize(length, 0.0);
+  return shifted;
+}
+
+}  // namespace
+
+NearFieldTable NearFieldHrtfBuilder::build(
+    const std::vector<FusedStop>& stops,
+    const std::vector<BinauralChannel>& channels,
+    const head::HeadParameters& headParams) const {
+  UNIQ_REQUIRE(stops.size() == channels.size(),
+               "stops and channels must be parallel");
+
+  std::vector<AlignedStop> usable;
+  double sampleRate = 0.0;
+  std::vector<double> radii;
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    const auto& stop = stops[i];
+    const auto& ch = channels[i];
+    if (!stop.localized || !ch.firstTapLeftSec || !ch.firstTapRightSec)
+      continue;
+    sampleRate = ch.sampleRate;
+    AlignedStop a;
+    a.angleDeg = stop.angleDeg;
+    a.radiusM = stop.radiusM;
+    a.left = alignChannel(ch.left, *ch.firstTapLeftSec, ch.sampleRate,
+                          opts_.alignSample, opts_.outputLength);
+    a.right = alignChannel(ch.right, *ch.firstTapRightSec, ch.sampleRate,
+                           opts_.alignSample, opts_.outputLength);
+    a.energyLeft = head::channelEnergy(a.left);
+    a.energyRight = head::channelEnergy(a.right);
+    if (a.energyLeft < 1e-12 || a.energyRight < 1e-12) continue;
+    usable.push_back(std::move(a));
+    radii.push_back(stop.radiusM);
+  }
+  UNIQ_REQUIRE(usable.size() >= 4, "too few usable stops for interpolation");
+
+  std::sort(usable.begin(), usable.end(),
+            [](const AlignedStop& x, const AlignedStop& y) {
+              return x.angleDeg < y.angleDeg;
+            });
+  std::sort(radii.begin(), radii.end());
+  const double medianRadius = radii[radii.size() / 2];
+
+  NearFieldTable table;
+  table.sampleRate = sampleRate;
+  table.headParams = headParams;
+  table.medianRadiusM = medianRadius;
+  table.byDegree.resize(181);
+  table.tapLeftSamples.resize(181);
+  table.tapRightSamples.resize(181);
+
+  const geo::HeadBoundary boundary(headParams.a, headParams.b, headParams.c,
+                                   opts_.boundaryResolution);
+
+  for (int deg = 0; deg <= 180; ++deg) {
+    // Bracketing measurements (clamped at the sweep ends).
+    const double g = static_cast<double>(deg);
+    std::size_t hi = 0;
+    while (hi < usable.size() && usable[hi].angleDeg < g) ++hi;
+    std::size_t lo;
+    double w;  // weight of `hi`
+    if (hi == 0) {
+      lo = hi = 0;
+      w = 0.0;
+    } else if (hi == usable.size()) {
+      lo = hi = usable.size() - 1;
+      w = 0.0;
+    } else {
+      lo = hi - 1;
+      const double span = usable[hi].angleDeg - usable[lo].angleDeg;
+      w = span > 1e-9 ? (g - usable[lo].angleDeg) / span : 0.0;
+    }
+
+    head::Hrir hrir;
+    hrir.sampleRate = sampleRate;
+    hrir.left.resize(opts_.outputLength);
+    hrir.right.resize(opts_.outputLength);
+    for (std::size_t s = 0; s < opts_.outputLength; ++s) {
+      hrir.left[s] = lerp(usable[lo].left[s], usable[hi].left[s], w);
+      hrir.right[s] = lerp(usable[lo].right[s], usable[hi].right[s], w);
+    }
+
+    // Model-expected first-tap delays at this angle.
+    const geo::Vec2 p = geo::pointFromPolarDeg(g, medianRadius);
+    const auto pathL = geo::nearFieldPath(boundary, p, geo::Ear::kLeft);
+    const auto pathR = geo::nearFieldPath(boundary, p, geo::Ear::kRight);
+    const double dMin = std::min(pathL.length, pathR.length);
+    const double tapL =
+        opts_.alignSample + (pathL.length - dMin) / kSpeedOfSound * sampleRate;
+    const double tapR =
+        opts_.alignSample + (pathR.length - dMin) / kSpeedOfSound * sampleRate;
+
+    if (opts_.modelCorrection) {
+      // Re-impose the model's interaural time difference: both channels
+      // currently have their first taps at alignSample.
+      hrir.left = dsp::fractionalShift(hrir.left, tapL - opts_.alignSample);
+      hrir.right = dsp::fractionalShift(hrir.right, tapR - opts_.alignSample);
+
+      // Blend the measured interaural level difference toward the model's.
+      const double eL = head::channelEnergy(hrir.left);
+      const double eR = head::channelEnergy(hrir.right);
+      if (eL > 1e-12 && eR > 1e-12 && opts_.amplitudeBlend > 0.0) {
+        const double beta = 8.0;  // same creeping attenuation as the model
+        const double ampL = (1.0 / std::max(pathL.length, 0.05)) *
+                            std::exp(-beta * pathL.arcLength);
+        const double ampR = (1.0 / std::max(pathR.length, 0.05)) *
+                            std::exp(-beta * pathR.arcLength);
+        const double measuredIldDb = 10.0 * std::log10(eL / eR);
+        const double modelIldDb = 20.0 * std::log10(ampL / ampR);
+        const double correctionDb =
+            opts_.amplitudeBlend * (modelIldDb - measuredIldDb);
+        const double gain = std::pow(10.0, correctionDb / 40.0);
+        for (auto& v : hrir.left) v *= gain;
+        for (auto& v : hrir.right) v /= gain;
+      }
+    } else {
+      // No correction: keep per-ear alignment (taps at alignSample).
+    }
+
+    table.tapLeftSamples[deg] = opts_.modelCorrection ? tapL
+                                                      : opts_.alignSample;
+    table.tapRightSamples[deg] = opts_.modelCorrection ? tapR
+                                                       : opts_.alignSample;
+    table.byDegree[deg] = std::move(hrir);
+  }
+  return table;
+}
+
+}  // namespace uniq::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "core/channel_extractor.h"
+#include "core/sensor_fusion.h"
+#include "head/head_parameters.h"
+#include "head/hrir.h"
+
+namespace uniq::core {
+
+/// Continuous-angle near-field HRTF table on a 1-degree grid over [0, 180]
+/// (the measured left hemicircle). Entry k is the HRIR for a source at
+/// k degrees and radius `medianRadiusM`.
+struct NearFieldTable {
+  std::vector<head::Hrir> byDegree;  ///< 181 entries
+  /// Model first-tap positions (samples) for each degree and ear, recorded
+  /// so downstream stages can re-align channels coherently.
+  std::vector<double> tapLeftSamples;
+  std::vector<double> tapRightSamples;
+  double sampleRate = 0.0;
+  head::HeadParameters headParams;
+  double medianRadiusM = 0.0;
+
+  const head::Hrir& at(double thetaDeg) const;
+};
+
+struct NearFieldBuilderOptions {
+  /// Anchor sample where the earlier ear's first tap is placed.
+  double alignSample = 24.0;
+  std::size_t outputLength = 192;
+  /// Re-impose model-expected relative delays and blend amplitudes
+  /// (Section 4.2: "adjust the channel taps to match the expected
+  /// time-difference and the amplitudes"). Disable for ablation.
+  bool modelCorrection = true;
+  /// 0 = keep measured interaural level difference, 1 = force the model's;
+  /// in between blends in the log-amplitude domain.
+  double amplitudeBlend = 0.5;
+  std::size_t boundaryResolution = 256;
+};
+
+/// Builds the interpolated near-field HRTF from fused stops and their
+/// extracted channels (paper Section 4.2).
+class NearFieldHrtfBuilder {
+ public:
+  using Options = NearFieldBuilderOptions;
+
+  explicit NearFieldHrtfBuilder(Options opts = {});
+
+  /// `stops` and `channels` are parallel arrays (one per calibration stop).
+  /// Stops that failed localization or tap detection are skipped.
+  NearFieldTable build(const std::vector<FusedStop>& stops,
+                       const std::vector<BinauralChannel>& channels,
+                       const head::HeadParameters& headParams) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace uniq::core

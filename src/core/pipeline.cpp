@@ -1,0 +1,86 @@
+#include "core/pipeline.h"
+
+#include "common/error.h"
+
+namespace uniq::core {
+
+CalibrationPipeline::CalibrationPipeline(Options opts)
+    : opts_(std::move(opts)) {}
+
+std::vector<BinauralChannel> CalibrationPipeline::extractChannels(
+    const sim::CalibrationCapture& capture) const {
+  UNIQ_REQUIRE(!capture.stops.empty(), "capture has no stops");
+  const ChannelExtractor extractor(capture.hardwareResponseEstimate,
+                                   capture.sampleRate, opts_.extractor);
+  std::vector<BinauralChannel> channels;
+  channels.reserve(capture.stops.size());
+  for (const auto& stop : capture.stops) {
+    channels.push_back(extractor.extract(stop.recording.left,
+                                         stop.recording.right,
+                                         capture.sourceSignal));
+  }
+  return channels;
+}
+
+std::vector<FusionMeasurement> CalibrationPipeline::toFusionMeasurements(
+    const sim::CalibrationCapture& capture,
+    const std::vector<BinauralChannel>& channels) {
+  UNIQ_REQUIRE(capture.stops.size() == channels.size(),
+               "stop/channel count mismatch");
+  std::vector<FusionMeasurement> measurements;
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const auto& ch = channels[i];
+    if (!ch.firstTapLeftSec || !ch.firstTapRightSec) continue;
+    FusionMeasurement m;
+    m.imuAngleDeg = capture.stops[i].imuAngleDeg;
+    m.delayLeftSec = *ch.firstTapLeftSec;
+    m.delayRightSec = *ch.firstTapRightSec;
+    m.sourceIndex = i;
+    measurements.push_back(m);
+  }
+  return measurements;
+}
+
+PersonalHrtf CalibrationPipeline::run(
+    const sim::CalibrationCapture& capture) const {
+  const auto channels = extractChannels(capture);
+  const auto measurements = toFusionMeasurements(capture, channels);
+
+  const SensorFusion fusion(opts_.fusion);
+  auto fusionResult = fusion.solve(measurements);
+
+  // Re-expand fused stops to align with the full stop list (stops whose
+  // taps were undetectable are marked un-localized so the near-field
+  // builder skips them).
+  std::vector<FusedStop> fullStops;
+  fullStops.reserve(channels.size());
+  std::size_t fusedIdx = 0;
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const auto& ch = channels[i];
+    if (ch.firstTapLeftSec && ch.firstTapRightSec) {
+      fullStops.push_back(fusionResult.stops[fusedIdx++]);
+    } else {
+      FusedStop skip;
+      skip.localized = false;
+      skip.imuAngleDeg = capture.stops[i].imuAngleDeg;
+      skip.sourceIndex = i;
+      fullStops.push_back(skip);
+    }
+  }
+
+  const NearFieldHrtfBuilder nearBuilder(opts_.nearField);
+  auto nearTable =
+      nearBuilder.build(fullStops, channels, fusionResult.headParams);
+
+  const NearFarConverter converter(opts_.nearFar);
+  auto farTable = converter.convert(nearTable);
+
+  const GestureValidator validator(opts_.gesture);
+  auto report = validator.validate(fusionResult);
+
+  return PersonalHrtf{HrtfTable(std::move(nearTable), std::move(farTable)),
+                      fusionResult.headParams, std::move(fusionResult),
+                      std::move(report)};
+}
+
+}  // namespace uniq::core

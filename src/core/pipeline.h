@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "core/channel_extractor.h"
+#include "core/gesture_validator.h"
+#include "core/hrtf_table.h"
+#include "core/near_far.h"
+#include "core/near_field_hrtf.h"
+#include "core/sensor_fusion.h"
+#include "sim/measurement_session.h"
+
+namespace uniq::core {
+
+/// Everything UNIQ produces from one calibration sweep.
+struct PersonalHrtf {
+  HrtfTable table;
+  head::HeadParameters headParams;
+  SensorFusionResult fusion;
+  GestureReport gestureReport;
+};
+
+struct CalibrationPipelineOptions {
+  ChannelExtractorOptions extractor{};
+  SensorFusionOptions fusion{};
+  NearFieldBuilderOptions nearField{};
+  NearFarConverterOptions nearFar{};
+  GestureValidatorOptions gesture{};
+};
+
+/// End-to-end UNIQ pipeline (paper Figure 6): channel extraction ->
+/// diffraction-aware sensor fusion -> near-field interpolation -> near-far
+/// conversion -> exported HRTF table. The input is exactly what the phone
+/// and earbuds captured; ground truth in the capture is ignored.
+class CalibrationPipeline {
+ public:
+  using Options = CalibrationPipelineOptions;
+
+  explicit CalibrationPipeline(Options opts = {});
+
+  PersonalHrtf run(const sim::CalibrationCapture& capture) const;
+
+  /// Intermediate access for experiments: per-stop channels only.
+  std::vector<BinauralChannel> extractChannels(
+      const sim::CalibrationCapture& capture) const;
+
+  /// Intermediate access: fusion measurements derived from channels.
+  static std::vector<FusionMeasurement> toFusionMeasurements(
+      const sim::CalibrationCapture& capture,
+      const std::vector<BinauralChannel>& channels);
+
+ private:
+  Options opts_;
+};
+
+}  // namespace uniq::core

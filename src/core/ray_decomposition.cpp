@@ -1,0 +1,138 @@
+#include "core/ray_decomposition.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace uniq::core {
+
+namespace {
+
+using Cx = std::complex<double>;
+
+/// Complex beam gain of an array of `speakers` emitters with spacing
+/// `spacing`, weights w_s, toward direction theta (broadside convention).
+Cx beamGain(const std::vector<Cx>& weights, double spacing, double freqHz,
+            double thetaRad) {
+  Cx acc(0, 0);
+  const double k = kTwoPi * freqHz / kSpeedOfSound;
+  for (std::size_t s = 0; s < weights.size(); ++s) {
+    const double phase =
+        k * spacing * static_cast<double>(s) * std::sin(thetaRad);
+    acc += weights[s] * std::polar(1.0, phase);
+  }
+  return acc;
+}
+
+/// Random unit-amplitude weights for each pattern (the paper varies the
+/// relative phase and amplitude of the two speakers over time).
+std::vector<std::vector<Cx>> makePatterns(std::size_t patterns,
+                                          std::size_t speakers, Pcg32& rng) {
+  std::vector<std::vector<Cx>> out(patterns);
+  for (auto& w : out) {
+    w.resize(speakers);
+    for (auto& v : w)
+      v = std::polar(rng.uniform(0.5, 1.0), rng.uniform(0.0, kTwoPi));
+  }
+  return out;
+}
+
+std::vector<double> rayAnglesRad(std::size_t rayCount) {
+  std::vector<double> out(rayCount);
+  for (std::size_t i = 0; i < rayCount; ++i) {
+    out[i] = degToRad(-80.0 + 160.0 * static_cast<double>(i) /
+                                  static_cast<double>(rayCount - 1));
+  }
+  return out;
+}
+
+optim::Matrix buildMatrixFor(const SpeakerBeamformingStudyOptions& opts,
+                             std::size_t speakers) {
+  UNIQ_REQUIRE(opts.rayCount >= 2, "need at least 2 rays");
+  UNIQ_REQUIRE(opts.patternCount >= opts.rayCount,
+               "need at least as many patterns as rays");
+  Pcg32 rng(opts.seed);
+  const auto patterns = makePatterns(opts.patternCount, speakers, rng);
+  const auto angles = rayAnglesRad(opts.rayCount);
+
+  // Real embedding: complex y_t = sum_i w_t(theta_i) H_i maps to
+  // [Re y; Im y] = M [Re H; Im H].
+  optim::Matrix m(2 * opts.patternCount, 2 * opts.rayCount);
+  for (std::size_t t = 0; t < opts.patternCount; ++t) {
+    for (std::size_t i = 0; i < opts.rayCount; ++i) {
+      const Cx w = beamGain(patterns[t], opts.speakerSpacingM,
+                            opts.frequencyHz, angles[i]);
+      m.at(2 * t, 2 * i) = w.real();
+      m.at(2 * t, 2 * i + 1) = -w.imag();
+      m.at(2 * t + 1, 2 * i) = w.imag();
+      m.at(2 * t + 1, 2 * i + 1) = w.real();
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+optim::Matrix buildBeamformingMatrix(
+    const SpeakerBeamformingStudyOptions& opts) {
+  return buildMatrixFor(opts, 2);  // a phone has two speakers
+}
+
+double conditionNumberForSpeakerCount(
+    const SpeakerBeamformingStudyOptions& opts, std::size_t speakers) {
+  UNIQ_REQUIRE(speakers >= 1 && speakers <= 64, "speakers out of range");
+  return optim::conditionNumber(buildMatrixFor(opts, speakers));
+}
+
+RayRecoveryResult runRayRecoveryStudy(
+    const SpeakerBeamformingStudyOptions& opts, double snrDb) {
+  const auto m = buildBeamformingMatrix(opts);
+
+  // Ground-truth per-ray components: decaying amplitudes with random
+  // phases (diffraction delay/attenuation per ray, Eq. 7's A_i delta(tau_i)
+  // at one frequency).
+  Pcg32 rng(opts.seed * 977 + 3);
+  std::vector<double> truth(2 * opts.rayCount);
+  for (std::size_t i = 0; i < opts.rayCount; ++i) {
+    const double amp = rng.uniform(0.3, 1.0);
+    const double phase = rng.uniform(0.0, kTwoPi);
+    truth[2 * i] = amp * std::cos(phase);
+    truth[2 * i + 1] = amp * std::sin(phase);
+  }
+
+  auto measurements = m.apply(truth);
+
+  RayRecoveryResult result;
+  result.conditionNumber = optim::conditionNumber(m);
+  result.snrDb = snrDb;
+
+  const auto relativeError = [&](const std::vector<double>& estimate) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      num += square(estimate[i] - truth[i]);
+      den += square(truth[i]);
+    }
+    return std::sqrt(num / den);
+  };
+
+  // Noiseless solve (tiny regularization so the rank-deficient normal
+  // equations do not blow up).
+  result.noiselessError =
+      relativeError(optim::solveLeastSquares(m, measurements, 1e-12));
+
+  // Noisy solve at the requested SNR.
+  double sigPow = 0.0;
+  for (double v : measurements) sigPow += v * v;
+  const double noiseRms = std::sqrt(sigPow / measurements.size()) *
+                          std::pow(10.0, -snrDb / 20.0);
+  auto noisy = measurements;
+  for (auto& v : noisy) v += rng.gaussian(0.0, noiseRms);
+  result.noisyError =
+      relativeError(optim::solveLeastSquares(m, noisy, 1e-9));
+  return result;
+}
+
+}  // namespace uniq::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "optim/linalg.h"
+
+namespace uniq::core {
+
+/// Reproduction of the paper's Section 4.3 "additional attempts" — the
+/// honest negative result. The near-field HRTF at phone position X_k is a
+/// sum over ray directions (Eq. 4); if the phone's TWO speakers could shape
+/// narrow time-varying beams w_t(theta) (Eq. 6), the per-ray components
+/// H(X_k, theta_i) could be solved from multiple measurements. The paper
+/// found the system ill-ranked because two speakers cannot form a narrow
+/// beam; this module builds that exact system so the conclusion can be
+/// demonstrated quantitatively (condition numbers, recovery error vs SNR).
+struct SpeakerBeamformingStudyOptions {
+  /// Ray directions the decomposition solves for.
+  std::size_t rayCount = 12;
+  /// Number of time-varying beam patterns (measurements).
+  std::size_t patternCount = 48;
+  /// Spacing of the phone's two speakers, meters (a phone's earpiece to
+  /// loudspeaker distance).
+  double speakerSpacingM = 0.12;
+  /// Single analysis frequency, Hz (the system is per-frequency).
+  double frequencyHz = 4000.0;
+  std::uint64_t seed = 17;
+};
+
+struct RayRecoveryResult {
+  /// 2-norm condition number of the real-embedded beamforming matrix.
+  double conditionNumber = 0.0;
+  /// Relative L2 error of the recovered per-ray components, noiseless.
+  double noiselessError = 0.0;
+  /// Relative L2 error at the given measurement SNR.
+  double noisyError = 0.0;
+  double snrDb = 0.0;
+};
+
+/// Build the (2T x 2N) real embedding of the complex system
+/// y_t = sum_i w_t(theta_i) H_i for random speaker phase/amplitude
+/// patterns. Columns 2i, 2i+1 carry Re/Im of H_i.
+optim::Matrix buildBeamformingMatrix(
+    const SpeakerBeamformingStudyOptions& opts);
+
+/// Full study: synthesize ground-truth per-ray components, generate the
+/// measurements, solve the least-squares system, and report errors.
+RayRecoveryResult runRayRecoveryStudy(
+    const SpeakerBeamformingStudyOptions& opts, double snrDb = 30.0);
+
+/// Condition number of the same system if the phone had `speakers` ideal
+/// emitters (the counterfactual: more speakers -> narrower beams -> better
+/// conditioning). Exposed so the bench can show the trend the paper argues.
+double conditionNumberForSpeakerCount(
+    const SpeakerBeamformingStudyOptions& opts, std::size_t speakers);
+
+}  // namespace uniq::core

@@ -1,0 +1,121 @@
+#include "core/sensor_fusion.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "optim/nelder_mead.h"
+
+namespace uniq::core {
+
+namespace {
+
+/// Map unconstrained optimizer coordinates into the plausible head-parameter
+/// box via a smooth logistic squashing, so Nelder-Mead never proposes an
+/// invalid geometry.
+double squash(double x, double lo, double hi) {
+  return lo + (hi - lo) / (1.0 + std::exp(-x));
+}
+
+double unsquash(double v, double lo, double hi) {
+  const double u = clamp((v - lo) / (hi - lo), 1e-6, 1.0 - 1e-6);
+  return std::log(u / (1.0 - u));
+}
+
+head::HeadParameters decode(const std::vector<double>& x) {
+  head::HeadParameters e;
+  e.a = squash(x[0], head::HeadParameters::kMinA, head::HeadParameters::kMaxA);
+  e.b = squash(x[1], head::HeadParameters::kMinB, head::HeadParameters::kMaxB);
+  e.c = squash(x[2], head::HeadParameters::kMinC, head::HeadParameters::kMaxC);
+  return e;
+}
+
+std::vector<double> encode(const head::HeadParameters& e) {
+  return {
+      unsquash(e.a, head::HeadParameters::kMinA, head::HeadParameters::kMaxA),
+      unsquash(e.b, head::HeadParameters::kMinB, head::HeadParameters::kMaxB),
+      unsquash(e.c, head::HeadParameters::kMinC, head::HeadParameters::kMaxC)};
+}
+
+}  // namespace
+
+SensorFusion::SensorFusion(Options opts) : opts_(opts) {}
+
+double SensorFusion::objective(
+    const head::HeadParameters& candidate,
+    const std::vector<FusionMeasurement>& measurements) const {
+  const geo::HeadBoundary boundary(candidate.a, candidate.b, candidate.c,
+                                   opts_.boundaryResolution);
+  const Localizer localizer(boundary, opts_.localizer);
+  double cost = 0.0;
+  for (const auto& m : measurements) {
+    const auto fix =
+        localizer.locate(m.delayLeftSec, m.delayRightSec, m.imuAngleDeg);
+    if (!fix) {
+      cost += opts_.unlocalizedPenalty;
+      continue;
+    }
+    cost += square(m.imuAngleDeg - fix->angleDeg);
+  }
+  cost /= static_cast<double>(measurements.size());
+  const auto avg = head::HeadParameters::average();
+  cost += opts_.priorWeight *
+          (square(candidate.a - avg.a) + square(candidate.b - avg.b) +
+           square(candidate.c - avg.c));
+  return cost;
+}
+
+SensorFusionResult SensorFusion::solve(
+    const std::vector<FusionMeasurement>& measurements) const {
+  UNIQ_REQUIRE(measurements.size() >= 6,
+               "sensor fusion needs at least 6 usable stops");
+
+  const auto f = [&](const std::vector<double>& x) {
+    return objective(decode(x), measurements);
+  };
+
+  optim::NelderMeadOptions nmOpts;
+  nmOpts.maxIterations = opts_.maxIterations;
+  nmOpts.initialStep = 0.6;  // in squashed coordinates
+  nmOpts.fTolerance = 1e-4;
+  nmOpts.xTolerance = 1e-3;
+  const auto start = encode(head::HeadParameters::average());
+  const auto min = optim::nelderMead(f, start, nmOpts);
+
+  SensorFusionResult result;
+  result.headParams = decode(min.x);
+  result.converged = min.converged;
+
+  // Final pass with the optimal parameters: fuse angles per Eq. 3.
+  const geo::HeadBoundary boundary(result.headParams.a, result.headParams.b,
+                                   result.headParams.c,
+                                   opts_.boundaryResolution);
+  const Localizer localizer(boundary, opts_.localizer);
+  double residual = 0.0;
+  for (const auto& m : measurements) {
+    FusedStop stop;
+    stop.sourceIndex = m.sourceIndex;
+    stop.imuAngleDeg = m.imuAngleDeg;
+    const auto fix =
+        localizer.locate(m.delayLeftSec, m.delayRightSec, m.imuAngleDeg);
+    if (fix) {
+      stop.localized = true;
+      stop.acousticAngleDeg = fix->angleDeg;
+      stop.angleDeg = 0.5 * (fix->angleDeg + m.imuAngleDeg);
+      stop.radiusM = fix->radiusM;
+      residual += square(m.imuAngleDeg - fix->angleDeg);
+      ++result.localizedCount;
+    } else {
+      stop.angleDeg = m.imuAngleDeg;
+      stop.radiusM = 0.0;
+    }
+    result.stops.push_back(stop);
+  }
+  result.meanSquaredResidualDeg2 =
+      result.localizedCount > 0
+          ? residual / static_cast<double>(result.localizedCount)
+          : opts_.unlocalizedPenalty;
+  return result;
+}
+
+}  // namespace uniq::core

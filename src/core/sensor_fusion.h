@@ -1,0 +1,77 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/localizer.h"
+#include "head/head_parameters.h"
+
+namespace uniq::core {
+
+/// One calibration stop as seen by the fusion stage.
+struct FusionMeasurement {
+  double imuAngleDeg = 0.0;       ///< alpha_i, gyro-integrated orientation
+  double delayLeftSec = 0.0;      ///< first-tap delay at the left ear
+  double delayRightSec = 0.0;     ///< first-tap delay at the right ear
+  /// Index of the originating capture stop (bookkeeping for evaluation).
+  std::size_t sourceIndex = 0;
+};
+
+/// A fused phone fix: the paper's Eq. 3, P((theta_i + alpha_i)/2, r_i).
+struct FusedStop {
+  double angleDeg = 0.0;
+  double radiusM = 0.0;
+  double imuAngleDeg = 0.0;
+  double acousticAngleDeg = 0.0;
+  bool localized = false;
+  std::size_t sourceIndex = 0;  ///< originating capture stop
+};
+
+struct SensorFusionResult {
+  head::HeadParameters headParams;
+  std::vector<FusedStop> stops;
+  /// Final objective value: mean squared IMU-vs-acoustic angle disagreement
+  /// (deg^2) over localized stops.
+  double meanSquaredResidualDeg2 = 0.0;
+  std::size_t localizedCount = 0;
+  bool converged = false;
+};
+
+struct SensorFusionOptions {
+  /// Boundary discretization used inside the optimization loop (coarser
+  /// than the final rendering resolution for speed).
+  std::size_t boundaryResolution = 128;
+  std::size_t maxIterations = 120;
+  /// Penalty (deg^2) charged for a stop the localizer cannot place.
+  double unlocalizedPenalty = 400.0;
+  /// Anthropometric prior pulling E toward the population average
+  /// (deg^2 per m^2 of axis deviation); keeps the head estimate from
+  /// drifting to the bounds when the IMU is noisy.
+  double priorWeight = 5.0e4;
+  LocalizerOptions localizer{};
+};
+
+/// Diffraction-aware sensor fusion (paper Section 4.1): jointly estimates
+/// the head parameters E = (a, b, c) and the phone locations by minimizing
+/// the disagreement between gyro-integrated phone angles alpha_i and
+/// acoustically localized angles theta_i(E) (Eq. 2), then fuses the two
+/// angle estimates (Eq. 3).
+class SensorFusion {
+ public:
+  using Options = SensorFusionOptions;
+
+  explicit SensorFusion(Options opts = {});
+
+  SensorFusionResult solve(
+      const std::vector<FusionMeasurement>& measurements) const;
+
+  /// The Eq. 2 objective for a specific head-parameter candidate; exposed
+  /// for tests and ablation benches.
+  double objective(const head::HeadParameters& candidate,
+                   const std::vector<FusionMeasurement>& measurements) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace uniq::core

@@ -1,0 +1,132 @@
+#include "core/table_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace uniq::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'U', 'N', 'I', 'Q', 'H', 'R', 'T', 'F'};
+constexpr std::uint32_t kVersion = 1;
+
+void writeBytes(std::ostream& os, const void* data, std::size_t n) {
+  os.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+template <typename T>
+void writePod(std::ostream& os, const T& v) {
+  writeBytes(os, &v, sizeof(T));
+}
+
+void writeVector(std::ostream& os, const std::vector<double>& v) {
+  writePod<std::uint64_t>(os, v.size());
+  writeBytes(os, v.data(), v.size() * sizeof(double));
+}
+
+template <typename T>
+T readPod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  UNIQ_REQUIRE(is.good(), "unexpected end of file");
+  return v;
+}
+
+std::vector<double> readVector(std::istream& is, std::size_t maxLen) {
+  const auto n = readPod<std::uint64_t>(is);
+  UNIQ_REQUIRE(n <= maxLen, "vector length in file exceeds sane bounds");
+  std::vector<double> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  UNIQ_REQUIRE(is.good(), "unexpected end of file");
+  return v;
+}
+
+void writeHrirs(std::ostream& os, const std::vector<head::Hrir>& hrirs) {
+  writePod<std::uint64_t>(os, hrirs.size());
+  for (const auto& hrir : hrirs) {
+    writePod(os, hrir.sampleRate);
+    writeVector(os, hrir.left);
+    writeVector(os, hrir.right);
+  }
+}
+
+std::vector<head::Hrir> readHrirs(std::istream& is) {
+  const auto count = readPod<std::uint64_t>(is);
+  UNIQ_REQUIRE(count == 181, "table must contain 181 per-degree entries");
+  std::vector<head::Hrir> hrirs(count);
+  for (auto& hrir : hrirs) {
+    hrir.sampleRate = readPod<double>(is);
+    hrir.left = readVector(is, 1 << 20);
+    hrir.right = readVector(is, 1 << 20);
+  }
+  return hrirs;
+}
+
+}  // namespace
+
+void saveHrtfTable(const std::string& path, const HrtfTable& table) {
+  std::ofstream os(path, std::ios::binary);
+  UNIQ_REQUIRE(os.good(), "cannot open output file: " + path);
+  writeBytes(os, kMagic, sizeof(kMagic));
+  writePod(os, kVersion);
+
+  const auto& nearTable = table.nearTable();
+  const auto& farTable = table.farTable();
+  writePod(os, nearTable.headParams.a);
+  writePod(os, nearTable.headParams.b);
+  writePod(os, nearTable.headParams.c);
+  writePod(os, nearTable.medianRadiusM);
+  writePod(os, nearTable.sampleRate);
+
+  writeHrirs(os, nearTable.byDegree);
+  writeVector(os, nearTable.tapLeftSamples);
+  writeVector(os, nearTable.tapRightSamples);
+  writeHrirs(os, farTable.byDegree);
+  writeVector(os, farTable.tapLeftSamples);
+  writeVector(os, farTable.tapRightSamples);
+  UNIQ_CHECK(os.good(), "write failed: " + path);
+}
+
+HrtfTable loadHrtfTable(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  UNIQ_REQUIRE(is.good(), "cannot open input file: " + path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  UNIQ_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "not a UNIQ HRTF table file");
+  const auto version = readPod<std::uint32_t>(is);
+  UNIQ_REQUIRE(version == kVersion, "unsupported table version");
+
+  NearFieldTable nearTable;
+  nearTable.headParams.a = readPod<double>(is);
+  nearTable.headParams.b = readPod<double>(is);
+  nearTable.headParams.c = readPod<double>(is);
+  nearTable.medianRadiusM = readPod<double>(is);
+  nearTable.sampleRate = readPod<double>(is);
+  UNIQ_REQUIRE(nearTable.sampleRate > 0, "corrupt sample rate");
+
+  nearTable.byDegree = readHrirs(is);
+  nearTable.tapLeftSamples = readVector(is, 1024);
+  nearTable.tapRightSamples = readVector(is, 1024);
+  UNIQ_REQUIRE(nearTable.tapLeftSamples.size() == 181 &&
+                   nearTable.tapRightSamples.size() == 181,
+               "corrupt tap arrays");
+
+  FarFieldTable farTable;
+  farTable.headParams = nearTable.headParams;
+  farTable.sampleRate = nearTable.sampleRate;
+  farTable.byDegree = readHrirs(is);
+  farTable.tapLeftSamples = readVector(is, 1024);
+  farTable.tapRightSamples = readVector(is, 1024);
+  UNIQ_REQUIRE(farTable.tapLeftSamples.size() == 181 &&
+                   farTable.tapRightSamples.size() == 181,
+               "corrupt tap arrays");
+
+  return HrtfTable(std::move(nearTable), std::move(farTable));
+}
+
+}  // namespace uniq::core

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "core/hrtf_table.h"
+
+namespace uniq::core {
+
+/// Serialization of the exported HRTF lookup table (paper Section 4.4:
+/// "the near and far-field HRTFs estimated by UNIQ can now be exported to
+/// earphone applications as a lookup table"). The format is a simple
+/// little-endian binary container: header, head parameters, then per-degree
+/// near/far HRIR pairs and their tap anchors.
+///
+/// Version history:
+///   1 — initial format.
+
+/// Write the table to `path`. Throws on I/O failure.
+void saveHrtfTable(const std::string& path, const HrtfTable& table);
+
+/// Read a table previously written by saveHrtfTable. Validates the magic,
+/// version, and structural invariants; throws InvalidArgument on anything
+/// malformed.
+HrtfTable loadHrtfTable(const std::string& path);
+
+}  // namespace uniq::core

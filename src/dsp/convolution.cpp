@@ -1,0 +1,78 @@
+#include "dsp/convolution.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "dsp/fft.h"
+
+namespace uniq::dsp {
+
+std::vector<double> convolveDirect(std::span<const double> a,
+                                   std::span<const double> b) {
+  UNIQ_REQUIRE(!a.empty() && !b.empty(), "convolution of empty signal");
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ai = a[i];
+    if (ai == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += ai * b[j];
+  }
+  return out;
+}
+
+std::vector<double> convolveFft(std::span<const double> a,
+                                std::span<const double> b) {
+  UNIQ_REQUIRE(!a.empty() && !b.empty(), "convolution of empty signal");
+  const std::size_t outLen = a.size() + b.size() - 1;
+  const std::size_t n = nextPowerOfTwo(outLen);
+  std::vector<Complex> fa(n, Complex(0, 0));
+  std::vector<Complex> fb(n, Complex(0, 0));
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0);
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0);
+  fftPow2InPlace(fa, false);
+  fftPow2InPlace(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fftPow2InPlace(fa, true);
+  std::vector<double> out(outLen);
+  for (std::size_t i = 0; i < outLen; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+std::vector<double> convolveOverlapAdd(std::span<const double> signal,
+                                       std::span<const double> kernel,
+                                       std::size_t blockSize) {
+  UNIQ_REQUIRE(!signal.empty() && !kernel.empty(),
+               "convolution of empty signal");
+  UNIQ_REQUIRE(blockSize >= 1, "blockSize must be >= 1");
+  const std::size_t outLen = signal.size() + kernel.size() - 1;
+  const std::size_t fftLen = nextPowerOfTwo(blockSize + kernel.size() - 1);
+
+  // Pre-transform the kernel once.
+  std::vector<Complex> fk(fftLen, Complex(0, 0));
+  for (std::size_t i = 0; i < kernel.size(); ++i) fk[i] = Complex(kernel[i], 0);
+  fftPow2InPlace(fk, false);
+
+  std::vector<double> out(outLen, 0.0);
+  std::vector<Complex> block(fftLen);
+  for (std::size_t start = 0; start < signal.size(); start += blockSize) {
+    const std::size_t len = std::min(blockSize, signal.size() - start);
+    std::fill(block.begin(), block.end(), Complex(0, 0));
+    for (std::size_t i = 0; i < len; ++i)
+      block[i] = Complex(signal[start + i], 0);
+    fftPow2InPlace(block, false);
+    for (std::size_t i = 0; i < fftLen; ++i) block[i] *= fk[i];
+    fftPow2InPlace(block, true);
+    const std::size_t tail = std::min(len + kernel.size() - 1, outLen - start);
+    for (std::size_t i = 0; i < tail; ++i)
+      out[start + i] += block[i].real();
+  }
+  return out;
+}
+
+std::vector<double> convolve(std::span<const double> a,
+                             std::span<const double> b) {
+  const std::size_t shorter = std::min(a.size(), b.size());
+  if (shorter <= 32) return convolveDirect(a, b);
+  return convolveFft(a, b);
+}
+
+}  // namespace uniq::dsp

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace uniq::dsp {
+
+/// Direct (time-domain) full linear convolution. Output length is
+/// a.size() + b.size() - 1. O(N*M); use for short kernels and as the
+/// reference implementation in tests.
+std::vector<double> convolveDirect(std::span<const double> a,
+                                   std::span<const double> b);
+
+/// FFT-based full linear convolution. Identical output to convolveDirect up
+/// to floating-point noise.
+std::vector<double> convolveFft(std::span<const double> a,
+                                std::span<const double> b);
+
+/// Overlap-add convolution for long signals with moderate-size kernels.
+/// blockSize is the input partition length (a power of two is chosen
+/// internally for the FFTs).
+std::vector<double> convolveOverlapAdd(std::span<const double> signal,
+                                       std::span<const double> kernel,
+                                       std::size_t blockSize = 4096);
+
+/// Size-adaptive convolution: direct for tiny kernels, FFT otherwise.
+std::vector<double> convolve(std::span<const double> a,
+                             std::span<const double> b);
+
+}  // namespace uniq::dsp

@@ -1,0 +1,185 @@
+#include "dsp/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/fft.h"
+
+namespace uniq::dsp {
+
+namespace {
+
+double l2Norm(std::span<const double> x) {
+  double s = 0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+/// Parabolic interpolation around a discrete argmax. Returns the refined
+/// offset in [-0.5, 0.5] and the interpolated peak value.
+struct ParabolicFit {
+  double offset;
+  double value;
+};
+
+ParabolicFit parabolicRefine(double ym1, double y0, double yp1) {
+  const double denom = ym1 - 2 * y0 + yp1;
+  if (std::fabs(denom) < 1e-30) return {0.0, y0};
+  double d = 0.5 * (ym1 - yp1) / denom;
+  d = std::clamp(d, -0.5, 0.5);
+  const double value = y0 - 0.25 * (ym1 - yp1) * d;
+  return {d, value};
+}
+
+CorrelationPeak peakSearch(const std::vector<double>& c, std::size_t bSize,
+                           double maxLagSamples) {
+  const auto lagOf = [&](std::size_t k) {
+    return static_cast<double>(k) - static_cast<double>(bSize - 1);
+  };
+  std::size_t best = 0;
+  bool found = false;
+  for (std::size_t k = 0; k < c.size(); ++k) {
+    if (maxLagSamples > 0.0 && std::fabs(lagOf(k)) > maxLagSamples) continue;
+    if (!found || c[k] > c[best]) {
+      best = k;
+      found = true;
+    }
+  }
+  UNIQ_CHECK(found, "no correlation lag within the allowed range");
+  CorrelationPeak peak;
+  if (best > 0 && best + 1 < c.size()) {
+    const auto fit = parabolicRefine(c[best - 1], c[best], c[best + 1]);
+    peak.lag = lagOf(best) + fit.offset;
+    peak.value = fit.value;
+  } else {
+    peak.lag = lagOf(best);
+    peak.value = c[best];
+  }
+  return peak;
+}
+
+}  // namespace
+
+std::vector<double> crossCorrelate(std::span<const double> a,
+                                   std::span<const double> b) {
+  UNIQ_REQUIRE(!a.empty() && !b.empty(), "cross-correlation of empty signal");
+  // xcorr(a, b)[lag] = conv(a, reverse(b))[lag + b.size()-1]
+  const std::size_t outLen = a.size() + b.size() - 1;
+  const std::size_t n = nextPowerOfTwo(outLen);
+  std::vector<Complex> fa(n, Complex(0, 0));
+  std::vector<Complex> fb(n, Complex(0, 0));
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0);
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0);
+  fftPow2InPlace(fa, false);
+  fftPow2InPlace(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= std::conj(fb[i]);
+  fftPow2InPlace(fa, true);
+  // IFFT of A*conj(B) yields r[p] = sum_t a[t+p]*b[t] = c[-p] under the
+  // header convention c[lag] = sum_t a[t]*b[t+lag]; unwrap accordingly into
+  // lags [-(b-1) .. a-1]. c's true support is [-(a-1), b-1]; lags outside
+  // it are zero by definition (reading the circular buffer there would
+  // alias the opposite tail).
+  std::vector<double> out(outLen);
+  const std::size_t nb = b.size() - 1;
+  const long lagLo = -(static_cast<long>(a.size()) - 1);
+  const long lagHi = static_cast<long>(b.size()) - 1;
+  for (std::size_t k = 0; k < outLen; ++k) {
+    const long lag = static_cast<long>(k) - static_cast<long>(nb);
+    if (lag < lagLo || lag > lagHi) {
+      out[k] = 0.0;
+      continue;
+    }
+    const long p = -lag;
+    const std::size_t idx = p >= 0 ? static_cast<std::size_t>(p)
+                                   : n - static_cast<std::size_t>(-p);
+    out[k] = fa[idx].real();
+  }
+  return out;
+}
+
+CorrelationPeak normalizedCorrelationPeak(std::span<const double> a,
+                                          std::span<const double> b) {
+  return normalizedCorrelationPeak(a, b, 0.0);
+}
+
+CorrelationPeak normalizedCorrelationPeak(std::span<const double> a,
+                                          std::span<const double> b,
+                                          double maxLagSamples) {
+  const double na = l2Norm(a);
+  const double nb = l2Norm(b);
+  if (na < 1e-30 || nb < 1e-30) return {0.0, 0.0};
+  auto c = crossCorrelate(a, b);
+  const double scale = 1.0 / (na * nb);
+  for (auto& v : c) v *= scale;
+  return peakSearch(c, b.size(), maxLagSamples);
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  UNIQ_REQUIRE(a.size() == b.size() && !a.empty(),
+               "pearson needs equal non-empty sizes");
+  const double n = static_cast<double>(a.size());
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double sab = 0, saa = 0, sbb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa < 1e-30 || sbb < 1e-30) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+std::vector<double> gccPhat(std::span<const double> a,
+                            std::span<const double> b) {
+  UNIQ_REQUIRE(!a.empty() && !b.empty(), "gccPhat of empty signal");
+  const std::size_t outLen = a.size() + b.size() - 1;
+  const std::size_t n = nextPowerOfTwo(outLen);
+  std::vector<Complex> fa(n, Complex(0, 0));
+  std::vector<Complex> fb(n, Complex(0, 0));
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0);
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0);
+  fftPow2InPlace(fa, false);
+  fftPow2InPlace(fb, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex cross = fa[i] * std::conj(fb[i]);
+    const double mag = std::abs(cross);
+    fa[i] = mag > 1e-15 ? cross / mag : Complex(0, 0);
+  }
+  fftPow2InPlace(fa, true);
+  std::vector<double> out(outLen);
+  const std::size_t nb = b.size() - 1;
+  const long lagLo = -(static_cast<long>(a.size()) - 1);
+  const long lagHi = static_cast<long>(b.size()) - 1;
+  for (std::size_t k = 0; k < outLen; ++k) {
+    const long lag = static_cast<long>(k) - static_cast<long>(nb);
+    if (lag < lagLo || lag > lagHi) {
+      out[k] = 0.0;
+      continue;
+    }
+    const long p = -lag;
+    const std::size_t idx = p >= 0 ? static_cast<std::size_t>(p)
+                                   : n - static_cast<std::size_t>(-p);
+    out[k] = fa[idx].real();
+  }
+  return out;
+}
+
+double estimateDelayGccPhat(std::span<const double> a,
+                            std::span<const double> b,
+                            double maxLagSamples) {
+  auto c = gccPhat(a, b);
+  const auto peak = peakSearch(c, b.size(), maxLagSamples);
+  // xcorr(a,b) peaks at lag d when a[t] ~= b[t + d]; b lags a by d.
+  return peak.lag;
+}
+
+}  // namespace uniq::dsp

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace uniq::dsp {
+
+/// Full cross-correlation c[k] = sum_t a[t] * b[t + lag], for
+/// lag in [-(b.size()-1), a.size()-1]. Index k maps to lag via
+/// lag = k - (b.size()-1). FFT-based.
+std::vector<double> crossCorrelate(std::span<const double> a,
+                                   std::span<const double> b);
+
+/// Result of a peak search over cross-correlation lags.
+struct CorrelationPeak {
+  double lag = 0.0;    ///< lag in samples (sub-sample, parabolic refined)
+  double value = 0.0;  ///< correlation value at the (interpolated) peak
+};
+
+/// Normalized cross-correlation peak: max over lags of
+/// xcorr(a,b) / (||a|| * ||b||). Value lies in [-1, 1] for same-length
+/// signals; this is the similarity measure the paper uses for comparing
+/// HRIRs and pinna responses (Section 2, Figure 2; Section 5, Figure 18).
+CorrelationPeak normalizedCorrelationPeak(std::span<const double> a,
+                                          std::span<const double> b);
+
+/// Same as normalizedCorrelationPeak but restricting the lag search to
+/// |lag| <= maxLagSamples. Useful when signals are pre-aligned and large
+/// lags would be spurious.
+CorrelationPeak normalizedCorrelationPeak(std::span<const double> a,
+                                          std::span<const double> b,
+                                          double maxLagSamples);
+
+/// Pearson correlation of two equal-length signals at zero lag.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// GCC-PHAT cross-correlation: phase-transform-weighted generalized cross
+/// correlation. Returns the correlation sequence with the same lag layout as
+/// crossCorrelate. Robust delay estimation for wideband signals.
+std::vector<double> gccPhat(std::span<const double> a,
+                            std::span<const double> b);
+
+/// Time-difference estimate (in samples, sub-sample accurate) of b relative
+/// to a using GCC-PHAT. Positive means b lags a.
+double estimateDelayGccPhat(std::span<const double> a,
+                            std::span<const double> b,
+                            double maxLagSamples = 0.0);
+
+}  // namespace uniq::dsp

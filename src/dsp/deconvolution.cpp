@@ -1,0 +1,53 @@
+#include "dsp/deconvolution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uniq::dsp {
+
+std::vector<Complex> regularizedSpectralDivide(
+    std::span<const Complex> numerator, std::span<const Complex> denominator,
+    double relativeRegularization) {
+  UNIQ_REQUIRE(numerator.size() == denominator.size(),
+               "spectra must have equal length");
+  UNIQ_REQUIRE(relativeRegularization > 0.0,
+               "regularization must be positive");
+  double maxPow = 0.0;
+  for (const auto& d : denominator) maxPow = std::max(maxPow, std::norm(d));
+  const double eps = relativeRegularization * std::max(maxPow, 1e-300);
+  std::vector<Complex> out(numerator.size());
+  for (std::size_t i = 0; i < numerator.size(); ++i) {
+    out[i] = numerator[i] * std::conj(denominator[i]) /
+             (std::norm(denominator[i]) + eps);
+  }
+  return out;
+}
+
+std::vector<double> deconvolve(std::span<const double> received,
+                               std::span<const double> source,
+                               const DeconvolutionOptions& opts) {
+  UNIQ_REQUIRE(!received.empty() && !source.empty(),
+               "deconvolve of empty signal");
+  const std::size_t n = nextPowerOfTwo(received.size() + source.size());
+  std::vector<Complex> fy(n, Complex(0, 0));
+  std::vector<Complex> fx(n, Complex(0, 0));
+  for (std::size_t i = 0; i < received.size(); ++i)
+    fy[i] = Complex(received[i], 0);
+  for (std::size_t i = 0; i < source.size(); ++i)
+    fx[i] = Complex(source[i], 0);
+  fftPow2InPlace(fy, false);
+  fftPow2InPlace(fx, false);
+  auto fh =
+      regularizedSpectralDivide(fy, fx, opts.relativeRegularization);
+  fftPow2InPlace(fh, true);
+  std::size_t keep = opts.responseLength == 0
+                         ? received.size()
+                         : std::min(opts.responseLength, n);
+  std::vector<double> h(keep);
+  for (std::size_t i = 0; i < keep; ++i) h[i] = fh[i].real();
+  return h;
+}
+
+}  // namespace uniq::dsp

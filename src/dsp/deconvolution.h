@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace uniq::dsp {
+
+/// Options for Tikhonov-regularized frequency-domain deconvolution.
+struct DeconvolutionOptions {
+  /// Regularization strength as a fraction of the peak source power.
+  /// H(f) = Y(f) * conj(X(f)) / (|X(f)|^2 + eps * max|X|^2).
+  double relativeRegularization = 1e-3;
+  /// Length of the estimated impulse response to keep (0 = full length).
+  std::size_t responseLength = 0;
+};
+
+/// Estimate the channel impulse response h from a recording y ≈ x * h.
+///
+/// This is the "channel estimation" step the paper performs by
+/// "deconvolving the received signal with the known source signal"
+/// (Section 4.1, Figure 9). Regularization keeps the division stable in
+/// bands where the probe has little energy.
+std::vector<double> deconvolve(std::span<const double> received,
+                               std::span<const double> source,
+                               const DeconvolutionOptions& opts = {});
+
+/// Frequency-domain division of two spectra with Tikhonov regularization:
+/// out(f) = num(f) * conj(den(f)) / (|den(f)|^2 + eps * max|den|^2).
+std::vector<Complex> regularizedSpectralDivide(
+    std::span<const Complex> numerator, std::span<const Complex> denominator,
+    double relativeRegularization);
+
+}  // namespace uniq::dsp

@@ -1,0 +1,120 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace uniq::dsp {
+
+std::size_t nextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool isPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fftPow2InPlace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  UNIQ_REQUIRE(isPowerOfTwo(n), "fftPow2InPlace needs a power-of-two size");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+namespace {
+
+/// Bluestein chirp-z transform for arbitrary-length DFTs. Expresses the DFT
+/// as a convolution, evaluated with a power-of-two FFT.
+std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
+  const std::size_t n = input.size();
+  const std::size_t m = nextPowerOfTwo(2 * n + 1);
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp factors: w_k = exp(sign * i * pi * k^2 / n).
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const double kk =
+        static_cast<double>((static_cast<unsigned long long>(k) * k) %
+                            (2 * n));
+    const double phase = sign * kPi * kk / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(phase), std::sin(phase));
+  }
+
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    b[m - k] = b[k];
+  }
+
+  fftPow2InPlace(a, false);
+  fftPow2InPlace(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fftPow2InPlace(a, true);
+
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : out) x *= scale;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Complex> fft(std::span<const Complex> input, bool inverse) {
+  UNIQ_REQUIRE(!input.empty(), "fft of empty signal");
+  if (isPowerOfTwo(input.size())) {
+    std::vector<Complex> data(input.begin(), input.end());
+    fftPow2InPlace(data, inverse);
+    return data;
+  }
+  return bluestein(input, inverse);
+}
+
+std::vector<Complex> fftReal(std::span<const double> input) {
+  std::vector<Complex> data(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) data[i] = Complex(input[i], 0);
+  return fft(data, false);
+}
+
+std::vector<double> ifftReal(std::span<const Complex> spectrum) {
+  auto time = fft(spectrum, true);
+  std::vector<double> out(time.size());
+  for (std::size_t i = 0; i < time.size(); ++i) out[i] = time[i].real();
+  return out;
+}
+
+}  // namespace uniq::dsp

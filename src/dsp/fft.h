@@ -1,0 +1,34 @@
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace uniq::dsp {
+
+using Complex = std::complex<double>;
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/// True when n is a power of two (n >= 1).
+bool isPowerOfTwo(std::size_t n);
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. data.size() must be a power
+/// of two. `inverse` applies the conjugate transform and scales by 1/N, so
+/// fft(ifft(x)) == x.
+void fftPow2InPlace(std::span<Complex> data, bool inverse);
+
+/// FFT of arbitrary length (Bluestein's chirp-z algorithm for non powers of
+/// two). Returns a new vector; `inverse` includes the 1/N scaling.
+std::vector<Complex> fft(std::span<const Complex> input, bool inverse = false);
+
+/// Forward FFT of a real signal. Returns the full complex spectrum of the
+/// same length as the input (conjugate-symmetric for real input).
+std::vector<Complex> fftReal(std::span<const double> input);
+
+/// Inverse FFT returning only the real part (imaginary residue discarded;
+/// callers feeding conjugate-symmetric spectra lose nothing).
+std::vector<double> ifftReal(std::span<const Complex> spectrum);
+
+}  // namespace uniq::dsp

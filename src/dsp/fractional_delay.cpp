@@ -1,0 +1,65 @@
+#include "dsp/fractional_delay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace uniq::dsp {
+
+namespace {
+
+/// Blackman-windowed sinc kernel value at offset x (samples), half-width w.
+double windowedSinc(double x, int w) {
+  if (std::fabs(x) >= w) return 0.0;
+  double s;
+  if (std::fabs(x) < 1e-12) {
+    s = 1.0;
+  } else {
+    const double px = kPi * x;
+    s = std::sin(px) / px;
+  }
+  // Blackman window over [-w, w].
+  const double u = (x + w) / (2.0 * w);  // in [0,1]
+  const double win =
+      0.42 - 0.5 * std::cos(kTwoPi * u) + 0.08 * std::cos(2 * kTwoPi * u);
+  return s * win;
+}
+
+}  // namespace
+
+void addFractionalTap(std::span<double> buffer, double delaySamples,
+                      double amplitude, int halfWidth) {
+  UNIQ_REQUIRE(halfWidth >= 1, "halfWidth must be >= 1");
+  if (buffer.empty() || amplitude == 0.0) return;
+  const long lo = static_cast<long>(std::ceil(delaySamples)) - halfWidth;
+  const long hi = static_cast<long>(std::floor(delaySamples)) + halfWidth;
+  const long n = static_cast<long>(buffer.size());
+  for (long t = std::max(lo, 0L); t <= std::min(hi, n - 1); ++t) {
+    buffer[static_cast<std::size_t>(t)] +=
+        amplitude * windowedSinc(static_cast<double>(t) - delaySamples,
+                                 halfWidth);
+  }
+}
+
+std::vector<double> fractionalShift(std::span<const double> signal,
+                                    double shiftSamples, int halfWidth) {
+  std::vector<double> out(signal.size(), 0.0);
+  // out[t] = signal(t - shift): interpolate the input at non-integer points.
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    const double srcPos = static_cast<double>(t) - shiftSamples;
+    const long lo = static_cast<long>(std::ceil(srcPos)) - halfWidth;
+    const long hi = static_cast<long>(std::floor(srcPos)) + halfWidth;
+    double acc = 0.0;
+    for (long k = std::max(lo, 0L);
+         k <= std::min(hi, static_cast<long>(signal.size()) - 1); ++k) {
+      acc += signal[static_cast<std::size_t>(k)] *
+             windowedSinc(srcPos - static_cast<double>(k), halfWidth);
+    }
+    out[t] = acc;
+  }
+  return out;
+}
+
+}  // namespace uniq::dsp

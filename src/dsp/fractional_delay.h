@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace uniq::dsp {
+
+/// Add a scaled, fractionally-delayed unit impulse into `buffer`:
+/// buffer[t] += amplitude * sinc_window(t - delaySamples).
+///
+/// This is how the simulation substrate and the model-correction code place
+/// acoustic taps at physically exact (non-integer) sample positions. The
+/// kernel is a Blackman-windowed sinc of half-width `halfWidth` samples.
+/// Taps whose kernel support falls outside the buffer are clipped.
+void addFractionalTap(std::span<double> buffer, double delaySamples,
+                      double amplitude, int halfWidth = 16);
+
+/// Shift a signal by a fractional number of samples (positive = delay).
+/// Output has the same length; content shifted beyond the ends is lost.
+std::vector<double> fractionalShift(std::span<const double> signal,
+                                    double shiftSamples, int halfWidth = 16);
+
+}  // namespace uniq::dsp

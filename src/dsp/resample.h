@@ -1,0 +1,18 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace uniq::dsp {
+
+/// Resample by an arbitrary positive ratio (outputRate / inputRate) using
+/// windowed-sinc interpolation. When downsampling, the kernel is widened to
+/// act as the anti-alias filter.
+std::vector<double> resample(std::span<const double> input, double inputRate,
+                             double outputRate, int halfWidth = 16);
+
+/// Upsample a signal by an integer factor (zero-stuff + windowed sinc).
+std::vector<double> upsampleInteger(std::span<const double> input, int factor,
+                                    int halfWidth = 16);
+
+}  // namespace uniq::dsp

@@ -1,0 +1,84 @@
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace uniq::dsp {
+
+std::vector<double> magnitudeSpectrum(std::span<const Complex> spectrum) {
+  std::vector<double> m(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) m[i] = std::abs(spectrum[i]);
+  return m;
+}
+
+std::vector<double> magnitudeSpectrumDb(std::span<const Complex> spectrum) {
+  std::vector<double> m(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i)
+    m[i] = amplitudeToDb(std::abs(spectrum[i]));
+  return m;
+}
+
+double binFrequency(std::size_t bin, std::size_t fftSize, double sampleRate) {
+  UNIQ_REQUIRE(fftSize > 0, "fftSize must be positive");
+  return static_cast<double>(bin) * sampleRate / static_cast<double>(fftSize);
+}
+
+std::size_t frequencyToBin(double freqHz, std::size_t fftSize,
+                           double sampleRate) {
+  UNIQ_REQUIRE(sampleRate > 0, "sampleRate must be positive");
+  const auto bin = static_cast<long>(
+      std::lround(freqHz * static_cast<double>(fftSize) / sampleRate));
+  return static_cast<std::size_t>(
+      std::clamp(bin, 0L, static_cast<long>(fftSize) - 1));
+}
+
+double bandAverageMagnitude(std::span<const Complex> spectrum,
+                            double sampleRate, double fLo, double fHi) {
+  UNIQ_REQUIRE(fLo < fHi, "bad band");
+  const std::size_t n = spectrum.size();
+  const std::size_t bLo = frequencyToBin(fLo, n, sampleRate);
+  const std::size_t bHi =
+      std::min(frequencyToBin(fHi, n, sampleRate), n / 2);
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t b = bLo; b <= bHi && b < n; ++b) {
+    acc += std::abs(spectrum[b]);
+    ++count;
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+std::vector<double> applyFrequencyResponse(std::span<const double> signal,
+                                           std::span<const Complex> response,
+                                           std::size_t tailSamples) {
+  UNIQ_REQUIRE(!signal.empty(), "empty signal");
+  UNIQ_REQUIRE(!response.empty(), "empty response");
+  const std::size_t outLen = signal.size() + tailSamples;
+  const std::size_t n = nextPowerOfTwo(outLen);
+  std::vector<Complex> fx(n, Complex(0, 0));
+  for (std::size_t i = 0; i < signal.size(); ++i) fx[i] = Complex(signal[i], 0);
+  fftPow2InPlace(fx, false);
+  // Map each FFT bin to the nearest bin of `response` (which is assumed to
+  // cover the same sample-rate axis with its own resolution). Maintain
+  // conjugate symmetry so the output stays real.
+  const std::size_t rn = response.size();
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double frac =
+        static_cast<double>(k) / static_cast<double>(n);  // 0 .. 0.5
+    const auto rk = static_cast<std::size_t>(
+        std::min<double>(std::lround(frac * static_cast<double>(rn)),
+                         static_cast<double>(rn / 2)));
+    const Complex r = response[rk];
+    fx[k] *= r;
+    if (k > 0 && k < n / 2) fx[n - k] = std::conj(fx[k]);
+  }
+  fftPow2InPlace(fx, true);
+  std::vector<double> out(outLen);
+  for (std::size_t i = 0; i < outLen; ++i) out[i] = fx[i].real();
+  return out;
+}
+
+}  // namespace uniq::dsp

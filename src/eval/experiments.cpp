@@ -1,0 +1,189 @@
+#include "eval/experiments.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dsp/signal_generators.h"
+#include "sim/recorder.h"
+
+namespace uniq::eval {
+
+std::vector<Volunteer> makeStudyPopulation(const ExperimentConfig& config) {
+  const auto subjects =
+      head::makePopulation(config.volunteerCount, config.populationSeed);
+  std::vector<Volunteer> volunteers;
+  volunteers.reserve(subjects.size());
+  for (std::size_t i = 0; i < subjects.size(); ++i) {
+    Volunteer v;
+    v.subject = subjects[i];
+    // Volunteers 4 and 5 (indices 3, 4) hold the phone too close to the
+    // back of the head, as in the paper's study.
+    v.gesture = i >= 3 ? sim::constrainedGesture() : sim::defaultGesture();
+    volunteers.push_back(std::move(v));
+  }
+  return volunteers;
+}
+
+CalibratedVolunteer calibrate(const Volunteer& volunteer,
+                              const ExperimentConfig& config) {
+  const sim::MeasurementSession session(config.session);
+  auto capture = session.run(volunteer.subject, volunteer.gesture);
+  const core::CalibrationPipeline pipeline(config.pipeline);
+  auto personal = pipeline.run(capture);
+  return CalibratedVolunteer{volunteer, std::move(personal),
+                             std::move(capture)};
+}
+
+CorrelationSeries correlationVsAngle(const CalibratedVolunteer& run,
+                                     double angleStepDeg,
+                                     std::uint64_t noiseSeed) {
+  UNIQ_REQUIRE(angleStepDeg >= 1.0, "angle step too small");
+  const auto& personalTable = run.personal.table.farTable();
+  const double fs = personalTable.sampleRate;
+
+  head::HrtfDatabase::Options dbOpts;
+  dbOpts.sampleRate = fs;
+  const head::HrtfDatabase truthDb(run.volunteer.subject, dbOpts);
+  const head::HrtfDatabase globalDb(head::globalTemplateSubject(), dbOpts);
+
+  const auto truthTable = core::farTableFromDatabase(truthDb);
+  const auto globalTable = core::farTableFromDatabase(globalDb);
+
+  Pcg32 rng(noiseSeed);
+  CorrelationSeries series;
+  for (double ang = 0.0; ang <= 180.0 + 1e-9; ang += angleStepDeg) {
+    const auto& truth = truthTable.at(ang);
+    const auto& uniq = personalTable.at(ang);
+    const auto& global = globalTable.at(ang);
+    // "Two separate measurements of ground truth": re-measure with noise.
+    const auto repeat = head::withMeasurementNoise(truth, 8.0, rng);
+
+    const auto simUniq = hrirSimilarityPerEar(uniq, truth);
+    const auto simGlobal = hrirSimilarityPerEar(global, truth);
+    const auto simRepeat = hrirSimilarityPerEar(repeat, truth);
+
+    series.anglesDeg.push_back(ang);
+    series.uniqLeft.push_back(simUniq.left);
+    series.uniqRight.push_back(simUniq.right);
+    series.globalLeft.push_back(simGlobal.left);
+    series.globalRight.push_back(simGlobal.right);
+    series.repeatLeft.push_back(simRepeat.left);
+    series.repeatRight.push_back(simRepeat.right);
+  }
+  return series;
+}
+
+LocalizationSeries localizationAccuracy(const CalibratedVolunteer& run) {
+  LocalizationSeries series;
+  const auto& stops = run.personal.fusion.stops;
+  const auto& truth = run.capture.truth.trajectory;
+  for (const auto& stop : stops) {
+    if (!stop.localized) continue;
+    UNIQ_REQUIRE(stop.sourceIndex < truth.size(),
+                 "fused stop points outside the capture");
+    const double truthAngle = truth[stop.sourceIndex].trueAngleDeg;
+    series.truthDeg.push_back(truthAngle);
+    series.estimatedDeg.push_back(stop.angleDeg);
+    series.absErrorDeg.push_back(
+        angularDistanceDeg(truthAngle, stop.angleDeg));
+  }
+  return series;
+}
+
+std::vector<double> makeSignal(SignalKind kind, std::size_t samples,
+                               double sampleRate, Pcg32& rng) {
+  switch (kind) {
+    case SignalKind::kWhiteNoise:
+      return dsp::whiteNoise(samples, rng, 0.25);
+    case SignalKind::kMusic:
+      return dsp::musicLike(samples, sampleRate, rng);
+    case SignalKind::kSpeech:
+      return dsp::speechLike(samples, sampleRate, rng);
+    case SignalKind::kChirp:
+      return dsp::linearChirp(100.0, sampleRate * 0.42, samples, sampleRate);
+  }
+  throw InvalidArgument("unknown signal kind");
+}
+
+const char* signalKindName(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kWhiteNoise: return "white-noise";
+    case SignalKind::kMusic: return "music";
+    case SignalKind::kSpeech: return "speech";
+    case SignalKind::kChirp: return "chirp";
+  }
+  return "?";
+}
+
+std::vector<AoaTrial> runAoaTrials(const head::HrtfDatabase& truthDb,
+                                   const core::FarFieldTable& templates,
+                                   bool known, SignalKind kind,
+                                   const AoaExperimentOptions& opts) {
+  const double fs = truthDb.options().sampleRate;
+  UNIQ_REQUIRE(fs == templates.sampleRate, "sample-rate mismatch");
+
+  std::vector<double> angles = opts.trialAnglesDeg;
+  if (angles.empty()) {
+    for (double a = 5.0; a <= 175.0; a += 10.0) angles.push_back(a);
+  }
+
+  sim::HardwareModel::Options hwOpts;
+  hwOpts.sampleRate = fs;
+  const sim::HardwareModel hardware(hwOpts);
+  sim::RoomModel::Options roomOpts;
+  roomOpts.sampleRate = fs;
+  roomOpts.seed = opts.seed * 13 + 5;
+  const sim::RoomModel room(roomOpts);
+  sim::BinauralRecorder::Options recOpts;
+  recOpts.snrDb = opts.snrDb;
+  const sim::BinauralRecorder recorder(truthDb, hardware, room, recOpts);
+
+  const core::AoaEstimator estimator(templates);
+  Pcg32 rng(opts.seed);
+
+  const auto samples =
+      static_cast<std::size_t>(opts.signalDurationSec * fs);
+
+  std::vector<AoaTrial> trials;
+  trials.reserve(angles.size());
+  for (double truthAngle : angles) {
+    Pcg32 sigRng = rng.fork(static_cast<std::uint64_t>(truthAngle * 10));
+    const auto signal = makeSignal(kind, samples, fs, sigRng);
+    // Known sources (a phone chirp) pass the transmit hardware; ambient
+    // unknown sources do not.
+    const auto rec =
+        recorder.recordFarField(truthAngle, signal, sigRng, known);
+    core::AoaEstimate est;
+    if (known) {
+      est = estimator.estimateKnown(rec.left, rec.right, signal);
+    } else {
+      est = estimator.estimateUnknown(rec.left, rec.right);
+    }
+    AoaTrial trial;
+    trial.truthDeg = truthAngle;
+    trial.estimatedDeg = est.angleDeg;
+    trial.absErrorDeg = angularDistanceDeg(truthAngle, est.angleDeg);
+    trial.frontBackCorrect =
+        (truthAngle <= 90.0) == (est.angleDeg <= 90.0);
+    trials.push_back(trial);
+  }
+  return trials;
+}
+
+double frontBackAccuracy(const std::vector<AoaTrial>& trials) {
+  if (trials.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& t : trials)
+    if (t.frontBackCorrect) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(trials.size());
+}
+
+std::vector<double> absErrors(const std::vector<AoaTrial>& trials) {
+  std::vector<double> errs;
+  errs.reserve(trials.size());
+  for (const auto& t : trials) errs.push_back(t.absErrorDeg);
+  return errs;
+}
+
+}  // namespace uniq::eval

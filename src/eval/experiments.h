@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aoa.h"
+#include "core/pipeline.h"
+#include "eval/metrics.h"
+#include "head/subject.h"
+#include "sim/measurement_session.h"
+
+namespace uniq::eval {
+
+/// Shared configuration for the paper-reproduction experiments.
+struct ExperimentConfig {
+  std::size_t volunteerCount = 5;
+  std::uint64_t populationSeed = 2021;
+  sim::MeasurementSessionOptions session{};
+  core::CalibrationPipelineOptions pipeline{};
+};
+
+/// The study population with per-volunteer gestures: volunteers 4 and 5 use
+/// the constrained-arm profile (paper Section 5.1, Figure 19).
+struct Volunteer {
+  head::Subject subject;
+  sim::GestureProfile gesture;
+};
+std::vector<Volunteer> makeStudyPopulation(const ExperimentConfig& config);
+
+/// Run the full UNIQ calibration for one volunteer.
+struct CalibratedVolunteer {
+  Volunteer volunteer;
+  core::PersonalHrtf personal;
+  sim::CalibrationCapture capture;  ///< retains ground truth for evaluation
+};
+CalibratedVolunteer calibrate(const Volunteer& volunteer,
+                              const ExperimentConfig& config);
+
+/// Per-angle far-field HRIR correlations against ground truth (Figure 18):
+/// UNIQ's estimate, the global template, and a repeated noisy ground-truth
+/// measurement (upper bound).
+struct CorrelationSeries {
+  std::vector<double> anglesDeg;
+  std::vector<double> uniqLeft, uniqRight;
+  std::vector<double> globalLeft, globalRight;
+  std::vector<double> repeatLeft, repeatRight;
+};
+CorrelationSeries correlationVsAngle(const CalibratedVolunteer& run,
+                                     double angleStepDeg = 5.0,
+                                     std::uint64_t noiseSeed = 77);
+
+/// Phone-localization accuracy series (Figure 17): fused angle estimates
+/// against the overhead-camera ground truth.
+struct LocalizationSeries {
+  std::vector<double> truthDeg;
+  std::vector<double> estimatedDeg;
+  std::vector<double> absErrorDeg;
+};
+LocalizationSeries localizationAccuracy(const CalibratedVolunteer& run);
+
+/// One known- or unknown-source AoA trial outcome.
+struct AoaTrial {
+  double truthDeg = 0.0;
+  double estimatedDeg = 0.0;
+  double absErrorDeg = 0.0;
+  bool frontBackCorrect = true;
+};
+
+/// Signal classes for the unknown-source experiments (Figure 22).
+enum class SignalKind { kWhiteNoise, kMusic, kSpeech, kChirp };
+std::vector<double> makeSignal(SignalKind kind, std::size_t samples,
+                               double sampleRate, Pcg32& rng);
+const char* signalKindName(SignalKind kind);
+
+struct AoaExperimentOptions {
+  std::vector<double> trialAnglesDeg;  ///< empty = default sweep 5..175
+  double snrDb = 25.0;
+  double signalDurationSec = 0.5;
+  std::uint64_t seed = 31;
+};
+
+/// Run far-field AoA trials against a template table (personal / truth /
+/// global). `known` selects the known-source path (chirp + Eq. 9) versus
+/// the unknown-source path (Eq. 11).
+std::vector<AoaTrial> runAoaTrials(const head::HrtfDatabase& truthDb,
+                                   const core::FarFieldTable& templates,
+                                   bool known, SignalKind kind,
+                                   const AoaExperimentOptions& opts);
+
+/// Fraction of trials with the front/back hemisphere classified correctly.
+double frontBackAccuracy(const std::vector<AoaTrial>& trials);
+
+/// Absolute errors of a trial set.
+std::vector<double> absErrors(const std::vector<AoaTrial>& trials);
+
+}  // namespace uniq::eval

@@ -1,0 +1,64 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/correlation.h"
+
+namespace uniq::eval {
+
+double channelSimilarity(const std::vector<double>& a,
+                         const std::vector<double>& b, double sampleRate,
+                         double maxLagMs) {
+  UNIQ_REQUIRE(sampleRate > 0, "sample rate must be positive");
+  const double maxLag = maxLagMs * 1e-3 * sampleRate;
+  const auto peak = dsp::normalizedCorrelationPeak(a, b, maxLag);
+  return peak.value;
+}
+
+double hrirSimilarity(const head::Hrir& a, const head::Hrir& b,
+                      double maxLagMs) {
+  const auto per = hrirSimilarityPerEar(a, b, maxLagMs);
+  return 0.5 * (per.left + per.right);
+}
+
+EarSimilarity hrirSimilarityPerEar(const head::Hrir& a, const head::Hrir& b,
+                                   double maxLagMs) {
+  UNIQ_REQUIRE(a.sampleRate == b.sampleRate && a.sampleRate > 0,
+               "HRIR sample rates must match");
+  EarSimilarity s;
+  s.left = channelSimilarity(a.left, b.left, a.sampleRate, maxLagMs);
+  s.right = channelSimilarity(a.right, b.right, a.sampleRate, maxLagMs);
+  return s;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double standardDeviation(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double median(std::vector<double> v) { return percentile(std::move(v), 50.0); }
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  UNIQ_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::sort(v.begin(), v.end());
+  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] + frac * (v[lo + 1] - v[lo]);
+}
+
+}  // namespace uniq::eval

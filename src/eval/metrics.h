@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "head/hrir.h"
+
+namespace uniq::eval {
+
+/// Similarity of two HRIR channels: the peak of the normalized cross-
+/// correlation with the lag search bounded to +/- maxLagMs. This is the
+/// paper's evaluation metric for comparing estimated and ground-truth HRIRs
+/// (Section 5.1, Figure 18: "cross-correlate personalized HRTF vector with
+/// ground truth").
+double channelSimilarity(const std::vector<double>& a,
+                         const std::vector<double>& b, double sampleRate,
+                         double maxLagMs = 1.0);
+
+/// Mean of the left and right channel similarities.
+double hrirSimilarity(const head::Hrir& a, const head::Hrir& b,
+                      double maxLagMs = 1.0);
+
+/// Per-ear similarity pair.
+struct EarSimilarity {
+  double left = 0.0;
+  double right = 0.0;
+};
+EarSimilarity hrirSimilarityPerEar(const head::Hrir& a, const head::Hrir& b,
+                                   double maxLagMs = 1.0);
+
+/// Mean of a vector (0 for empty).
+double mean(const std::vector<double>& v);
+
+/// Sample standard deviation (0 for size < 2).
+double standardDeviation(const std::vector<double>& v);
+
+/// Median (0 for empty; averages the middle pair for even sizes).
+double median(std::vector<double> v);
+
+/// p-th percentile (p in [0, 100], linear interpolation).
+double percentile(std::vector<double> v, double p);
+
+}  // namespace uniq::eval

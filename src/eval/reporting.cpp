@@ -1,0 +1,62 @@
+#include "eval/reporting.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/error.h"
+#include "eval/metrics.h"
+
+namespace uniq::eval {
+
+std::vector<CdfPoint> computeCdf(std::vector<double> samples) {
+  std::vector<CdfPoint> cdf;
+  if (samples.empty()) return cdf;
+  std::sort(samples.begin(), samples.end());
+  cdf.reserve(samples.size());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    cdf.push_back({samples[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+void printSeries(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& columnNames,
+                 const std::vector<std::vector<double>>& columns) {
+  UNIQ_REQUIRE(columnNames.size() == columns.size(),
+               "column names/data mismatch");
+  os << "-- " << title << "\n";
+  os << std::fixed << std::setprecision(4);
+  for (const auto& name : columnNames) os << std::setw(14) << name;
+  os << "\n";
+  std::size_t rows = 0;
+  for (const auto& c : columns) rows = std::max(rows, c.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (const auto& c : columns) {
+      if (r < c.size())
+        os << std::setw(14) << c[r];
+      else
+        os << std::setw(14) << "";
+    }
+    os << "\n";
+  }
+}
+
+void printCdfSummary(std::ostream& os, const std::string& title,
+                     const std::vector<double>& samples) {
+  os << "-- " << title << " (n=" << samples.size() << ")\n";
+  os << std::fixed << std::setprecision(2);
+  for (double p : {10.0, 25.0, 50.0, 75.0, 80.0, 90.0, 95.0, 100.0}) {
+    os << "   p" << std::setw(3) << static_cast<int>(p) << " = "
+       << percentile(samples, p) << "\n";
+  }
+}
+
+void printHeader(std::ostream& os, const std::string& figure,
+                 const std::string& description) {
+  os << "\n==================================================================\n"
+     << figure << ": " << description
+     << "\n==================================================================\n";
+}
+
+}  // namespace uniq::eval

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace uniq::eval {
+
+/// CDF of a sample set as (value, cumulative probability) pairs.
+struct CdfPoint {
+  double value = 0.0;
+  double probability = 0.0;
+};
+std::vector<CdfPoint> computeCdf(std::vector<double> samples);
+
+/// Print a named series as aligned columns (the bench binaries regenerate
+/// the paper's figures as printed series rather than plots).
+void printSeries(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& columnNames,
+                 const std::vector<std::vector<double>>& columns);
+
+/// Print a CDF at a reduced set of probability levels.
+void printCdfSummary(std::ostream& os, const std::string& title,
+                     const std::vector<double>& samples);
+
+/// Section header for bench output.
+void printHeader(std::ostream& os, const std::string& figure,
+                 const std::string& description);
+
+}  // namespace uniq::eval

@@ -1,0 +1,141 @@
+#include "geometry/diffraction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uniq::geo {
+
+namespace {
+
+double forwardIndexDistance(double from, double to, double n) {
+  double d = std::fmod(to - from, n);
+  if (d < 0) d += n;
+  return d;
+}
+
+/// True when walking forward (increasing index) from `from` to `to` passes
+/// through `via` (all continuous indices on a ring of n samples).
+bool forwardArcContains(double from, double to, double via, double n) {
+  return forwardIndexDistance(from, via, n) < forwardIndexDistance(from, to, n);
+}
+
+/// Unit boundary tangent at the ear sample pointing in the direction of
+/// increasing index.
+Vec2 earForwardTangent(const HeadBoundary& head, std::size_t earIdx) {
+  const std::size_t n = head.size();
+  const Vec2 prev = head.point((earIdx + n - 1) % n);
+  const Vec2 next = head.point((earIdx + 1) % n);
+  return (next - prev).normalized();
+}
+
+struct CreepCandidate {
+  double total = 0.0;
+  double arc = 0.0;
+  Vec2 tangentPoint{};
+  bool arrivesForward = false;  // travel at the ear is in +index direction
+  bool valid = false;
+};
+
+CreepCandidate creepVia(const HeadBoundary& head, double uTangent,
+                        double uOther, double earIdx, double straightLen,
+                        Vec2 tangentPoint) {
+  const auto n = static_cast<double>(head.size());
+  CreepCandidate c;
+  c.tangentPoint = tangentPoint;
+  // The surface arc from the tangency point to the ear must stay inside the
+  // shadow region, i.e. must not pass the other tangency point.
+  if (!forwardArcContains(uTangent, earIdx, uOther, n)) {
+    c.arc = head.arcForward(uTangent, earIdx);
+    c.arrivesForward = true;
+    c.valid = true;
+  } else if (!forwardArcContains(earIdx, uTangent, uOther, n)) {
+    c.arc = head.arcForward(earIdx, uTangent);
+    c.arrivesForward = false;
+    c.valid = true;
+  }
+  c.total = straightLen + c.arc;
+  return c;
+}
+
+DiffractionPath resolveCreep(const HeadBoundary& head, Ear ear,
+                             const CreepCandidate& c) {
+  const std::size_t earIdx =
+      ear == Ear::kLeft ? head.leftEarIndex() : head.rightEarIndex();
+  DiffractionPath path;
+  path.length = c.total;
+  path.arcLength = c.arc;
+  path.diffracted = true;
+  path.tangentPoint = c.tangentPoint;
+  const Vec2 fwd = earForwardTangent(head, earIdx);
+  path.arrivalDirection = c.arrivesForward ? fwd : -fwd;
+  return path;
+}
+
+}  // namespace
+
+Vec2 earPosition(const HeadBoundary& head, Ear ear) {
+  return ear == Ear::kLeft ? head.leftEar() : head.rightEar();
+}
+
+DiffractionPath nearFieldPath(const HeadBoundary& head, Vec2 source,
+                              Ear ear) {
+  UNIQ_REQUIRE(!head.isInside(source), "source must be outside the head");
+  const std::size_t earIdx =
+      ear == Ear::kLeft ? head.leftEarIndex() : head.rightEarIndex();
+  const Vec2 earPt = earPosition(head, ear);
+
+  // Ear directly visible? (outward normal at the ear faces the source)
+  if (head.visibilityValue(source, earIdx) < 0.0) {
+    DiffractionPath path;
+    path.length = distance(source, earPt);
+    path.diffracted = false;
+    path.arrivalDirection = (earPt - source).normalized();
+    return path;
+  }
+
+  const auto tangents = head.tangentsFrom(source);
+  const Vec2 t1 = head.pointAt(tangents.u1);
+  const Vec2 t2 = head.pointAt(tangents.u2);
+  const auto eIdx = static_cast<double>(earIdx);
+  const auto c1 = creepVia(head, tangents.u1, tangents.u2, eIdx,
+                           distance(source, t1), t1);
+  const auto c2 = creepVia(head, tangents.u2, tangents.u1, eIdx,
+                           distance(source, t2), t2);
+  UNIQ_CHECK(c1.valid || c2.valid, "no valid creeping path found");
+  const CreepCandidate& best =
+      !c2.valid || (c1.valid && c1.total <= c2.total) ? c1 : c2;
+  return resolveCreep(head, ear, best);
+}
+
+DiffractionPath farFieldPath(const HeadBoundary& head, Vec2 direction,
+                             Ear ear) {
+  const Vec2 d = direction.normalized();
+  UNIQ_REQUIRE(d.norm() > 0.5, "direction must be non-zero");
+  const std::size_t earIdx =
+      ear == Ear::kLeft ? head.leftEarIndex() : head.rightEarIndex();
+  const Vec2 earPt = earPosition(head, ear);
+
+  // Lit ear: the incident wave reaches the ear directly.
+  if (dot(d, head.normal(earIdx)) < 0.0) {
+    DiffractionPath path;
+    path.length = dot(d, earPt);  // relative to wavefront through the origin
+    path.diffracted = false;
+    path.arrivalDirection = d;
+    return path;
+  }
+
+  const auto terms = head.terminators(d);
+  const Vec2 t1 = head.pointAt(terms.u1);
+  const Vec2 t2 = head.pointAt(terms.u2);
+  const auto eIdx = static_cast<double>(earIdx);
+  const auto c1 = creepVia(head, terms.u1, terms.u2, eIdx, dot(d, t1), t1);
+  const auto c2 = creepVia(head, terms.u2, terms.u1, eIdx, dot(d, t2), t2);
+  UNIQ_CHECK(c1.valid || c2.valid, "no valid creeping path found");
+  const CreepCandidate& best =
+      !c2.valid || (c1.valid && c1.total <= c2.total) ? c1 : c2;
+  return resolveCreep(head, ear, best);
+}
+
+}  // namespace uniq::geo

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "geometry/head_boundary.h"
+#include "geometry/vec2.h"
+
+namespace uniq::geo {
+
+/// Which ear a path terminates at.
+enum class Ear { kLeft, kRight };
+
+/// Result of a shortest acoustic path query around the head. Audible sound
+/// does not penetrate the head (paper Section 2, Figure 5): when the
+/// straight segment from the source to an ear would cut through the head,
+/// the sound instead travels straight to a tangency point and then creeps
+/// along the head surface (diffraction) to the ear.
+struct DiffractionPath {
+  double length = 0.0;       ///< total path length, meters
+  double arcLength = 0.0;    ///< portion travelled along the head surface
+  bool diffracted = false;   ///< false = direct line of sight
+  Vec2 tangentPoint{};       ///< where the path meets the head (if diffracted)
+  Vec2 arrivalDirection{};   ///< unit propagation direction at the ear
+};
+
+/// Shortest path from an external point source to an ear (near field).
+DiffractionPath nearFieldPath(const HeadBoundary& head, Vec2 source, Ear ear);
+
+/// Far-field (plane wave) path for propagation direction `direction`
+/// (unit vector pointing from the distant source toward the head).
+/// `length` is the path length relative to the wavefront passing through
+/// the head center — it can be negative for the lit ear (the wave reaches
+/// the near ear before the head center). arcLength and arrivalDirection
+/// have the same meaning as in the near-field query.
+DiffractionPath farFieldPath(const HeadBoundary& head, Vec2 direction,
+                             Ear ear);
+
+/// Ear position helper.
+Vec2 earPosition(const HeadBoundary& head, Ear ear);
+
+}  // namespace uniq::geo

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+
+#include "geometry/vec2.h"
+
+namespace uniq::geo {
+
+/// Discretized boundary of the paper's head model: two half-ellipses joined
+/// at the ear line (Section 4.1, Figure 8). The front half (y > 0) has
+/// semi-axes (a, b); the back half (y < 0) has semi-axes (a, c); the ears
+/// sit exactly at (+a, 0) (right) and (-a, 0) (left).
+///
+/// The boundary is sampled at `resolution` points (even, so that both ears
+/// fall exactly on samples); tangency and terminator queries interpolate
+/// between samples, so the effective angular resolution is much finer than
+/// the sample count.
+/// Low-order radial perturbation of the ideal two-half-ellipse outline.
+/// Real heads are not exactly in the paper's 3-parameter family; the
+/// simulation substrate perturbs the true head with a few harmonics so the
+/// estimator faces genuine model mismatch ("imperfection of the acoustic
+/// diffraction model also partly contributes to the errors", Section 5.1).
+struct BoundaryHarmonic {
+  int order = 2;        ///< angular frequency (cycles per revolution)
+  double amplitude = 0; ///< relative radial amplitude (e.g. 0.01 = 1%)
+  double phaseRad = 0;
+};
+
+class HeadBoundary {
+ public:
+  /// a: half ear-to-ear width; b: nose depth; c: back-of-head depth
+  /// (all meters, all > 0).
+  HeadBoundary(double a, double b, double c, std::size_t resolution = 256);
+
+  /// Perturbed boundary: radius scaled by 1 + sum_k amp_k*cos(k*t+phase_k).
+  /// Ear positions are kept exact (the perturbation is windowed out near
+  /// the ears so the junction points stay at +/-(a, 0)).
+  HeadBoundary(double a, double b, double c,
+               const std::vector<BoundaryHarmonic>& harmonics,
+               std::size_t resolution);
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  double c() const { return c_; }
+
+  std::size_t size() const { return points_.size(); }
+  Vec2 point(std::size_t i) const { return points_[i]; }
+  /// Outward unit normal at sample i.
+  Vec2 normal(std::size_t i) const { return normals_[i]; }
+
+  std::size_t rightEarIndex() const { return 0; }
+  std::size_t leftEarIndex() const { return size() / 2; }
+  Vec2 rightEar() const { return {a_, 0.0}; }
+  Vec2 leftEar() const { return {-a_, 0.0}; }
+
+  /// Total boundary perimeter (meters).
+  double perimeter() const { return totalArc_; }
+
+  /// Boundary point at a continuous sample index u in [0, size()).
+  Vec2 pointAt(double u) const;
+
+  /// Arc length from continuous index u1 to u2 walking in the direction of
+  /// increasing index (wrapping). Always >= 0.
+  double arcForward(double u1, double u2) const;
+
+  /// Shorter of the two arcs between u1 and u2.
+  double arcShortest(double u1, double u2) const;
+
+  /// True when p is strictly inside the head.
+  bool isInside(Vec2 p) const;
+
+  /// Visibility classifier value at sample i for an external point P:
+  /// g = dot(point(i) - P, normal(i)). Negative means the sample faces P
+  /// (is directly visible); zero is the tangency condition.
+  double visibilityValue(Vec2 p, std::size_t i) const;
+
+  /// The two tangency points of the boundary as seen from external point P,
+  /// as continuous sample indices (interpolated zero crossings of the
+  /// visibility value). Exactly two for this convex shape.
+  struct TangentPair {
+    double u1 = 0.0;
+    double u2 = 0.0;
+  };
+  TangentPair tangentsFrom(Vec2 p) const;
+
+  /// The two terminator points (shadow boundary) for a plane wave with
+  /// propagation direction d (unit vector, source -> head): continuous
+  /// indices where dot(d, normal) == 0.
+  TangentPair terminators(Vec2 direction) const;
+
+  /// Continuous index of the boundary point whose outward normal is closest
+  /// to `n` (used to find the "crown" point Q of the near-far conversion,
+  /// Section 4.3 / Figure 12).
+  double indexWithNormal(Vec2 n) const;
+
+ private:
+  double a_, b_, c_;
+  std::vector<Vec2> points_;
+  std::vector<Vec2> normals_;
+  std::vector<double> cumArc_;  // cumArc_[i] = arc length from sample 0 to i
+  double totalArc_ = 0.0;
+};
+
+}  // namespace uniq::geo

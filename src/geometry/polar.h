@@ -1,0 +1,34 @@
+#pragma once
+
+#include "common/math_util.h"
+#include "geometry/vec2.h"
+
+namespace uniq::geo {
+
+/// Azimuth convention used throughout UNIQ (matching the paper's
+/// measurement sweeps): theta = 0 deg points at the nose (+y), theta grows
+/// toward the user's LEFT side, theta = 90 deg is the left-ear direction
+/// (-x), theta = 180 deg points at the back of the head (-y). The paper's
+/// experiments sweep theta in [0, 180] on the left semicircle.
+inline Vec2 directionFromAzimuthDeg(double thetaDeg) {
+  const double t = degToRad(thetaDeg);
+  return {-std::sin(t), std::cos(t)};
+}
+
+/// Point at polar coordinates (azimuth degrees, radius meters) around the
+/// head center (origin).
+inline Vec2 pointFromPolarDeg(double thetaDeg, double radius) {
+  return directionFromAzimuthDeg(thetaDeg) * radius;
+}
+
+/// Azimuth in degrees of a point (inverse of pointFromPolarDeg), wrapped to
+/// (-180, 180].
+inline double azimuthDegOfPoint(Vec2 p) {
+  // direction = (-sin t, cos t)  =>  t = atan2(-x, y)
+  return radToDeg(std::atan2(-p.x, p.y));
+}
+
+/// Polar radius (distance from head center).
+inline double radiusOfPoint(Vec2 p) { return p.norm(); }
+
+}  // namespace uniq::geo

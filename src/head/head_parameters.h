@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/random.h"
+
+namespace uniq::head {
+
+/// The paper's 3-parameter head geometry E = (a, b, c): the head outline is
+/// two half-ellipses joined at the ears (Section 4.1, Figure 8).
+///   a — half ear-to-ear width (both halves share it), meters
+///   b — nose-side depth (front half-ellipse), meters
+///   c — back-of-head depth (back half-ellipse), meters
+struct HeadParameters {
+  double a = 0.075;
+  double b = 0.1025;
+  double c = 0.0925;
+
+  /// Anthropometrically plausible bounds for optimization.
+  static constexpr double kMinA = 0.060, kMaxA = 0.090;
+  static constexpr double kMinB = 0.085, kMaxB = 0.120;
+  static constexpr double kMinC = 0.075, kMaxC = 0.110;
+
+  bool isPlausible() const {
+    return a >= kMinA && a <= kMaxA && b >= kMinB && b <= kMaxB &&
+           c >= kMinC && c <= kMaxC;
+  }
+
+  /// Population-average head used for the "global template" HRTF.
+  static HeadParameters average() { return {0.075, 0.1025, 0.0925}; }
+
+  /// Draw a plausible random head. Front depth (nose side) exceeds back
+  /// depth for essentially all humans, so `c` is sampled below `b`.
+  static HeadParameters sample(Pcg32& rng) {
+    HeadParameters h;
+    h.a = rng.uniform(kMinA + 0.003, kMaxA - 0.003);
+    h.b = rng.uniform(0.095, kMaxB - 0.003);
+    const double gap = rng.uniform(0.006, 0.022);
+    h.c = h.b - gap;
+    if (h.c > kMaxC - 0.003) h.c = kMaxC - 0.003;
+    if (h.c < kMinC + 0.003) h.c = kMinC + 0.003;
+    return h;
+  }
+};
+
+/// Max absolute per-axis difference, a convenience metric for tests and
+/// experiment reports.
+inline double maxAxisError(const HeadParameters& x, const HeadParameters& y) {
+  double e = 0.0;
+  const double da = x.a > y.a ? x.a - y.a : y.a - x.a;
+  const double db = x.b > y.b ? x.b - y.b : y.b - x.b;
+  const double dc = x.c > y.c ? x.c - y.c : y.c - x.c;
+  e = da > db ? da : db;
+  return e > dc ? e : dc;
+}
+
+}  // namespace uniq::head

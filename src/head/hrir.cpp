@@ -1,0 +1,37 @@
+#include "head/hrir.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/convolution.h"
+
+namespace uniq::head {
+
+void normalizePeak(Hrir& hrir) {
+  double peak = 0.0;
+  for (double v : hrir.left) peak = std::max(peak, std::fabs(v));
+  for (double v : hrir.right) peak = std::max(peak, std::fabs(v));
+  if (peak < 1e-30) return;
+  const double g = 1.0 / peak;
+  for (auto& v : hrir.left) v *= g;
+  for (auto& v : hrir.right) v *= g;
+}
+
+double channelEnergy(const std::vector<double>& channel) {
+  double e = 0.0;
+  for (double v : channel) e += v * v;
+  return e;
+}
+
+BinauralSignal renderBinaural(const Hrir& hrir,
+                              const std::vector<double>& mono) {
+  UNIQ_REQUIRE(!hrir.empty(), "empty HRIR");
+  UNIQ_REQUIRE(!mono.empty(), "empty source signal");
+  BinauralSignal out;
+  out.left = dsp::convolve(mono, hrir.left);
+  out.right = dsp::convolve(mono, hrir.right);
+  return out;
+}
+
+}  // namespace uniq::head

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace uniq::head {
+
+/// Binaural head related impulse response: one time-domain channel per ear,
+/// at a common sample rate and a common time origin. The frequency-domain
+/// view (HRTF) is obtained by FFT; UNIQ works mostly with the time-domain
+/// form, as the paper does for alignment and interpolation (Section 4.2).
+struct Hrir {
+  std::vector<double> left;
+  std::vector<double> right;
+  double sampleRate = 0.0;
+
+  std::size_t length() const { return left.size(); }
+  bool empty() const { return left.empty() && right.empty(); }
+};
+
+/// Scale both channels so the largest absolute sample across the two is 1.
+/// No-op for silent responses. Relative interaural level differences are
+/// preserved.
+void normalizePeak(Hrir& hrir);
+
+/// Energy (sum of squares) of one channel.
+double channelEnergy(const std::vector<double>& channel);
+
+/// Mix a mono signal through the HRIR, producing the binaural pair the
+/// earphone would play (paper Section 4.4: Y = H * S per ear).
+struct BinauralSignal {
+  std::vector<double> left;
+  std::vector<double> right;
+};
+BinauralSignal renderBinaural(const Hrir& hrir,
+                              const std::vector<double>& mono);
+
+}  // namespace uniq::head

@@ -1,0 +1,122 @@
+#include "head/hrtf_database.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dsp/convolution.h"
+#include "dsp/fractional_delay.h"
+#include "dsp/signal_generators.h"
+#include "geometry/polar.h"
+
+namespace uniq::head {
+
+HrtfDatabase::HrtfDatabase(Subject subject, Options opts)
+    : subject_(std::move(subject)),
+      opts_(opts),
+      boundary_(std::make_unique<geo::HeadBoundary>(
+          subject_.headParams.a, subject_.headParams.b, subject_.headParams.c,
+          subject_.shapeHarmonics, opts.boundaryResolution)),
+      pinnaLeft_(subject_.pinnaSeed, geo::Ear::kLeft),
+      pinnaRight_(subject_.pinnaSeed, geo::Ear::kRight) {
+  UNIQ_REQUIRE(opts_.sampleRate > 8000, "sample rate too low");
+  UNIQ_REQUIRE(opts_.irLength >= 96, "IR length too short");
+  // Subject-specific face reflection pattern (independent per ear).
+  Pcg32 rng = Pcg32(subject_.pinnaSeed).fork(0xFACE);
+  for (int e = 0; e < 2; ++e) {
+    auto* refl = e == 0 ? reflectionsLeft_ : reflectionsRight_;
+    for (int j = 0; j < kFaceReflections; ++j) {
+      refl[j].delayOffsetUs = rng.uniform(130.0, 450.0) + 180.0 * j;
+      refl[j].gain = rng.uniform(0.30, 0.60) * std::pow(0.8, j);
+      refl[j].anglePhase = rng.uniform(0.0, kTwoPi);
+    }
+  }
+}
+
+std::vector<double> HrtfDatabase::composeEar(const geo::DiffractionPath& path,
+                                             geo::Ear ear, double tapDelaySec,
+                                             double mainAmplitude) const {
+  const double fs = opts_.sampleRate;
+  std::vector<double> taps(opts_.irLength, 0.0);
+  // The pinna IR leads with its direct tap a few samples in; shift the tap
+  // train back so the composed channel's first arrival lands exactly at
+  // tapDelaySec.
+  const double mainPos =
+      tapDelaySec * fs - PinnaModel::kDirectTapLeadSamples;
+  UNIQ_CHECK(mainPos >= 0.0 &&
+                 mainPos < static_cast<double>(opts_.irLength) - 40.0,
+             "tap position outside the IR window; increase irLength");
+  dsp::addFractionalTap(taps, mainPos, mainAmplitude, 8);
+
+  const double incidence =
+      PinnaModel::incidenceAngleDeg(*boundary_, ear, path.arrivalDirection);
+  const auto* refl =
+      ear == geo::Ear::kLeft ? reflectionsLeft_ : reflectionsRight_;
+  for (int j = 0; j < kFaceReflections; ++j) {
+    // Face reflections shift slightly with the arrival direction.
+    const double delayUs =
+        refl[j].delayOffsetUs *
+        (1.0 + 0.15 * std::sin(degToRad(incidence) + refl[j].anglePhase));
+    const double pos = mainPos + delayUs * 1e-6 * fs;
+    if (pos < static_cast<double>(opts_.irLength) - 40.0) {
+      dsp::addFractionalTap(taps, pos, mainAmplitude * refl[j].gain, 8);
+    }
+  }
+
+  const PinnaModel& pinna =
+      ear == geo::Ear::kLeft ? pinnaLeft_ : pinnaRight_;
+  const auto pinnaIr = pinna.impulseResponse(incidence, fs);
+  auto channel = dsp::convolve(taps, pinnaIr);
+  channel.resize(opts_.irLength);
+  return channel;
+}
+
+Hrir HrtfDatabase::nearFieldAt(geo::Vec2 source) const {
+  UNIQ_REQUIRE(!boundary_->isInside(source), "source inside the head");
+  Hrir hrir;
+  hrir.sampleRate = opts_.sampleRate;
+  for (geo::Ear ear : {geo::Ear::kLeft, geo::Ear::kRight}) {
+    const auto path = geo::nearFieldPath(*boundary_, source, ear);
+    const double delaySec = path.length / kSpeedOfSound;
+    const double amplitude =
+        (opts_.referenceDistance / std::max(path.length, 0.05)) *
+        std::exp(-opts_.arcAttenuationNepersPerMeter * path.arcLength);
+    auto channel = composeEar(path, ear, delaySec, amplitude);
+    (ear == geo::Ear::kLeft ? hrir.left : hrir.right) = std::move(channel);
+  }
+  return hrir;
+}
+
+Hrir HrtfDatabase::nearField(double thetaDeg, double radius) const {
+  UNIQ_REQUIRE(radius > 0.1 && radius < 1.5,
+               "near-field radius out of range (0.1, 1.5) m");
+  return nearFieldAt(geo::pointFromPolarDeg(thetaDeg, radius));
+}
+
+Hrir HrtfDatabase::farField(double thetaDeg) const {
+  // Plane wave propagating toward the head: the source sits at thetaDeg, so
+  // the propagation direction is the negated source direction.
+  const geo::Vec2 d = -geo::directionFromAzimuthDeg(thetaDeg);
+  Hrir hrir;
+  hrir.sampleRate = opts_.sampleRate;
+  for (geo::Ear ear : {geo::Ear::kLeft, geo::Ear::kRight}) {
+    const auto path = geo::farFieldPath(*boundary_, d, ear);
+    const double delaySec =
+        path.length / kSpeedOfSound + opts_.farFieldLeadSec;
+    const double amplitude =
+        std::exp(-opts_.arcAttenuationNepersPerMeter * path.arcLength);
+    auto channel = composeEar(path, ear, delaySec, amplitude);
+    (ear == geo::Ear::kLeft ? hrir.left : hrir.right) = std::move(channel);
+  }
+  return hrir;
+}
+
+Hrir withMeasurementNoise(const Hrir& hrir, double snrDb, Pcg32& rng) {
+  Hrir out = hrir;
+  dsp::addNoiseSnrDb(out.left, snrDb, rng);
+  dsp::addNoiseSnrDb(out.right, snrDb, rng);
+  return out;
+}
+
+}  // namespace uniq::head

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+
+#include "geometry/diffraction.h"
+#include "geometry/head_boundary.h"
+#include "head/hrir.h"
+#include "head/pinna_model.h"
+#include "head/subject.h"
+
+namespace uniq::head {
+
+/// Analytic ground-truth HRTF generator — the library's stand-in for the
+/// paper's anechoic-chamber measurement rig (Section 1: speaker sweeps
+/// around the seated user, ceiling-camera ground truth).
+///
+/// For a given subject it composes, per ear:
+///   1. the diffraction first tap (delay = shortest path around the head,
+///      amplitude = spreading loss x creeping-wave attenuation),
+///   2. a couple of subject-specific face-reflection taps (the later peaks
+///      visible in the paper's Figure 9),
+///   3. the subject's angle-dependent pinna micro-echo filter.
+/// Near-field responses use exact point-source geometry; far-field responses
+/// use plane-wave (parallel ray) geometry — the distinction at the heart of
+/// the paper's near-far conversion problem (Section 3.2, Figure 7).
+struct HrtfDatabaseOptions {
+  double sampleRate = 48000.0;
+  std::size_t irLength = 256;
+  /// Far-field responses place the wavefront-through-head-center instant
+  /// at this offset from the IR start, so negative relative delays fit.
+  double farFieldLeadSec = 1.0e-3;
+  /// Creeping-wave (diffraction) attenuation, nepers per meter of arc.
+  double arcAttenuationNepersPerMeter = 8.0;
+  /// Reference distance for the 1/r spreading normalization.
+  double referenceDistance = 0.30;
+  std::size_t boundaryResolution = 256;
+};
+
+class HrtfDatabase {
+ public:
+  using Options = HrtfDatabaseOptions;
+
+  explicit HrtfDatabase(Subject subject, Options opts = {});
+
+  /// Ground-truth near-field HRIR for a point source at polar angle
+  /// `thetaDeg` (paper convention: 0 = nose, 90 = left ear, 180 = back) and
+  /// distance `radius` meters from the head center. The IR time origin is
+  /// the source emission instant (absolute propagation delays preserved —
+  /// the phone and earbuds are synchronized in the paper's prototype).
+  Hrir nearField(double thetaDeg, double radius) const;
+
+  /// Ground-truth near-field HRIR for an arbitrary external source point.
+  Hrir nearFieldAt(geo::Vec2 source) const;
+
+  /// Ground-truth far-field HRIR for plane waves arriving from `thetaDeg`.
+  Hrir farField(double thetaDeg) const;
+
+  const geo::HeadBoundary& boundary() const { return *boundary_; }
+  const Subject& subject() const { return subject_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  struct FaceReflection {
+    double delayOffsetUs;
+    double gain;
+    double anglePhase;
+  };
+  static constexpr int kFaceReflections = 2;
+
+  std::vector<double> composeEar(const geo::DiffractionPath& path,
+                                 geo::Ear ear, double tapDelaySec,
+                                 double mainAmplitude) const;
+
+  Subject subject_;
+  Options opts_;
+  std::unique_ptr<geo::HeadBoundary> boundary_;
+  PinnaModel pinnaLeft_;
+  PinnaModel pinnaRight_;
+  FaceReflection reflectionsLeft_[kFaceReflections];
+  FaceReflection reflectionsRight_[kFaceReflections];
+};
+
+/// Additive measurement noise on an HRIR at the given SNR (dB relative to
+/// the RMS of each channel). Used to model the paper's "two separate
+/// measurements of ground truth" upper-bound comparison (Figure 18).
+Hrir withMeasurementNoise(const Hrir& hrir, double snrDb, Pcg32& rng);
+
+}  // namespace uniq::head

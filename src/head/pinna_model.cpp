@@ -1,0 +1,102 @@
+#include "head/pinna_model.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "dsp/biquad.h"
+#include "dsp/fractional_delay.h"
+
+namespace uniq::head {
+
+PinnaModel::PinnaModel(std::uint64_t userSeed, geo::Ear ear) {
+  Pcg32 rng = Pcg32(userSeed).fork(ear == geo::Ear::kLeft ? 101 : 202);
+  for (int k = 0; k < kEchoCount; ++k) {
+    Echo& e = echoes_[k];
+    // Echo delays spread over the physical pinna scale (sub-millisecond),
+    // later echoes progressively longer and weaker.
+    const double lo = 30.0 + 60.0 * k;
+    e.baseDelayUs = rng.uniform(lo, lo + 80.0);
+    e.delaySwingUs = rng.uniform(30.0, 90.0);
+    e.delayFreq = rng.uniform(0.8, 2.2);
+    e.delayPhase = rng.uniform(0.0, kTwoPi);
+    e.baseGain = rng.uniform(0.9, 1.6) * std::pow(0.9, k);
+    e.gainFreq = rng.uniform(0.8, 2.2);
+    e.gainPhase = rng.uniform(0.0, kTwoPi);
+  }
+  resonanceHz_ = rng.uniform(2000.0, 7000.0);
+  resonanceGain_ = rng.uniform(1.2, 2.4);
+  resonanceQ_ = rng.uniform(1.5, 3.5);
+  notches_[0].baseHz = rng.uniform(4500.0, 8000.0);
+  notches_[1].baseHz = rng.uniform(8500.0, 13000.0);
+  for (auto& nt : notches_) {
+    nt.swingHz = rng.uniform(1200.0, 2600.0);
+    nt.phase = rng.uniform(0.0, kTwoPi);
+    nt.depth = rng.uniform(0.65, 0.95);
+    nt.q = rng.uniform(2.5, 5.0);
+  }
+}
+
+std::vector<double> PinnaModel::impulseResponse(double incidenceDeg,
+                                                double sampleRate,
+                                                std::size_t length) const {
+  UNIQ_REQUIRE(sampleRate > 0, "sampleRate must be positive");
+  UNIQ_REQUIRE(length >= 16, "pinna IR length too short");
+  std::vector<double> ir(length, 0.0);
+  const double phi = degToRad(incidenceDeg);
+  // Direct tap.
+  dsp::addFractionalTap(ir, 4.0, 1.0, 4);
+  for (const Echo& e : echoes_) {
+    const double delayUs =
+        e.baseDelayUs + e.delaySwingUs * std::cos(e.delayFreq * phi +
+                                                  e.delayPhase);
+    const double gain =
+        e.baseGain *
+        (0.45 + 0.55 * (0.5 + 0.5 * std::cos(e.gainFreq * phi + e.gainPhase)));
+    const double delaySamples = 4.0 + delayUs * 1e-6 * sampleRate;
+    if (delaySamples < static_cast<double>(length) - 4.0) {
+      dsp::addFractionalTap(ir, delaySamples, gain, 4);
+    }
+  }
+
+  // Spectral coloration: concha/canal resonance boost plus two
+  // angle-dependent notches (real pinnae carry several, and their center
+  // frequencies migrate with the arrival direction).
+  dsp::Biquad resonance =
+      dsp::Biquad::bandpass(resonanceHz_, resonanceQ_, sampleRate);
+  const auto boosted = resonance.process(ir);
+  std::vector<double> out = ir;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] += resonanceGain_ * boosted[i];
+  for (const auto& nt : notches_) {
+    const double notchHz =
+        clamp(nt.baseHz + nt.swingHz * std::cos(phi + nt.phase), 1500.0,
+              0.45 * sampleRate);
+    dsp::Biquad notch = dsp::Biquad::bandpass(notchHz, nt.q, sampleRate);
+    const auto notched = notch.process(out);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] -= nt.depth * notched[i];
+  }
+  return out;
+}
+
+double PinnaModel::incidenceAngleDeg(const geo::HeadBoundary& head,
+                                     geo::Ear ear,
+                                     geo::Vec2 arrivalDirection) {
+  const std::size_t earIdx = ear == geo::Ear::kLeft ? head.leftEarIndex()
+                                                    : head.rightEarIndex();
+  const geo::Vec2 n = head.normal(earIdx);
+  const geo::Vec2 into = -arrivalDirection.normalized();
+  // Signed angle from the outward normal to the reversed propagation
+  // direction; sign convention: positive when the source is biased toward
+  // the front (+y side) of the head.
+  double ang = radToDeg(std::atan2(cross(n, into), dot(n, into)));
+  // Make "toward the front" positive for both ears (mirror the left ear,
+  // whose outward normal points -x).
+  if (ear == geo::Ear::kLeft) ang = -ang;
+  return ang;
+}
+
+}  // namespace uniq::head

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "geometry/head_boundary.h"
+#include "head/head_parameters.h"
+
+namespace uniq::head {
+
+/// A synthetic "volunteer": everything that is anatomically unique about a
+/// user. Replaces the paper's 5 human volunteers (see DESIGN.md,
+/// substitutions table).
+struct Subject {
+  std::string name;
+  HeadParameters headParams;
+  /// Seeds the pinna micro-echo curves (and the face-reflection pattern).
+  std::uint64_t pinnaSeed = 1;
+  /// True head-shape deviation from the ideal two-half-ellipse family; the
+  /// estimator never sees these (genuine model mismatch).
+  std::vector<geo::BoundaryHarmonic> shapeHarmonics;
+};
+
+/// Plausible random shape deviation (a few low-order harmonics, up to ~2%
+/// radial amplitude).
+inline std::vector<geo::BoundaryHarmonic> sampleShapeHarmonics(Pcg32& rng) {
+  std::vector<geo::BoundaryHarmonic> harmonics;
+  for (int order : {2, 3, 4}) {
+    geo::BoundaryHarmonic h;
+    h.order = order;
+    h.amplitude = rng.uniform(0.008, 0.030);
+    h.phaseRad = rng.uniform(0.0, 6.28318530718);
+    harmonics.push_back(h);
+  }
+  return harmonics;
+}
+
+/// Deterministically generate a population of distinct subjects.
+inline std::vector<Subject> makePopulation(std::size_t count,
+                                           std::uint64_t seed) {
+  std::vector<Subject> subjects;
+  subjects.reserve(count);
+  Pcg32 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    Subject s;
+    s.name = "volunteer-" + std::to_string(i + 1);
+    s.headParams = HeadParameters::sample(rng);
+    s.pinnaSeed = (seed * 1000003ULL) ^ (i * 7919ULL + 17ULL);
+    s.shapeHarmonics = sampleShapeHarmonics(rng);
+    subjects.push_back(std::move(s));
+  }
+  return subjects;
+}
+
+/// The subject whose HRTF plays the role of the paper's "global template"
+/// (the average HRTF shipped in products).
+inline Subject globalTemplateSubject() {
+  Subject s;
+  s.name = "global-template";
+  s.headParams = HeadParameters::average();
+  s.pinnaSeed = 0xABCDEF12345ULL;
+  return s;
+}
+
+}  // namespace uniq::head

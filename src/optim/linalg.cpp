@@ -1,0 +1,170 @@
+#include "optim/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace uniq::optim {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  UNIQ_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  UNIQ_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  UNIQ_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  UNIQ_REQUIRE(cols_ == other.rows_, "matrix dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = at(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c)
+        out.at(r, c) += v * other.at(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::apply(const std::vector<double>& v) const {
+  UNIQ_REQUIRE(v.size() == cols_, "vector dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += at(r, c) * v[c];
+  return out;
+}
+
+std::vector<double> symmetricEigenvalues(const Matrix& m,
+                                         std::size_t maxSweeps) {
+  UNIQ_REQUIRE(m.rows() == m.cols(), "matrix must be square");
+  const std::size_t n = m.rows();
+  Matrix a = m;
+  for (std::size_t sweep = 0; sweep < maxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a.at(p, q) * a.at(p, q);
+    if (off < 1e-22) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> eig(n);
+  for (std::size_t i = 0; i < n; ++i) eig[i] = a.at(i, i);
+  std::sort(eig.begin(), eig.end(), std::greater<>());
+  return eig;
+}
+
+std::vector<double> singularValues(const Matrix& a) {
+  const Matrix ata = a.transposed().multiply(a);
+  auto eig = symmetricEigenvalues(ata);
+  for (auto& v : eig) v = std::sqrt(std::max(v, 0.0));
+  return eig;
+}
+
+std::size_t numericalRank(const Matrix& a, double relativeTolerance) {
+  const auto sv = singularValues(a);
+  if (sv.empty() || sv.front() <= 0.0) return 0;
+  const double cutoff = sv.front() * relativeTolerance;
+  std::size_t rank = 0;
+  for (double s : sv)
+    if (s > cutoff) ++rank;
+  return rank;
+}
+
+double conditionNumber(const Matrix& a) {
+  const auto sv = singularValues(a);
+  UNIQ_CHECK(!sv.empty(), "no singular values");
+  const double smax = sv.front();
+  const double smin = sv.back();
+  if (smin < smax * 1e-15 || smin <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return smax / smin;
+}
+
+std::vector<double> solveLinear(Matrix m, std::vector<double> y) {
+  UNIQ_REQUIRE(m.rows() == m.cols() && y.size() == m.rows(),
+               "solveLinear needs a square system");
+  const std::size_t n = m.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(m.at(r, col)) > std::fabs(m.at(pivot, col))) pivot = r;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(m.at(col, c), m.at(pivot, c));
+      std::swap(y[col], y[pivot]);
+    }
+    const double p = m.at(col, col);
+    UNIQ_CHECK(std::fabs(p) > 1e-300, "singular system");
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = m.at(r, col) / p;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c)
+        m.at(r, c) -= f * m.at(col, c);
+      y[r] -= f * y[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= m.at(ri, c) * x[c];
+    x[ri] = acc / m.at(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> solveLeastSquares(const Matrix& a,
+                                      const std::vector<double>& b,
+                                      double lambda) {
+  UNIQ_REQUIRE(b.size() == a.rows(), "rhs dimension mismatch");
+  UNIQ_REQUIRE(lambda >= 0, "lambda must be >= 0");
+  const Matrix at = a.transposed();
+  Matrix normal = at.multiply(a);
+  for (std::size_t i = 0; i < normal.rows(); ++i)
+    normal.at(i, i) += lambda;
+  const auto rhs = at.apply(b);
+  return solveLinear(normal, rhs);
+}
+
+}  // namespace uniq::optim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace uniq::optim {
+
+/// Dense row-major real matrix, minimal interface for the library's small
+/// linear-algebra needs (the Section 4.3 decomposition study works with
+/// matrices of a few dozen rows/columns).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Matrix transposed() const;
+
+  /// this * other.
+  Matrix multiply(const Matrix& other) const;
+
+  /// this * vector.
+  std::vector<double> apply(const std::vector<double>& v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Eigenvalues of a symmetric matrix via the cyclic Jacobi method, sorted
+/// descending. The input must be square and (numerically) symmetric.
+std::vector<double> symmetricEigenvalues(const Matrix& m,
+                                         std::size_t maxSweeps = 50);
+
+/// Singular values of an arbitrary matrix (square roots of the eigenvalues
+/// of A^T A), sorted descending.
+std::vector<double> singularValues(const Matrix& a);
+
+/// 2-norm condition number sigma_max / sigma_min (infinity if the smallest
+/// singular value is ~0).
+double conditionNumber(const Matrix& a);
+
+/// Numerical rank: number of singular values above
+/// relativeTolerance * sigma_max.
+std::size_t numericalRank(const Matrix& a, double relativeTolerance = 1e-9);
+
+/// Solve min ||A x - b||^2 + lambda ||x||^2 via the normal equations with
+/// Gaussian elimination (partial pivoting). lambda = 0 gives plain least
+/// squares; a small lambda regularizes rank-deficient systems.
+std::vector<double> solveLeastSquares(const Matrix& a,
+                                      const std::vector<double>& b,
+                                      double lambda = 0.0);
+
+/// Solve the square linear system M x = y (partial-pivot Gaussian
+/// elimination). Throws NumericalFailure on a singular pivot.
+std::vector<double> solveLinear(Matrix m, std::vector<double> y);
+
+}  // namespace uniq::optim

@@ -1,0 +1,111 @@
+#include "optim/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uniq::optim {
+
+MinimizeResult nelderMead(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x0, const NelderMeadOptions& opts) {
+  UNIQ_REQUIRE(!x0.empty(), "nelderMead needs at least one dimension");
+  const std::size_t n = x0.size();
+
+  // Standard coefficients.
+  const double alpha = 1.0;   // reflection
+  const double gamma = 2.0;   // expansion
+  const double rho = 0.5;     // contraction
+  const double sigma = 0.5;   // shrink
+
+  struct Vertex {
+    std::vector<double> x;
+    double fx;
+  };
+  std::vector<Vertex> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back({x0, f(x0)});
+  for (std::size_t i = 0; i < n; ++i) {
+    auto x = x0;
+    x[i] += opts.initialStep;
+    simplex.push_back({x, f(x)});
+  }
+
+  auto sortSimplex = [&] {
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.fx < b.fx; });
+  };
+  sortSimplex();
+
+  MinimizeResult result;
+  std::size_t iter = 0;
+  for (; iter < opts.maxIterations; ++iter) {
+    // Convergence checks.
+    const double fSpread = simplex.back().fx - simplex.front().fx;
+    double xSpread = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      xSpread = std::max(
+          xSpread, std::fabs(simplex.back().x[i] - simplex.front().x[i]));
+    }
+    if (fSpread < opts.fTolerance && xSpread < opts.xTolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[v].x[i];
+    for (auto& c : centroid) c /= static_cast<double>(n);
+
+    const Vertex& worst = simplex.back();
+    std::vector<double> reflected(n);
+    for (std::size_t i = 0; i < n; ++i)
+      reflected[i] = centroid[i] + alpha * (centroid[i] - worst.x[i]);
+    const double fReflected = f(reflected);
+
+    if (fReflected < simplex.front().fx) {
+      // Try expansion.
+      std::vector<double> expanded(n);
+      for (std::size_t i = 0; i < n; ++i)
+        expanded[i] = centroid[i] + gamma * (reflected[i] - centroid[i]);
+      const double fExpanded = f(expanded);
+      if (fExpanded < fReflected) {
+        simplex.back() = {std::move(expanded), fExpanded};
+      } else {
+        simplex.back() = {std::move(reflected), fReflected};
+      }
+    } else if (fReflected < simplex[n - 1].fx) {
+      simplex.back() = {std::move(reflected), fReflected};
+    } else {
+      // Contraction (outside if reflected better than worst, else inside).
+      const bool outside = fReflected < worst.fx;
+      std::vector<double> contracted(n);
+      const auto& towards = outside ? reflected : worst.x;
+      for (std::size_t i = 0; i < n; ++i)
+        contracted[i] = centroid[i] + rho * (towards[i] - centroid[i]);
+      const double fContracted = f(contracted);
+      if (fContracted < (outside ? fReflected : worst.fx)) {
+        simplex.back() = {std::move(contracted), fContracted};
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t v = 1; v <= n; ++v) {
+          for (std::size_t i = 0; i < n; ++i) {
+            simplex[v].x[i] = simplex[0].x[i] +
+                              sigma * (simplex[v].x[i] - simplex[0].x[i]);
+          }
+          simplex[v].fx = f(simplex[v].x);
+        }
+      }
+    }
+    sortSimplex();
+  }
+
+  result.x = simplex.front().x;
+  result.fValue = simplex.front().fx;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace uniq::optim

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace uniq::optim {
+
+/// Options for the Nelder-Mead simplex minimizer.
+struct NelderMeadOptions {
+  std::size_t maxIterations = 300;
+  /// Stop when the simplex's function-value spread falls below this.
+  double fTolerance = 1e-10;
+  /// Stop when the simplex's largest vertex distance falls below this.
+  double xTolerance = 1e-9;
+  /// Initial simplex step per dimension (relative steps are the caller's
+  /// responsibility; this is an absolute perturbation added per coordinate).
+  double initialStep = 0.01;
+};
+
+/// Result of a minimization.
+struct MinimizeResult {
+  std::vector<double> x;
+  double fValue = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Derivative-free Nelder-Mead simplex minimization of f over R^n starting
+/// from x0. Used by UNIQ's sensor-fusion module to minimize the IMU-vs-
+/// acoustic angle disagreement over the head parameters E = (a, b, c)
+/// (paper Eq. 2).
+MinimizeResult nelderMead(const std::function<double(const std::vector<double>&)>& f,
+                          const std::vector<double>& x0,
+                          const NelderMeadOptions& opts = {});
+
+}  // namespace uniq::optim

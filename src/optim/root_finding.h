@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace uniq::optim {
+
+/// Options for 1-D root finding.
+struct RootOptions {
+  double xTolerance = 1e-10;
+  std::size_t maxIterations = 100;
+};
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) to have opposite signs.
+/// Returns the root. Throws NumericalFailure when the bracket is invalid.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              const RootOptions& opts = {});
+
+/// Brent's method (inverse-quadratic + secant + bisection fallback) on a
+/// bracketing interval [lo, hi]. Faster convergence than plain bisection.
+double brent(const std::function<double(double)>& f, double lo, double hi,
+             const RootOptions& opts = {});
+
+/// Scan [lo, hi] in `steps` uniform intervals and return each sub-interval
+/// [x_i, x_{i+1}] where f changes sign, refined by Brent. Useful for
+/// collecting all roots of a scalar function (UNIQ's iso-delay curve
+/// intersection can have a front and a back solution).
+std::vector<double> findAllRoots(const std::function<double(double)>& f,
+                                 double lo, double hi, std::size_t steps,
+                                 const RootOptions& opts = {});
+
+}  // namespace uniq::optim

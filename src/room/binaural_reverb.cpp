@@ -1,0 +1,107 @@
+#include "room/binaural_reverb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dsp/convolution.h"
+#include "dsp/fractional_delay.h"
+#include "geometry/polar.h"
+
+namespace uniq::room {
+
+BinauralRoomRenderer::BinauralRoomRenderer(const core::FarFieldTable& hrtf,
+                                           RoomGeometry geometry,
+                                           Options opts)
+    : hrtf_(hrtf), geometry_(geometry), opts_(opts) {
+  UNIQ_REQUIRE(hrtf_.byDegree.size() == 181, "HRTF table must cover 0..180");
+  UNIQ_REQUIRE(opts_.dynamicRangeDb > 0, "dynamic range must be positive");
+}
+
+head::Hrir BinauralRoomRenderer::roomImpulseResponse(geo::Vec2 listener,
+                                                     double yawDeg,
+                                                     geo::Vec2 source) const {
+  UNIQ_REQUIRE(listener.x > 0 && listener.x < geometry_.widthM &&
+                   listener.y > 0 && listener.y < geometry_.depthM,
+               "listener must be inside the room");
+  const auto images = computeImageSources(geometry_, source);
+  const double fs = hrtf_.sampleRate;
+
+  // Find the direct amplitude (for the dynamic-range cut) and the latest
+  // arrival (for sizing the output).
+  double directAmp = 0.0;
+  double maxDelaySamples = 0.0;
+  for (const auto& img : images) {
+    const double dist = std::max(geo::distance(img.position, listener), 0.1);
+    if (img.order == 0) directAmp = img.gain / dist;
+    maxDelaySamples =
+        std::max(maxDelaySamples, dist / kSpeedOfSound * fs);
+  }
+  UNIQ_CHECK(directAmp > 0, "no direct path found");
+  const double cutoff =
+      directAmp * std::pow(10.0, -opts_.dynamicRangeDb / 20.0);
+
+  const std::size_t hrirLen = hrtf_.byDegree[0].left.size();
+  const auto outLen = static_cast<std::size_t>(maxDelaySamples) + hrirLen +
+                      opts_.tailSamples;
+  head::Hrir out;
+  out.sampleRate = fs;
+  out.left.assign(outLen, 0.0);
+  out.right.assign(outLen, 0.0);
+
+  for (const auto& img : images) {
+    const double dist = std::max(geo::distance(img.position, listener), 0.1);
+    const double amp = img.gain / dist;
+    if (amp < cutoff) continue;
+
+    // Arrival azimuth in the listener's head frame.
+    const geo::Vec2 toImage = img.position - listener;
+    const double worldBearing = geo::azimuthDegOfPoint(toImage);
+    double rel = worldBearing - yawDeg;
+    rel = radToDeg(wrapPi(degToRad(rel)));  // (-180, 180]
+    const bool fromRight = rel < 0.0;
+    const double tableAngle = clamp(std::fabs(rel), 0.0, 180.0);
+    const auto& hrir = hrtf_.at(tableAngle);
+
+    const double delaySamples = dist / kSpeedOfSound * fs;
+    // Mirror ears for right-hemifield arrivals (symmetric-head fold).
+    const auto& srcL = fromRight ? hrir.right : hrir.left;
+    const auto& srcR = fromRight ? hrir.left : hrir.right;
+    // The table anchors the earlier ear's tap at its alignSample; shift so
+    // that anchor lands at the absolute arrival delay.
+    const double anchor =
+        std::min(hrtf_.tapLeftSamples[static_cast<std::size_t>(
+                     std::lround(tableAngle))],
+                 hrtf_.tapRightSamples[static_cast<std::size_t>(
+                     std::lround(tableAngle))]);
+    for (std::size_t i = 0; i < srcL.size(); ++i) {
+      const double pos = delaySamples - anchor + static_cast<double>(i);
+      if (pos < 0) continue;
+      const auto idx = static_cast<std::size_t>(pos);
+      if (idx + 1 >= outLen) break;
+      // Linear split of the fractional position (the HRIR is already
+      // band-limited, so linear interpolation here is adequate and cheap).
+      const double frac = pos - static_cast<double>(idx);
+      out.left[idx] += amp * srcL[i] * (1.0 - frac);
+      out.left[idx + 1] += amp * srcL[i] * frac;
+      out.right[idx] += amp * srcR[i] * (1.0 - frac);
+      out.right[idx + 1] += amp * srcR[i] * frac;
+    }
+  }
+  return out;
+}
+
+head::BinauralSignal BinauralRoomRenderer::render(
+    geo::Vec2 listener, double yawDeg, geo::Vec2 source,
+    const std::vector<double>& mono) const {
+  UNIQ_REQUIRE(!mono.empty(), "empty source signal");
+  const auto rir = roomImpulseResponse(listener, yawDeg, source);
+  head::BinauralSignal out;
+  out.left = dsp::convolve(mono, rir.left);
+  out.right = dsp::convolve(mono, rir.right);
+  return out;
+}
+
+}  // namespace uniq::room

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "core/near_far.h"
+#include "head/hrir.h"
+#include "room/image_source.h"
+
+namespace uniq::room {
+
+struct BinauralRoomRendererOptions {
+  /// Keep image sources whose direct amplitude (gain/r) falls within this
+  /// many dB of the direct path.
+  double dynamicRangeDb = 40.0;
+  /// Length of the composed binaural room impulse response tail kept after
+  /// the latest image arrival, samples.
+  std::size_t tailSamples = 256;
+};
+
+/// Renders a sound source inside a room to binaural audio: every image
+/// source is a plane-wave arrival from its own direction, filtered through
+/// the (personalized) far-field HRTF at that angle with the correct delay
+/// and level. This is the paper's Section 7 "Integrating Room Multipath"
+/// follow-up built on the UNIQ output table.
+class BinauralRoomRenderer {
+ public:
+  using Options = BinauralRoomRendererOptions;
+
+  /// `hrtf` must outlive the renderer. The HRTF table covers azimuths
+  /// [0, 180] on the LEFT side; arrivals from the right hemifield use the
+  /// mirrored angle with swapped ears (symmetric-head approximation, the
+  /// standard practice when only one hemifield is measured).
+  BinauralRoomRenderer(const core::FarFieldTable& hrtf,
+                       RoomGeometry geometry, Options opts = {});
+
+  /// Compose the binaural room impulse response for a listener at
+  /// `listener` facing `yawDeg` (0 = toward +y, the room's depth axis) and
+  /// a source at `source` (both in room coordinates, meters).
+  head::Hrir roomImpulseResponse(geo::Vec2 listener, double yawDeg,
+                                 geo::Vec2 source) const;
+
+  /// Render a mono signal from `source` to the listener's ears.
+  head::BinauralSignal render(geo::Vec2 listener, double yawDeg,
+                              geo::Vec2 source,
+                              const std::vector<double>& mono) const;
+
+  const RoomGeometry& geometry() const { return geometry_; }
+
+ private:
+  const core::FarFieldTable& hrtf_;
+  RoomGeometry geometry_;
+  Options opts_;
+};
+
+}  // namespace uniq::room

@@ -1,0 +1,78 @@
+#include "room/image_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uniq::room {
+
+std::vector<ImageSource> computeImageSources(const RoomGeometry& geometry,
+                                             geo::Vec2 source) {
+  UNIQ_REQUIRE(geometry.widthM > 0 && geometry.depthM > 0, "bad room size");
+  UNIQ_REQUIRE(geometry.wallReflection >= 0 && geometry.wallReflection < 1,
+               "wall reflection must be in [0, 1)");
+  UNIQ_REQUIRE(geometry.maxOrder >= 0 && geometry.maxOrder <= 8,
+               "maxOrder out of range [0, 8]");
+  UNIQ_REQUIRE(source.x > 0 && source.x < geometry.widthM && source.y > 0 &&
+                   source.y < geometry.depthM,
+               "source must be inside the room");
+
+  // Classic 2D image-source expansion for a rectangle: along each axis the
+  // image coordinates are 2*p*L + s (even images, |2p| wall hits) and
+  // 2*p*L - s (odd images, |2p - 1| wall hits).
+  struct AxisImage {
+    double coord;
+    int hits;
+  };
+  const auto axisImages = [&](double s, double length) {
+    std::vector<AxisImage> out;
+    for (int p = -geometry.maxOrder; p <= geometry.maxOrder; ++p) {
+      out.push_back({2.0 * p * length + s, std::abs(2 * p)});
+      out.push_back({2.0 * p * length - s, std::abs(2 * p - 1)});
+    }
+    return out;
+  };
+
+  const auto xs = axisImages(source.x, geometry.widthM);
+  const auto ys = axisImages(source.y, geometry.depthM);
+
+  std::vector<ImageSource> images;
+  for (const auto& xi : xs) {
+    for (const auto& yi : ys) {
+      const int order = xi.hits + yi.hits;
+      if (order > geometry.maxOrder) continue;
+      ImageSource img;
+      img.position = {xi.coord, yi.coord};
+      img.order = order;
+      img.gain = std::pow(geometry.wallReflection, order);
+      images.push_back(img);
+    }
+  }
+  // Direct source first, then by ascending order (stable, deterministic).
+  std::sort(images.begin(), images.end(),
+            [](const ImageSource& a, const ImageSource& b) {
+              if (a.order != b.order) return a.order < b.order;
+              if (a.position.x != b.position.x)
+                return a.position.x < b.position.x;
+              return a.position.y < b.position.y;
+            });
+  return images;
+}
+
+double reverberantToDirectRatio(const std::vector<ImageSource>& images,
+                                geo::Vec2 listener) {
+  double direct = 0.0, reverb = 0.0;
+  for (const auto& img : images) {
+    const double dist = std::max(geo::distance(img.position, listener), 0.1);
+    const double amp = img.gain / dist;
+    if (img.order == 0) {
+      direct += amp * amp;
+    } else {
+      reverb += amp * amp;
+    }
+  }
+  return direct > 0 ? reverb / direct : 0.0;
+}
+
+}  // namespace uniq::room

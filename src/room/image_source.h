@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace uniq::room {
+
+/// Rectangular room [0, width] x [0, depth] (2D plan view, matching the
+/// library's 2D HRTF scope). Implements the paper's Section 7 follow-up:
+/// "a real immersive experience can only be achieved by filtering the
+/// earphone sound with both the room impulse response (RIR) and the HRTF".
+struct RoomGeometry {
+  double widthM = 6.0;
+  double depthM = 4.0;
+  /// Wall amplitude reflection coefficient in [0, 1) (1 - absorption).
+  double wallReflection = 0.6;
+  /// Maximum reflection order to expand in the image-source method.
+  int maxOrder = 3;
+};
+
+/// One virtual (image) source produced by mirroring the real source over
+/// the walls. `gain` carries the accumulated wall reflection losses but not
+/// the distance spreading (the renderer applies 1/r per listener position).
+struct ImageSource {
+  geo::Vec2 position{};
+  double gain = 1.0;
+  int order = 0;  ///< total number of wall reflections
+};
+
+/// Expand all image sources up to geometry.maxOrder for a real source
+/// inside the room. The order-0 entry (the direct source) comes first.
+std::vector<ImageSource> computeImageSources(const RoomGeometry& geometry,
+                                             geo::Vec2 source);
+
+/// Total reverberant-to-direct energy ratio at a listener position
+/// (diagnostic; direct = order 0).
+double reverberantToDirectRatio(const std::vector<ImageSource>& images,
+                                geo::Vec2 listener);
+
+}  // namespace uniq::room

@@ -1,0 +1,92 @@
+#include "sim/hardware_model.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dsp/biquad.h"
+#include "dsp/deconvolution.h"
+#include "dsp/signal_generators.h"
+#include "dsp/spectrum.h"
+
+namespace uniq::sim {
+
+HardwareModel::HardwareModel(Options opts) : opts_(opts) {
+  UNIQ_REQUIRE(opts_.sampleRate > 8000, "sample rate too low");
+  UNIQ_REQUIRE(dsp::isPowerOfTwo(opts_.gridSize), "gridSize must be 2^k");
+  UNIQ_REQUIRE(opts_.lowpassHz < opts_.sampleRate / 2, "lowpass beyond Nyquist");
+
+  const dsp::Biquad hp1 =
+      dsp::Biquad::highpass(opts_.highpassHz, 0.8, opts_.sampleRate);
+  const dsp::Biquad hp2 =
+      dsp::Biquad::highpass(opts_.highpassHz * 0.6, 0.9, opts_.sampleRate);
+  const dsp::Biquad lp =
+      dsp::Biquad::lowpass(opts_.lowpassHz, 0.7, opts_.sampleRate);
+
+  // Smooth device-specific ripple: a few random-phase sinusoids in
+  // log-frequency.
+  Pcg32 rng(opts_.rippleSeed);
+  struct RippleTerm {
+    double cycles, phase, weight;
+  };
+  RippleTerm terms[4];
+  double weightSum = 0.0;
+  for (auto& t : terms) {
+    t.cycles = rng.uniform(1.5, 6.0);
+    t.phase = rng.uniform(0.0, kTwoPi);
+    t.weight = rng.uniform(0.5, 1.0);
+    weightSum += t.weight;
+  }
+
+  const std::size_t n = opts_.gridSize;
+  response_.assign(n, dsp::Complex(0, 0));
+  const double fLo = 40.0;
+  const double fHi = opts_.sampleRate / 2.0;
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double f = dsp::binFrequency(k, n, opts_.sampleRate);
+    dsp::Complex h = hp1.responseAt(f, opts_.sampleRate) *
+                     hp2.responseAt(f, opts_.sampleRate) *
+                     lp.responseAt(f, opts_.sampleRate);
+    if (f > fLo) {
+      const double u = std::log(f / fLo) / std::log(fHi / fLo);  // 0..1
+      double r = 0.0;
+      for (const auto& t : terms)
+        r += t.weight * std::sin(kTwoPi * t.cycles * u + t.phase);
+      r /= weightSum;
+      h *= dbToAmplitude(0.5 * opts_.rippleDb * r);
+    }
+    response_[k] = h;
+    if (k > 0 && k < n / 2) response_[n - k] = std::conj(h);
+  }
+}
+
+std::vector<double> HardwareModel::apply(
+    const std::vector<double>& signal) const {
+  // Keep a short settling tail so the IIR-like decay is not truncated.
+  return dsp::applyFrequencyResponse(signal, response_, 256);
+}
+
+std::vector<dsp::Complex> HardwareModel::estimateResponse(double snrDb,
+                                                          Pcg32& rng) const {
+  // Co-located chirp measurement (Section 4.6): the estimated response is
+  // deconvolve(mic recording, chirp), evaluated on the same grid.
+  const std::size_t chirpLen = opts_.gridSize / 2;
+  auto chirp = dsp::linearChirp(60.0, opts_.sampleRate * 0.45, chirpLen,
+                                opts_.sampleRate);
+  auto recorded = apply(chirp);
+  dsp::addNoiseSnrDb(recorded, snrDb, rng);
+  recorded.resize(opts_.gridSize);
+  chirp.resize(opts_.gridSize, 0.0);
+  auto fy = dsp::fftReal(recorded);
+  auto fx = dsp::fftReal(chirp);
+  return dsp::regularizedSpectralDivide(fy, fx, 1e-4);
+}
+
+double HardwareModel::magnitudeDbAt(double freqHz) const {
+  const std::size_t bin =
+      dsp::frequencyToBin(freqHz, opts_.gridSize, opts_.sampleRate);
+  return amplitudeToDb(std::abs(response_[bin]));
+}
+
+}  // namespace uniq::sim

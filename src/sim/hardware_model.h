@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "dsp/fft.h"
+
+namespace uniq::sim {
+
+/// Combined speaker + in-ear-microphone frequency response.
+///
+/// Models the paper's commodity hardware (Figure 16): unusable below
+/// ~50 Hz, reasonably flat over 100 Hz - 10 kHz with gentle device-specific
+/// ripple, rolling off toward 16 kHz. Every simulated recording passes
+/// through this chain, and the UNIQ pipeline must compensate for it
+/// (Section 4.6, "System frequency response compensation").
+struct HardwareModelOptions {
+  double sampleRate = 48000.0;
+  double highpassHz = 80.0;
+  double lowpassHz = 16000.0;
+  double rippleDb = 2.5;        ///< peak-to-peak in-band ripple
+  std::uint64_t rippleSeed = 7;
+  std::size_t gridSize = 4096;  ///< frequency grid resolution
+};
+
+class HardwareModel {
+ public:
+  using Options = HardwareModelOptions;
+
+  explicit HardwareModel(Options opts = {});
+
+  /// The true complex response sampled on the internal grid (covers
+  /// [0, sampleRate) with conjugate symmetry).
+  const std::vector<dsp::Complex>& response() const { return response_; }
+
+  double sampleRate() const { return opts_.sampleRate; }
+
+  /// Pass a signal through the speaker-mic chain.
+  std::vector<double> apply(const std::vector<double>& signal) const;
+
+  /// Simulate the paper's compensation procedure: play a chirp with the mic
+  /// co-located with the speaker and estimate the response by
+  /// deconvolution. Returns the (slightly noisy) estimated response on the
+  /// same grid as response(). `snrDb` is the co-located recording SNR.
+  std::vector<dsp::Complex> estimateResponse(double snrDb, Pcg32& rng) const;
+
+  /// Magnitude (dB) of the true response at a frequency, for reporting.
+  double magnitudeDbAt(double freqHz) const;
+
+ private:
+  Options opts_;
+  std::vector<dsp::Complex> response_;
+};
+
+}  // namespace uniq::sim

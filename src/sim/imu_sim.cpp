@@ -1,0 +1,101 @@
+#include "sim/imu_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace uniq::sim {
+
+namespace {
+
+/// Piecewise-linear interpolation of the trajectory's true angle at time t.
+double trueAngleAt(const std::vector<TrajectoryPoint>& traj, double t) {
+  if (t <= traj.front().timeSec) return traj.front().trueAngleDeg;
+  if (t >= traj.back().timeSec) return traj.back().trueAngleDeg;
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    if (t <= traj[i].timeSec) {
+      const double u = inverseLerp(traj[i - 1].timeSec, traj[i].timeSec, t);
+      return lerp(traj[i - 1].trueAngleDeg, traj[i].trueAngleDeg, u);
+    }
+  }
+  return traj.back().trueAngleDeg;
+}
+
+}  // namespace
+
+GyroTrace simulateGyro(const std::vector<TrajectoryPoint>& trajectory,
+                       const ImuNoiseModel& model, Pcg32& rng,
+                       double sampleRate) {
+  UNIQ_REQUIRE(trajectory.size() >= 2, "trajectory too short");
+  UNIQ_REQUIRE(sampleRate >= 10.0, "gyro rate too low");
+  GyroTrace trace;
+  trace.sampleRate = sampleRate;
+  const double duration = trajectory.back().timeSec;
+  const auto n = static_cast<std::size_t>(duration * sampleRate) + 1;
+  trace.rateDegPerSec.resize(n);
+
+  const double bias =
+      (rng.nextDouble() < 0.5 ? -1.0 : 1.0) * model.biasDegPerSec;
+  // Facing error: slow sinusoid plus an independent re-aiming offset at
+  // each stop; both perturb the gyro through their derivative.
+  const double faceAmp = model.facingErrorDeg;
+  const double faceFreq = rng.uniform(0.05, 0.15);  // Hz
+  const double facePhase = rng.uniform(0.0, kTwoPi);
+  std::vector<double> aimOffsets(trajectory.size());
+  for (auto& a : aimOffsets) a = rng.gaussian(0.0, model.aimJitterDeg);
+
+  std::size_t stopIdx = 0;
+  const auto aimAt = [&](double t) {
+    while (stopIdx + 1 < trajectory.size() &&
+           t >= trajectory[stopIdx + 1].timeSec)
+      ++stopIdx;
+    return aimOffsets[stopIdx];
+  };
+
+  const double dt = 1.0 / sampleRate;
+  double prevOrientation = trajectory.front().trueAngleDeg +
+                           faceAmp * std::sin(facePhase) + aimOffsets[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    const double orientation =
+        trueAngleAt(trajectory, t) +
+        faceAmp * std::sin(kTwoPi * faceFreq * t + facePhase) + aimAt(t);
+    const double rate = (orientation - prevOrientation) / dt;
+    prevOrientation = orientation;
+    trace.rateDegPerSec[i] =
+        rate + bias + rng.gaussian(0.0, model.noiseDegPerSec);
+  }
+  return trace;
+}
+
+std::vector<double> integrateGyro(const GyroTrace& trace,
+                                  double initialAngleDeg) {
+  std::vector<double> angle(trace.rateDegPerSec.size());
+  const double dt = 1.0 / trace.sampleRate;
+  double acc = initialAngleDeg;
+  for (std::size_t i = 0; i < trace.rateDegPerSec.size(); ++i) {
+    acc += trace.rateDegPerSec[i] * dt;
+    angle[i] = acc;
+  }
+  return angle;
+}
+
+std::vector<double> anglesAtStops(const GyroTrace& trace,
+                                  double initialAngleDeg,
+                                  const std::vector<TrajectoryPoint>& stops) {
+  const auto integrated = integrateGyro(trace, initialAngleDeg);
+  std::vector<double> out;
+  out.reserve(stops.size());
+  for (const auto& stop : stops) {
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(stop.timeSec * trace.sampleRate,
+                         static_cast<double>(integrated.size() - 1)));
+    out.push_back(integrated[idx]);
+  }
+  return out;
+}
+
+}  // namespace uniq::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "sim/trajectory.h"
+
+namespace uniq::sim {
+
+/// A simulated gyroscope log: angular-rate samples around the vertical axis
+/// at a fixed rate (the paper logs 100 Hz IMU data, Section 5).
+struct GyroTrace {
+  double sampleRate = 100.0;
+  std::vector<double> rateDegPerSec;  ///< measured angular rate samples
+};
+
+/// Gyroscope error model. Angular-rate sensing is good; what ruins IMU
+/// *positioning* is the double integration of accelerometer data, which is
+/// why UNIQ works in polar coordinates and takes only the angle from the
+/// gyro (Section 3.1).
+struct ImuNoiseModel {
+  double biasDegPerSec = 0.25;    ///< constant-bias magnitude (random sign)
+  double noiseDegPerSec = 1.2;    ///< white noise per sample
+  /// Slowly-varying facing error: the user cannot keep the phone screen
+  /// perfectly aimed at the eyes (paper Section 5.1 attributes most
+  /// localization error to this).
+  double facingErrorDeg = 4.0;
+  /// Independent re-aiming error at each stop (deg, 1 sigma).
+  double aimJitterDeg = 2.5;
+};
+
+/// Simulate the gyro log for a calibration sweep. The phone's orientation
+/// follows the trajectory's polar angle (the user faces the screen toward
+/// the eyes), plus facing error; the gyro measures its derivative with bias
+/// and noise.
+GyroTrace simulateGyro(const std::vector<TrajectoryPoint>& trajectory,
+                       const ImuNoiseModel& model, Pcg32& rng,
+                       double sampleRate = 100.0);
+
+/// Estimation-side gyro integration: cumulative angle at each gyro sample,
+/// starting from `initialAngleDeg` (the sweep's known start pose).
+std::vector<double> integrateGyro(const GyroTrace& trace,
+                                  double initialAngleDeg);
+
+/// Sample an integrated angle trace at the trajectory stop times.
+std::vector<double> anglesAtStops(const GyroTrace& trace,
+                                  double initialAngleDeg,
+                                  const std::vector<TrajectoryPoint>& stops);
+
+}  // namespace uniq::sim

@@ -1,0 +1,68 @@
+#include "sim/measurement_session.h"
+
+#include "common/error.h"
+#include "dsp/signal_generators.h"
+
+namespace uniq::sim {
+
+MeasurementSession::MeasurementSession(Options opts) : opts_(opts) {
+  UNIQ_REQUIRE(opts_.chirpF1Hz <= opts_.sampleRate / 2.0 * 0.95,
+               "chirp end frequency too close to Nyquist");
+}
+
+CalibrationCapture MeasurementSession::run(const head::Subject& subject,
+                                           const GestureProfile& gesture) const {
+  Pcg32 rng(opts_.noiseSeed ^ subject.pinnaSeed);
+
+  head::HrtfDatabase::Options dbOpts;
+  dbOpts.sampleRate = opts_.sampleRate;
+  const head::HrtfDatabase truth(subject, dbOpts);
+
+  HardwareModel::Options hwOpts;
+  hwOpts.sampleRate = opts_.sampleRate;
+  const HardwareModel hardware(hwOpts);
+
+  RoomModel::Options roomOpts;
+  roomOpts.sampleRate = opts_.sampleRate;
+  roomOpts.seed = opts_.noiseSeed * 31 + 7;
+  const RoomModel room(roomOpts);
+
+  BinauralRecorder::Options recOpts;
+  recOpts.snrDb = opts_.recordingSnrDb;
+  const BinauralRecorder recorder(truth, hardware, room, recOpts);
+
+  CalibrationCapture capture;
+  capture.sampleRate = opts_.sampleRate;
+  const auto chirpSamples = static_cast<std::size_t>(
+      opts_.chirpDurationSec * opts_.sampleRate);
+  capture.sourceSignal = dsp::linearChirp(opts_.chirpF0Hz, opts_.chirpF1Hz,
+                                          chirpSamples, opts_.sampleRate);
+
+  Pcg32 hwRng = rng.fork(0x11);
+  capture.hardwareResponseEstimate =
+      hardware.estimateResponse(opts_.hardwareEstimateSnrDb, hwRng);
+
+  Pcg32 gestureRng = rng.fork(0x22);
+  capture.truth.trajectory = generateTrajectory(gesture, gestureRng);
+  capture.truth.subject = subject;
+
+  Pcg32 imuRng = rng.fork(0x33);
+  const auto gyro =
+      simulateGyro(capture.truth.trajectory, opts_.imuModel, imuRng);
+  // The estimator integrates from the *instructed* start angle.
+  const auto imuAngles = anglesAtStops(gyro, gesture.angleStartDeg,
+                                       capture.truth.trajectory);
+
+  Pcg32 recRng = rng.fork(0x44);
+  capture.stops.reserve(capture.truth.trajectory.size());
+  for (std::size_t i = 0; i < capture.truth.trajectory.size(); ++i) {
+    CalibrationStop stop;
+    stop.imuAngleDeg = imuAngles[i];
+    stop.recording = recorder.recordNearField(
+        capture.truth.trajectory[i].position, capture.sourceSignal, recRng);
+    capture.stops.push_back(std::move(stop));
+  }
+  return capture;
+}
+
+}  // namespace uniq::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "head/hrtf_database.h"
+#include "sim/imu_sim.h"
+#include "sim/recorder.h"
+#include "sim/trajectory.h"
+
+namespace uniq::sim {
+
+/// One phone stop as seen by the estimation pipeline: the IMU-integrated
+/// phone orientation and the binaural recording of the known chirp.
+struct CalibrationStop {
+  double imuAngleDeg = 0.0;
+  BinauralRecording recording;
+};
+
+/// Everything the UNIQ pipeline receives from one at-home calibration
+/// session — plus the ground truth kept aside for evaluation. Mirrors the
+/// paper's three inputs: "the earphone recordings, the IMU recordings, and
+/// the played sounds" (Section 1).
+struct CalibrationCapture {
+  double sampleRate = 0.0;
+  std::vector<double> sourceSignal;                ///< the chirp played
+  std::vector<dsp::Complex> hardwareResponseEstimate;  ///< from Section 4.6
+  std::vector<CalibrationStop> stops;
+
+  /// Ground truth — for evaluation only, never consumed by the estimator.
+  struct GroundTruth {
+    std::vector<TrajectoryPoint> trajectory;
+    head::Subject subject;
+  } truth;
+};
+
+/// Orchestrates a full simulated calibration session for a subject.
+struct MeasurementSessionOptions {
+  double sampleRate = 48000.0;
+  double chirpF0Hz = 100.0;
+  double chirpF1Hz = 20000.0;
+  double chirpDurationSec = 0.020;
+  double recordingSnrDb = 24.0;
+  double hardwareEstimateSnrDb = 35.0;
+  ImuNoiseModel imuModel{};
+  std::uint64_t noiseSeed = 12345;
+};
+
+class MeasurementSession {
+ public:
+  using Options = MeasurementSessionOptions;
+
+  explicit MeasurementSession(Options opts = {});
+
+  /// Run the sweep: generate the gesture trajectory, simulate IMU and
+  /// acoustics, and package the capture.
+  CalibrationCapture run(const head::Subject& subject,
+                         const GestureProfile& gesture) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+};
+
+}  // namespace uniq::sim

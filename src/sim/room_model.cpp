@@ -1,0 +1,44 @@
+#include "sim/room_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/convolution.h"
+#include "dsp/fractional_delay.h"
+
+namespace uniq::sim {
+
+RoomModel::RoomModel(Options opts) : RoomModel(opts, false) {}
+
+RoomModel::RoomModel(Options opts, bool anechoic) : opts_(opts) {
+  UNIQ_REQUIRE(opts_.sampleRate > 8000, "sample rate too low");
+  UNIQ_REQUIRE(opts_.minDelaySec < opts_.maxDelaySec, "bad echo delay range");
+  const auto irLen = static_cast<std::size_t>(
+                         opts_.maxDelaySec * opts_.sampleRate) + 64;
+  ir_.assign(irLen, 0.0);
+  ir_[0] = 1.0;  // direct sound
+  if (anechoic || opts_.echoCount == 0) return;
+  Pcg32 rng(opts_.seed);
+  for (std::size_t k = 0; k < opts_.echoCount; ++k) {
+    const double delay =
+        rng.uniform(opts_.minDelaySec, opts_.maxDelaySec);
+    const double gain = opts_.firstEchoGain *
+                        std::exp(-(delay - opts_.minDelaySec) /
+                                 opts_.decayTimeSec) *
+                        (rng.nextDouble() < 0.5 ? -1.0 : 1.0);
+    dsp::addFractionalTap(ir_, delay * opts_.sampleRate, gain, 8);
+  }
+}
+
+RoomModel RoomModel::anechoic(double sampleRate) {
+  Options opts;
+  opts.sampleRate = sampleRate;
+  opts.echoCount = 0;
+  return RoomModel(opts, true);
+}
+
+std::vector<double> RoomModel::apply(const std::vector<double>& signal) const {
+  return dsp::convolve(signal, ir_);
+}
+
+}  // namespace uniq::sim

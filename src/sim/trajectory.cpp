@@ -1,0 +1,58 @@
+#include "sim/trajectory.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "geometry/polar.h"
+
+namespace uniq::sim {
+
+GestureProfile defaultGesture() { return GestureProfile{}; }
+
+GestureProfile constrainedGesture() {
+  GestureProfile g;
+  g.radiusMeanM = 0.30;
+  g.radiusWobbleM = 0.035;
+  g.angleJitterDeg = 2.0;
+  g.armDroopM = 0.08;
+  g.armDroopOnsetDeg = 100.0;
+  return g;
+}
+
+std::vector<TrajectoryPoint> generateTrajectory(const GestureProfile& profile,
+                                                Pcg32& rng) {
+  UNIQ_REQUIRE(profile.stops >= 4, "need at least 4 stops");
+  UNIQ_REQUIRE(profile.angleEndDeg > profile.angleStartDeg, "bad angle range");
+  UNIQ_REQUIRE(profile.radiusMeanM > 0.12, "radius too small");
+  std::vector<TrajectoryPoint> points;
+  points.reserve(profile.stops);
+  const double wobblePhase = rng.uniform(0.0, kTwoPi);
+  const double wobbleCycles = rng.uniform(1.0, 2.5);
+  for (std::size_t i = 0; i < profile.stops; ++i) {
+    const double u = static_cast<double>(i) /
+                     static_cast<double>(profile.stops - 1);
+    TrajectoryPoint p;
+    p.timeSec = static_cast<double>(i) * profile.stopIntervalSec;
+    p.trueAngleDeg = profile.angleStartDeg +
+                     u * (profile.angleEndDeg - profile.angleStartDeg) +
+                     rng.gaussian(0.0, profile.angleJitterDeg);
+    // Keep the sweep ordered and inside [0, 180].
+    p.trueAngleDeg = std::min(std::max(p.trueAngleDeg, 0.0), 180.0);
+    double radius = profile.radiusMeanM +
+                    profile.radiusWobbleM *
+                        std::sin(kTwoPi * wobbleCycles * u + wobblePhase);
+    if (profile.armDroopM > 0.0 &&
+        p.trueAngleDeg > profile.armDroopOnsetDeg) {
+      const double over = (p.trueAngleDeg - profile.armDroopOnsetDeg) /
+                          (180.0 - profile.armDroopOnsetDeg);
+      radius -= profile.armDroopM * over * over;
+    }
+    p.radiusM = std::max(radius, 0.14);
+    p.position = geo::pointFromPolarDeg(p.trueAngleDeg, p.radiusM);
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace uniq::sim

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "geometry/vec2.h"
+
+namespace uniq::sim {
+
+/// How a particular user moves the phone around the head. The paper's
+/// volunteers differ exactly here: volunteers 4 and 5 "moved the phone a
+/// bit too close to the back of their heads, due to their arm movement
+/// constraints" (Section 5.1, Figure 19 discussion).
+struct GestureProfile {
+  double radiusMeanM = 0.35;       ///< nominal arm radius
+  double radiusWobbleM = 0.025;    ///< slow radius variation amplitude
+  double angleStartDeg = 2.0;
+  double angleEndDeg = 178.0;
+  std::size_t stops = 36;          ///< number of measurement positions
+  double stopIntervalSec = 0.35;   ///< time between consecutive stops
+  double angleJitterDeg = 1.0;     ///< per-stop deviation from uniform grid
+  /// Arm droop: radius loss growing toward the back of the head (models a
+  /// tiring arm). 0 disables.
+  double armDroopM = 0.0;
+  /// Angle range beyond which droop applies (deg).
+  double armDroopOnsetDeg = 120.0;
+};
+
+/// A canonical "careful user" profile.
+GestureProfile defaultGesture();
+
+/// A constrained-arm profile matching the paper's volunteers 4-5.
+GestureProfile constrainedGesture();
+
+/// One phone stop along the calibration sweep.
+struct TrajectoryPoint {
+  double timeSec = 0.0;
+  double trueAngleDeg = 0.0;  ///< ground-truth polar angle of the phone
+  double radiusM = 0.0;       ///< ground-truth polar radius
+  geo::Vec2 position{};       ///< cartesian position (derived)
+};
+
+/// Generate the ground-truth phone trajectory for a gesture. The overhead-
+/// camera ground truth of the paper's testbed is simply this vector.
+std::vector<TrajectoryPoint> generateTrajectory(const GestureProfile& profile,
+                                                Pcg32& rng);
+
+}  // namespace uniq::sim

@@ -1,0 +1,93 @@
+#include "spatial3d/elevation_renderer.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "dsp/biquad.h"
+#include "dsp/convolution.h"
+#include "dsp/fractional_delay.h"
+
+namespace uniq::spatial3d {
+
+ElevationRenderer::ElevationRenderer(const core::FarFieldTable& table,
+                                     std::uint64_t userSeed, Options opts)
+    : table_(table), opts_(opts) {
+  UNIQ_REQUIRE(table_.byDegree.size() == 181, "table must cover 0..180");
+  UNIQ_REQUIRE(opts_.minElevationDeg < 0 && opts_.maxElevationDeg > 0,
+               "elevation range must straddle the horizon");
+  Pcg32 rng = Pcg32(userSeed).fork(0x3D);
+  notchPhase_ = rng.uniform(0.0, kTwoPi);
+  notchUserScale_ = rng.uniform(0.85, 1.15);
+  shoulderUserScale_ = rng.uniform(0.8, 1.2);
+}
+
+double ElevationRenderer::equivalentLateralAngleDeg(
+    double azimuthDeg, double elevationDeg) const {
+  // Cone of confusion: the interaural time/level cues of direction
+  // (az, el) match those of the horizontal-plane direction az' with
+  // sin(az') = sin(az) * cos(el), keeping the front/back side of az.
+  const double az = degToRad(clamp(azimuthDeg, 0.0, 180.0));
+  const double el = degToRad(elevationDeg);
+  const double sinLateral = clamp(std::sin(az) * std::cos(el), -1.0, 1.0);
+  const double lateral = std::asin(sinLateral);
+  const double azPrime =
+      azimuthDeg <= 90.0 ? lateral : kPi - lateral;
+  return radToDeg(azPrime);
+}
+
+head::Hrir ElevationRenderer::hrirAt(double azimuthDeg,
+                                     double elevationDeg) const {
+  UNIQ_REQUIRE(elevationDeg >= opts_.minElevationDeg &&
+                   elevationDeg <= opts_.maxElevationDeg,
+               "elevation out of the configured range");
+  const double lateral = equivalentLateralAngleDeg(azimuthDeg, elevationDeg);
+  head::Hrir hrir = table_.at(lateral);
+  if (std::fabs(elevationDeg) < 1e-9) return hrir;  // exact 2D table entry
+
+  // Strength of the monaural elevation cues ramps in smoothly away from
+  // the horizon (continuity with the measured 2D table).
+  const double strength = clamp(std::fabs(elevationDeg) / 40.0, 0.0, 1.0);
+  const double fs = hrir.sampleRate;
+
+  const double notchHz = clamp(
+      (opts_.notchBaseHz +
+       opts_.notchSlopeHzPerDeg * elevationDeg) * notchUserScale_ +
+          300.0 * std::sin(notchPhase_),
+      1200.0, 0.45 * fs);
+  const double shoulderDelayMs =
+      std::max(0.1, (opts_.shoulderDelayMsAtHorizon +
+                     opts_.shoulderDelaySlopeMsPerDeg * elevationDeg) *
+                        shoulderUserScale_);
+  const double shoulderGain = opts_.shoulderGain * strength *
+                              (elevationDeg < 0 ? 1.2 : 0.8);
+
+  for (auto* channel : {&hrir.left, &hrir.right}) {
+    // Elevation notch.
+    dsp::Biquad notch = dsp::Biquad::bandpass(notchHz, opts_.notchQ, fs);
+    const auto band = notch.process(*channel);
+    for (std::size_t i = 0; i < channel->size(); ++i)
+      (*channel)[i] -= opts_.notchDepth * strength * band[i];
+    // Shoulder echo.
+    const auto echo =
+        dsp::fractionalShift(*channel, shoulderDelayMs * 1e-3 * fs);
+    for (std::size_t i = 0; i < channel->size(); ++i)
+      (*channel)[i] += shoulderGain * echo[i];
+  }
+  return hrir;
+}
+
+head::BinauralSignal ElevationRenderer::render(
+    double azimuthDeg, double elevationDeg,
+    const std::vector<double>& mono) const {
+  UNIQ_REQUIRE(!mono.empty(), "empty source signal");
+  const auto hrir = hrirAt(azimuthDeg, elevationDeg);
+  head::BinauralSignal out;
+  out.left = dsp::convolve(mono, hrir.left);
+  out.right = dsp::convolve(mono, hrir.right);
+  return out;
+}
+
+}  // namespace uniq::spatial3d

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/near_far.h"
+#include "head/hrir.h"
+
+namespace uniq::spatial3d {
+
+struct ElevationRendererOptions {
+  /// Supported elevation range (degrees; 0 = horizontal plane, positive up).
+  double minElevationDeg = -40.0;
+  double maxElevationDeg = 80.0;
+  /// Base frequency of the elevation notch at 0 degrees and its slope —
+  /// the classic psychoacoustic elevation cue: the pinna notch migrates
+  /// upward in frequency as the source rises.
+  double notchBaseHz = 6200.0;
+  double notchSlopeHzPerDeg = 38.0;
+  double notchQ = 4.0;
+  double notchDepth = 0.85;
+  /// Shoulder-reflection echo: delay shrinks as the source rises.
+  double shoulderDelayMsAtHorizon = 0.75;
+  double shoulderDelaySlopeMsPerDeg = -0.004;
+  double shoulderGain = 0.25;
+};
+
+/// Elevation extension of the UNIQ output (paper Section 7, "3D HRTF"):
+/// the paper's prototype estimates the 2D (horizontal-plane) HRTF and
+/// sketches the extension — sweep the phone on a sphere and extend the
+/// tracking math. This module implements the RENDERING half of that
+/// sketch: given the personalized horizontal-plane far-field table, it
+/// synthesizes out-of-plane HRIRs by
+///   1. compressing the interaural delay/level toward zero as the source
+///      leaves the horizontal plane (spherical-geometry cos(elevation)
+///      scaling of the lateral angle),
+///   2. adding the monaural elevation cues a personal pinna would imprint:
+///      an elevation-tracking spectral notch and a shoulder echo, both
+///      individualized from the user's seed.
+/// Calibration of true 3D measurements remains future work, as in the
+/// paper; the substitution is documented in DESIGN.md.
+class ElevationRenderer {
+ public:
+  using Options = ElevationRendererOptions;
+
+  /// `userSeed` individualizes the elevation cues (same seed family the
+  /// subject's pinna model uses, so the cues are per-user).
+  ElevationRenderer(const core::FarFieldTable& table, std::uint64_t userSeed,
+                    Options opts = {});
+
+  /// Synthesized far-field HRIR for (azimuth, elevation).
+  /// azimuthDeg in [0, 180] (the measured hemicircle), elevationDeg within
+  /// the configured range.
+  head::Hrir hrirAt(double azimuthDeg, double elevationDeg) const;
+
+  /// Render a mono sound from (azimuth, elevation).
+  head::BinauralSignal render(double azimuthDeg, double elevationDeg,
+                              const std::vector<double>& mono) const;
+
+  /// The effective horizontal-plane angle whose interaural cues match the
+  /// requested 3D direction (cone-of-confusion mapping). Exposed for tests.
+  double equivalentLateralAngleDeg(double azimuthDeg,
+                                   double elevationDeg) const;
+
+ private:
+  const core::FarFieldTable& table_;
+  Options opts_;
+  double notchPhase_;
+  double notchUserScale_;
+  double shoulderUserScale_;
+};
+
+}  // namespace uniq::spatial3d

@@ -1,0 +1,89 @@
+#include "spatial3d/head_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dsp/convolution.h"
+
+namespace uniq::spatial3d {
+
+TrackedRenderer::TrackedRenderer(const core::HrtfTable& table, Options opts)
+    : table_(table), opts_(opts) {
+  UNIQ_REQUIRE(opts_.blockSize >= 256, "block size too small");
+  UNIQ_REQUIRE(opts_.crossfadeSamples <= opts_.blockSize,
+               "crossfade longer than a block");
+}
+
+head::BinauralSignal TrackedRenderer::renderTracked(
+    double worldBearingDeg, const std::vector<double>& mono,
+    const std::vector<double>& yawTrajectoryDeg,
+    double yawSampleRateHz) const {
+  UNIQ_REQUIRE(!mono.empty(), "empty source signal");
+  UNIQ_REQUIRE(!yawTrajectoryDeg.empty(), "empty yaw trajectory");
+  UNIQ_REQUIRE(yawSampleRateHz > 0, "yaw sample rate must be positive");
+
+  const double fs = table_.sampleRate();
+  const std::size_t block = opts_.blockSize;
+  const std::size_t fade = opts_.crossfadeSamples;
+  const std::size_t hrirLen = table_.farAt(0.0).left.size();
+
+  head::BinauralSignal out;
+  out.left.assign(mono.size() + hrirLen + fade, 0.0);
+  out.right.assign(out.left.size(), 0.0);
+
+  const auto yawAt = [&](double tSec) {
+    const double idx = clamp(tSec * yawSampleRateHz, 0.0,
+                             static_cast<double>(yawTrajectoryDeg.size() - 1));
+    const auto lo = static_cast<std::size_t>(idx);
+    const double f = idx - static_cast<double>(lo);
+    const std::size_t hi = std::min(lo + 1, yawTrajectoryDeg.size() - 1);
+    return lerp(yawTrajectoryDeg[lo], yawTrajectoryDeg[hi], f);
+  };
+
+  for (std::size_t start = 0; start < mono.size(); start += block) {
+    const std::size_t len = std::min(block, mono.size() - start);
+    const double yaw = yawAt(static_cast<double>(start) / fs);
+    double rel = radToDeg(wrapPi(degToRad(worldBearingDeg - yaw)));
+    const bool fromRight = rel < 0.0;
+    const double tableAngle = clamp(std::fabs(rel), 0.0, 180.0);
+    const auto& hrir = table_.farAt(tableAngle);
+    const auto& hl = fromRight ? hrir.right : hrir.left;
+    const auto& hr = fromRight ? hrir.left : hrir.right;
+
+    // Block with a leading crossfade ramp (except the very first block) and
+    // a trailing ramp matching the next block's lead, so consecutive
+    // filtered blocks sum to a constant envelope.
+    std::vector<double> seg(len + fade, 0.0);
+    for (std::size_t i = 0; i < len; ++i) seg[i] = mono[start + i];
+    if (start + len < mono.size()) {
+      for (std::size_t i = 0; i < fade && start + len + i < mono.size(); ++i)
+        seg[len + i] = mono[start + len + i];
+    }
+    // Ramps.
+    if (start > 0) {
+      for (std::size_t i = 0; i < fade && i < seg.size(); ++i)
+        seg[i] *= static_cast<double>(i) / static_cast<double>(fade);
+    }
+    if (start + len < mono.size()) {
+      for (std::size_t i = 0; i < fade; ++i) {
+        const std::size_t pos = len + i;
+        if (pos < seg.size())
+          seg[pos] *= 1.0 - static_cast<double>(i) / static_cast<double>(fade);
+      }
+    }
+
+    const auto segL = dsp::convolve(seg, hl);
+    const auto segR = dsp::convolve(seg, hr);
+    for (std::size_t i = 0; i < segL.size() && start + i < out.left.size();
+         ++i) {
+      out.left[start + i] += segL[i];
+      out.right[start + i] += segR[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace uniq::spatial3d

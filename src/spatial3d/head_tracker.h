@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "core/hrtf_table.h"
+
+namespace uniq::spatial3d {
+
+struct TrackedRendererOptions {
+  /// Rendering block size (samples). Each block uses the head pose sampled
+  /// at its start; shorter blocks track faster motion.
+  std::size_t blockSize = 2048;
+  /// Crossfade length between consecutive blocks (samples, <= blockSize).
+  /// Without it, switching HRTF filters mid-stream clicks audibly.
+  std::size_t crossfadeSamples = 256;
+};
+
+/// Dynamic world-anchored rendering (paper Section 1: "even if the head
+/// rotates, motion sensors in the earphones can sense the rotation and
+/// apply the HRTF for the updated theta. Thus, the piano and the violin
+/// can remain fixed in their absolute directions").
+///
+/// The renderer splits the source signal into blocks, re-derives the
+/// head-relative angle from the yaw trajectory per block, filters each
+/// block with the matching far-field HRIR, and crossfades across block
+/// boundaries so filter switches are inaudible.
+class TrackedRenderer {
+ public:
+  using Options = TrackedRendererOptions;
+
+  explicit TrackedRenderer(const core::HrtfTable& table, Options opts = {});
+
+  /// Render `mono` as a plane wave from the fixed world bearing
+  /// `worldBearingDeg`, while the head yaw follows `yawDegAt` — a function
+  /// of time in seconds. Bearings outside the measured hemicircle fold to
+  /// the mirrored angle with swapped ears.
+  head::BinauralSignal renderTracked(
+      double worldBearingDeg, const std::vector<double>& mono,
+      const std::vector<double>& yawTrajectoryDeg,
+      double yawSampleRateHz) const;
+
+ private:
+  const core::HrtfTable& table_;
+  Options opts_;
+};
+
+}  // namespace uniq::spatial3d

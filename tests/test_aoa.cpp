@@ -1,0 +1,167 @@
+#include "core/aoa.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dsp/signal_generators.h"
+#include "eval/experiments.h"
+#include "head/hrtf_database.h"
+#include "sim/recorder.h"
+
+namespace uniq::core {
+namespace {
+
+constexpr double kFs = 48000.0;
+
+head::Subject testSubject() {
+  head::Subject s;
+  s.headParams = {0.074, 0.106, 0.091};
+  s.pinnaSeed = 61;
+  return s;
+}
+
+class AoaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    head::HrtfDatabase::Options dbOpts;
+    dbOpts.sampleRate = kFs;
+    db_ = new head::HrtfDatabase(testSubject(), dbOpts);
+    table_ = new FarFieldTable(farTableFromDatabase(*db_));
+    hardware_ = new sim::HardwareModel();
+    room_ = new sim::RoomModel();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete table_;
+    delete hardware_;
+    delete room_;
+  }
+
+  sim::BinauralRecording record(double angleDeg,
+                                const std::vector<double>& signal,
+                                bool throughHardware, double snrDb,
+                                std::uint64_t seed) const {
+    sim::BinauralRecorder::Options opts;
+    opts.snrDb = snrDb;
+    const sim::BinauralRecorder recorder(*db_, *hardware_, *room_, opts);
+    Pcg32 rng(seed);
+    return recorder.recordFarField(angleDeg, signal, rng, throughHardware);
+  }
+
+  static head::HrtfDatabase* db_;
+  static FarFieldTable* table_;
+  static sim::HardwareModel* hardware_;
+  static sim::RoomModel* room_;
+};
+
+head::HrtfDatabase* AoaTest::db_ = nullptr;
+FarFieldTable* AoaTest::table_ = nullptr;
+sim::HardwareModel* AoaTest::hardware_ = nullptr;
+sim::RoomModel* AoaTest::room_ = nullptr;
+
+TEST_F(AoaTest, TemplateDelayMonotoneUpToNinety) {
+  const AoaEstimator est(*table_);
+  // t(theta) = tapLeft - tapRight: negative on the left side, decreasing
+  // toward 90 then rising again (front/back ambiguity).
+  EXPECT_NEAR(est.templateDelaySec(0.0), 0.0, 5e-5);
+  EXPECT_NEAR(est.templateDelaySec(180.0), 0.0, 5e-5);
+  EXPECT_LT(est.templateDelaySec(90.0), est.templateDelaySec(30.0));
+  EXPECT_LT(est.templateDelaySec(90.0), est.templateDelaySec(150.0));
+  EXPECT_LT(est.templateDelaySec(90.0), -5e-4);
+}
+
+class KnownSourceSweep : public AoaTest,
+                         public ::testing::WithParamInterface<double> {};
+
+TEST_P(KnownSourceSweep, TrueTemplatesGiveAccurateAoa) {
+  const double truth = GetParam();
+  const auto chirp = dsp::linearChirp(100.0, 20000.0, 4800, kFs);
+  const auto rec = record(truth, chirp, true, 25.0,
+                          static_cast<std::uint64_t>(truth * 7 + 1));
+  const AoaEstimator est(*table_);
+  const auto result = est.estimateKnown(rec.left, rec.right, chirp);
+  EXPECT_LT(angularDistanceDeg(result.angleDeg, truth), 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, KnownSourceSweep,
+                         ::testing::Values(10.0, 35.0, 60.0, 90.0, 120.0,
+                                           145.0, 170.0));
+
+TEST_F(AoaTest, KnownSourcePersonalBeatsWrongTemplates) {
+  head::Subject other;
+  other.headParams = {0.065, 0.112, 0.080};
+  other.pinnaSeed = 777;
+  head::HrtfDatabase::Options dbOpts;
+  dbOpts.sampleRate = kFs;
+  const head::HrtfDatabase otherDb(other, dbOpts);
+  const auto otherTable = farTableFromDatabase(otherDb);
+
+  const auto chirp = dsp::linearChirp(100.0, 20000.0, 4800, kFs);
+  double errPersonal = 0.0, errOther = 0.0;
+  for (double truth : {20.0, 55.0, 75.0, 110.0, 140.0, 165.0}) {
+    const auto rec = record(truth, chirp, true, 25.0,
+                            static_cast<std::uint64_t>(truth) * 3 + 5);
+    const AoaEstimator personal(*table_);
+    const AoaEstimator mismatched(otherTable);
+    errPersonal += angularDistanceDeg(
+        personal.estimateKnown(rec.left, rec.right, chirp).angleDeg, truth);
+    errOther += angularDistanceDeg(
+        mismatched.estimateKnown(rec.left, rec.right, chirp).angleDeg, truth);
+  }
+  EXPECT_LT(errPersonal, errOther);
+}
+
+class UnknownSourceSweep : public AoaTest,
+                           public ::testing::WithParamInterface<double> {};
+
+TEST_P(UnknownSourceSweep, WhiteNoiseUnknownSourceAccurate) {
+  const double truth = GetParam();
+  Pcg32 sigRng(static_cast<std::uint64_t>(truth) + 11);
+  const auto noise = dsp::whiteNoise(24000, sigRng, 0.25);
+  const auto rec = record(truth, noise, false, 25.0,
+                          static_cast<std::uint64_t>(truth) * 13 + 3);
+  const AoaEstimator est(*table_);
+  const auto result = est.estimateUnknown(rec.left, rec.right);
+  EXPECT_LT(angularDistanceDeg(result.angleDeg, truth), 15.0);
+  EXPECT_EQ(truth <= 90.0, result.angleDeg <= 90.0) << "front/back flip";
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, UnknownSourceSweep,
+                         ::testing::Values(15.0, 45.0, 75.0, 105.0, 140.0,
+                                           165.0));
+
+TEST_F(AoaTest, UnknownSourceRejectsEmpty) {
+  const AoaEstimator est(*table_);
+  std::vector<double> empty;
+  std::vector<double> some(100, 0.1);
+  EXPECT_THROW(est.estimateUnknown(empty, some), InvalidArgument);
+  EXPECT_THROW(est.estimateKnown(some, some, empty), InvalidArgument);
+}
+
+TEST_F(AoaTest, TrainLambdaReturnsGridMember) {
+  const auto chirp = dsp::linearChirp(100.0, 20000.0, 4800, kFs);
+  std::vector<double> truths{30.0, 90.0, 150.0};
+  std::vector<std::vector<double>> lefts, rights;
+  for (double t : truths) {
+    const auto rec =
+        record(t, chirp, true, 25.0, static_cast<std::uint64_t>(t) + 29);
+    lefts.push_back(rec.left);
+    rights.push_back(rec.right);
+  }
+  const std::vector<double> grid{500.0, 3000.0, 10000.0};
+  const double lambda =
+      trainLambda(*table_, grid, truths, lefts, rights, chirp);
+  EXPECT_TRUE(lambda == 500.0 || lambda == 3000.0 || lambda == 10000.0);
+}
+
+TEST_F(AoaTest, EstimatorRejectsBadTable) {
+  FarFieldTable bad = *table_;
+  bad.byDegree.resize(10);
+  EXPECT_THROW(AoaEstimator{bad}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq::core

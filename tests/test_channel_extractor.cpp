@@ -1,0 +1,150 @@
+#include "core/channel_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "dsp/convolution.h"
+#include "dsp/signal_generators.h"
+#include "eval/metrics.h"
+#include "geometry/polar.h"
+#include "head/hrtf_database.h"
+#include "sim/hardware_model.h"
+#include "sim/recorder.h"
+#include "sim/room_model.h"
+
+namespace uniq::core {
+namespace {
+
+constexpr double kFs = 48000.0;
+
+class ChannelExtractorTest : public ::testing::Test {
+ protected:
+  static head::Subject subject() {
+    head::Subject s;
+    s.headParams = {0.073, 0.101, 0.089};
+    s.pinnaSeed = 21;
+    return s;
+  }
+
+  head::HrtfDatabase db_{subject()};
+  sim::HardwareModel hardware_{};
+  sim::RoomModel room_{};
+  std::vector<double> chirp_ = dsp::linearChirp(100.0, 20000.0, 960, kFs);
+};
+
+TEST_F(ChannelExtractorTest, RecoversTrueChannelShape) {
+  sim::BinauralRecorder::Options recOpts;
+  recOpts.snrDb = 30.0;
+  const sim::BinauralRecorder recorder(db_, hardware_, room_, recOpts);
+  Pcg32 rng(1);
+  const geo::Vec2 pos = geo::pointFromPolarDeg(50.0, 0.35);
+  const auto rec = recorder.recordNearField(pos, chirp_, rng);
+
+  Pcg32 hwRng(2);
+  const ChannelExtractor extractor(hardware_.estimateResponse(35.0, hwRng),
+                                   kFs);
+  const auto channel = extractor.extract(rec.left, rec.right, chirp_);
+
+  const auto truth = db_.nearFieldAt(pos);
+  const double simL =
+      eval::channelSimilarity(channel.left, truth.left, kFs, 0.5);
+  const double simR =
+      eval::channelSimilarity(channel.right, truth.right, kFs, 0.5);
+  EXPECT_GT(simL, 0.85);
+  EXPECT_GT(simR, 0.75);
+}
+
+TEST_F(ChannelExtractorTest, FirstTapMatchesPropagationDelay) {
+  sim::BinauralRecorder::Options recOpts;
+  recOpts.snrDb = 35.0;
+  const sim::BinauralRecorder recorder(db_, hardware_, room_, recOpts);
+  Pcg32 rng(3);
+  for (double theta : {20.0, 70.0, 110.0, 160.0}) {
+    const geo::Vec2 pos = geo::pointFromPolarDeg(theta, 0.33);
+    const auto rec = recorder.recordNearField(pos, chirp_, rng);
+    Pcg32 hwRng(4);
+    const ChannelExtractor extractor(hardware_.estimateResponse(35.0, hwRng),
+                                     kFs);
+    const auto channel = extractor.extract(rec.left, rec.right, chirp_);
+    ASSERT_TRUE(channel.firstTapLeftSec.has_value()) << theta;
+    ASSERT_TRUE(channel.firstTapRightSec.has_value()) << theta;
+    const auto pathL = geo::nearFieldPath(db_.boundary(), pos, geo::Ear::kLeft);
+    const auto pathR =
+        geo::nearFieldPath(db_.boundary(), pos, geo::Ear::kRight);
+    EXPECT_NEAR(*channel.firstTapLeftSec, pathL.length / kSpeedOfSound,
+                4e-5)
+        << theta;
+    EXPECT_NEAR(*channel.firstTapRightSec, pathR.length / kSpeedOfSound,
+                6e-5)
+        << theta;
+  }
+}
+
+TEST_F(ChannelExtractorTest, RoomReflectionsRemoved) {
+  sim::RoomModel::Options loudRoom;
+  loudRoom.firstEchoGain = 0.5;
+  const sim::RoomModel room(loudRoom);
+  sim::BinauralRecorder::Options recOpts;
+  recOpts.snrDb = 40.0;
+  const sim::BinauralRecorder recorder(db_, hardware_, room, recOpts);
+  Pcg32 rng(5);
+  const geo::Vec2 pos = geo::pointFromPolarDeg(40.0, 0.35);
+  const auto rec = recorder.recordNearField(pos, chirp_, rng);
+  Pcg32 hwRng(6);
+  const ChannelExtractor extractor(hardware_.estimateResponse(35.0, hwRng),
+                                   kFs);
+  const auto channel = extractor.extract(rec.left, rec.right, chirp_);
+  ASSERT_TRUE(channel.firstTapLeftSec.has_value());
+  // No energy beyond firstTap + headWindow.
+  const auto cutoff = static_cast<std::size_t>(
+      (*channel.firstTapLeftSec + extractor.options().headWindowSec) * kFs +
+      2);
+  for (std::size_t i = cutoff; i < channel.left.size(); ++i)
+    EXPECT_DOUBLE_EQ(channel.left[i], 0.0);
+}
+
+TEST_F(ChannelExtractorTest, HardwareCompensationImprovesEstimate) {
+  sim::BinauralRecorder::Options recOpts;
+  recOpts.snrDb = 35.0;
+  const sim::BinauralRecorder recorder(db_, hardware_, room_, recOpts);
+  Pcg32 rng(7);
+  const geo::Vec2 pos = geo::pointFromPolarDeg(60.0, 0.35);
+  const auto rec = recorder.recordNearField(pos, chirp_, rng);
+  const auto truth = db_.nearFieldAt(pos);
+
+  Pcg32 hwRng(8);
+  const auto hwEstimate = hardware_.estimateResponse(35.0, hwRng);
+  const ChannelExtractor with(hwEstimate, kFs);
+  ChannelExtractorOptions noCompOpts;
+  noCompOpts.compensateHardware = false;
+  const ChannelExtractor without(hwEstimate, kFs, noCompOpts);
+
+  const auto compensated = with.extract(rec.left, rec.right, chirp_);
+  const auto raw = without.extract(rec.left, rec.right, chirp_);
+  const double simWith =
+      eval::channelSimilarity(compensated.left, truth.left, kFs, 0.5);
+  const double simWithout =
+      eval::channelSimilarity(raw.left, truth.left, kFs, 0.5);
+  EXPECT_GT(simWith, simWithout);
+}
+
+TEST_F(ChannelExtractorTest, SilenceYieldsNoTap) {
+  const ChannelExtractor extractor({}, kFs);
+  std::vector<double> silenceL(4096, 0.0), silenceR(4096, 0.0);
+  const auto channel = extractor.extract(silenceL, silenceR, chirp_);
+  EXPECT_FALSE(channel.firstTapLeftSec.has_value());
+  EXPECT_FALSE(channel.firstTapRightSec.has_value());
+}
+
+TEST_F(ChannelExtractorTest, RejectsBadConstruction) {
+  EXPECT_THROW(ChannelExtractor({}, 100.0), InvalidArgument);
+  ChannelExtractorOptions opts;
+  opts.channelLength = 8;
+  EXPECT_THROW(ChannelExtractor({}, kFs, opts), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq::core

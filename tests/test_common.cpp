@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace uniq {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.nextU32() == b.nextU32()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, UniformInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(8);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.nextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32, GaussianMoments) {
+  Pcg32 rng(9);
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian();
+    sum += v;
+    sumSq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.05);
+}
+
+TEST(Pcg32, GaussianMeanStd) {
+  Pcg32 rng(10);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Pcg32, NextBoundedWithinBound) {
+  Pcg32 rng(11);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.nextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values reached
+  EXPECT_EQ(rng.nextBounded(0), 0u);
+}
+
+TEST(Pcg32, ForkDecorrelates) {
+  Pcg32 base(12);
+  Pcg32 a = base.fork(1);
+  Pcg32 b = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.nextU32() == b.nextU32()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(MathUtil, DegreeRadianRoundTrip) {
+  for (double d : {-720.0, -90.0, 0.0, 45.0, 180.0, 1234.5}) {
+    EXPECT_NEAR(radToDeg(degToRad(d)), d, 1e-9);
+  }
+}
+
+TEST(MathUtil, WrapTwoPi) {
+  EXPECT_NEAR(wrapTwoPi(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrapTwoPi(kTwoPi + 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(wrapTwoPi(-0.5), kTwoPi - 0.5, 1e-12);
+}
+
+TEST(MathUtil, WrapPi) {
+  EXPECT_NEAR(wrapPi(kPi + 0.1), -kPi + 0.1, 1e-12);
+  EXPECT_NEAR(wrapPi(-kPi - 0.1), kPi - 0.1, 1e-12);
+  EXPECT_NEAR(wrapPi(0.25), 0.25, 1e-12);
+}
+
+TEST(MathUtil, AngularDistance) {
+  EXPECT_NEAR(angularDistanceDeg(10.0, 350.0), 20.0, 1e-12);
+  EXPECT_NEAR(angularDistanceDeg(0.0, 180.0), 180.0, 1e-12);
+  EXPECT_NEAR(angularDistanceDeg(90.0, 95.0), 5.0, 1e-12);
+  EXPECT_NEAR(angularDistanceDeg(-10.0, 10.0), 20.0, 1e-12);
+}
+
+TEST(MathUtil, LerpAndInverse) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 6.0, 0.25), 3.0);
+  EXPECT_DOUBLE_EQ(inverseLerp(2.0, 6.0, 3.0), 0.25);
+}
+
+TEST(MathUtil, DbConversionsRoundTrip) {
+  for (double amp : {0.001, 0.5, 1.0, 10.0}) {
+    EXPECT_NEAR(dbToAmplitude(amplitudeToDb(amp)), amp, 1e-9 * amp);
+  }
+}
+
+TEST(Errors, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(
+      [] { UNIQ_REQUIRE(false, "boom"); }(), InvalidArgument);
+  EXPECT_NO_THROW([] { UNIQ_REQUIRE(true, "fine"); }());
+}
+
+TEST(Errors, CheckThrowsNumericalFailure) {
+  try {
+    UNIQ_CHECK(1 == 2, "mismatch");
+    FAIL() << "should have thrown";
+  } catch (const NumericalFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("mismatch"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace uniq

@@ -1,0 +1,144 @@
+#include "dsp/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "dsp/fractional_delay.h"
+#include "dsp/signal_generators.h"
+
+namespace uniq::dsp {
+namespace {
+
+std::vector<double> naiveXcorr(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  // c[lag] = sum_t a[t] * b[t + lag], lag in [-(b-1), a-1]
+  const long nb = static_cast<long>(b.size());
+  const long na = static_cast<long>(a.size());
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (long lag = -(nb - 1); lag <= na - 1; ++lag) {
+    double acc = 0.0;
+    for (long t = 0; t < na; ++t) {
+      const long bi = t + lag;
+      if (bi >= 0 && bi < nb) acc += a[t] * b[bi];
+    }
+    out[static_cast<std::size_t>(lag + nb - 1)] = acc;
+  }
+  return out;
+}
+
+TEST(CrossCorrelate, MatchesNaiveReference) {
+  Pcg32 rng(1);
+  for (auto [na, nb] : {std::pair<std::size_t, std::size_t>{8, 8},
+                        {16, 5},
+                        {5, 16},
+                        {33, 20}}) {
+    std::vector<double> a(na), b(nb);
+    for (auto& v : a) v = rng.gaussian();
+    for (auto& v : b) v = rng.gaussian();
+    const auto fast = crossCorrelate(a, b);
+    const auto slow = naiveXcorr(a, b);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      EXPECT_NEAR(fast[i], slow[i], 1e-8) << "at " << i;
+  }
+}
+
+TEST(CrossCorrelate, RejectsEmpty) {
+  std::vector<double> a{1.0};
+  std::vector<double> empty;
+  EXPECT_THROW(crossCorrelate(a, empty), InvalidArgument);
+}
+
+class DelayRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(DelayRecovery, NormalizedPeakFindsFractionalDelay) {
+  const double delay = GetParam();
+  // Band-limited test signal: fractional shifting cannot represent
+  // half-sample offsets of content at Nyquist, so full-band noise would
+  // legitimately decorrelate.
+  auto a = linearChirp(200.0, 18000.0, 512, 48000.0);
+  // b is a delayed by `delay` samples.
+  std::vector<double> padded(a.size() + 64, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) padded[i] = a[i];
+  const auto b = fractionalShift(padded, delay);
+  // c[lag] = sum_t padded[t]*b[t+lag] peaks at lag = +delay (b lags padded).
+  // The parabolic peak refinement has a known small bias on a sinc-shaped
+  // correlation mainlobe, hence the 0.3-sample tolerance.
+  const auto peak = normalizedCorrelationPeak(padded, b);
+  EXPECT_NEAR(peak.lag, delay, 0.3);
+  EXPECT_GT(peak.value, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lags, DelayRecovery,
+                         ::testing::Values(0.0, 1.0, 2.5, 7.25, 13.75, 31.5));
+
+TEST(NormalizedPeak, IdenticalSignalsGiveUnity) {
+  Pcg32 rng(3);
+  const auto a = whiteNoise(256, rng);
+  const auto peak = normalizedCorrelationPeak(a, a);
+  EXPECT_NEAR(peak.value, 1.0, 1e-6);
+  EXPECT_NEAR(peak.lag, 0.0, 1e-6);
+}
+
+TEST(NormalizedPeak, SilenceGivesZero) {
+  std::vector<double> a(64, 0.0);
+  std::vector<double> b(64, 1.0);
+  const auto peak = normalizedCorrelationPeak(a, b);
+  EXPECT_DOUBLE_EQ(peak.value, 0.0);
+}
+
+TEST(NormalizedPeak, LagRestrictionExcludesTrueLag) {
+  Pcg32 rng(4);
+  const auto a = whiteNoise(256, rng);
+  std::vector<double> b(a.size() + 40, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) b[i + 20] = a[i];
+  const auto unrestricted = normalizedCorrelationPeak(a, b);
+  EXPECT_NEAR(unrestricted.lag, 20.0, 0.2);
+  const auto restricted = normalizedCorrelationPeak(a, b, 5.0);
+  EXPECT_LE(std::fabs(restricted.lag), 5.0);
+  EXPECT_LT(restricted.value, unrestricted.value);
+}
+
+TEST(Pearson, PerfectCorrelationAndAnticorrelation) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{2, 4, 6, 8, 10};
+  std::vector<double> c{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, RejectsMismatchedSizes) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{1, 2};
+  EXPECT_THROW(pearson(a, b), InvalidArgument);
+}
+
+TEST(Pearson, ConstantSignalGivesZero) {
+  std::vector<double> a{1, 1, 1, 1};
+  std::vector<double> b{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+class GccPhatDelay : public ::testing::TestWithParam<double> {};
+
+TEST_P(GccPhatDelay, RecoversDelayOnNoisySignals) {
+  const double delay = GetParam();
+  Pcg32 rng(7);
+  auto a = whiteNoise(2048, rng);
+  std::vector<double> padded(a.size() + 64, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) padded[i] = a[i];
+  auto b = fractionalShift(padded, delay);
+  addNoiseSnrDb(b, 15.0, rng);
+  // b lags a by `delay`: estimateDelayGccPhat(a, b) returns that lag.
+  const double est = estimateDelayGccPhat(a, b, 50.0);
+  EXPECT_NEAR(est, delay, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lags, GccPhatDelay,
+                         ::testing::Values(0.0, 3.0, 10.5, 24.25, -0.0));
+
+}  // namespace
+}  // namespace uniq::dsp

@@ -1,0 +1,173 @@
+#include "geometry/diffraction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "geometry/polar.h"
+
+namespace uniq::geo {
+namespace {
+
+class DiffractionTest : public ::testing::Test {
+ protected:
+  HeadBoundary head_{0.075, 0.10, 0.09, 512};
+};
+
+TEST_F(DiffractionTest, VisibleEarUsesLineOfSight) {
+  // Source directly left of the head: left ear fully visible.
+  const Vec2 source{-0.4, 0.0};
+  const auto path = nearFieldPath(head_, source, Ear::kLeft);
+  EXPECT_FALSE(path.diffracted);
+  EXPECT_NEAR(path.length, distance(source, head_.leftEar()), 1e-9);
+  EXPECT_NEAR(path.arcLength, 0.0, 1e-12);
+  // Arrival direction points from source toward the ear.
+  EXPECT_GT(path.arrivalDirection.x, 0.9);
+}
+
+TEST_F(DiffractionTest, ShadowedEarDiffracts) {
+  const Vec2 source{-0.4, 0.0};
+  const auto path = nearFieldPath(head_, source, Ear::kRight);
+  EXPECT_TRUE(path.diffracted);
+  EXPECT_GT(path.arcLength, 0.05);  // creeps over a good part of the head
+  EXPECT_GT(path.length, distance(source, head_.rightEar()));
+}
+
+TEST_F(DiffractionTest, DiffractedPathTakesShorterWayAround) {
+  // Source front-left: the right ear's creep should go around the front
+  // (through the nose side), not the longer back way.
+  const Vec2 source = pointFromPolarDeg(45.0, 0.4);
+  const auto path = nearFieldPath(head_, source, Ear::kRight);
+  ASSERT_TRUE(path.diffracted);
+  EXPECT_GT(path.tangentPoint.y, 0.0) << "tangent point should be frontal";
+}
+
+class PathPropertyTest : public ::testing::TestWithParam<double> {
+ protected:
+  HeadBoundary head_{0.075, 0.10, 0.09, 512};
+};
+
+TEST_P(PathPropertyTest, PathAtLeastEuclideanAndAtMostAroundPerimeter) {
+  const double theta = GetParam();
+  for (double r : {0.2, 0.35, 0.6}) {
+    const Vec2 source = pointFromPolarDeg(theta, r);
+    for (Ear ear : {Ear::kLeft, Ear::kRight}) {
+      const auto path = nearFieldPath(head_, source, ear);
+      const double euclid = distance(source, earPosition(head_, ear));
+      EXPECT_GE(path.length, euclid - 1e-9);
+      EXPECT_LE(path.length, euclid + head_.perimeter() / 2 + 1e-9);
+      EXPECT_NEAR(path.arrivalDirection.norm(), 1.0, 1e-6);
+    }
+  }
+}
+
+TEST_P(PathPropertyTest, PathContinuousInSourcePosition) {
+  const double theta = GetParam();
+  const double r = 0.35;
+  for (Ear ear : {Ear::kLeft, Ear::kRight}) {
+    const auto a = nearFieldPath(head_, pointFromPolarDeg(theta, r), ear);
+    const auto b =
+        nearFieldPath(head_, pointFromPolarDeg(theta + 0.5, r), ear);
+    EXPECT_LT(std::fabs(a.length - b.length), 0.01)
+        << "discontinuity at theta=" << theta << " ear "
+        << (ear == Ear::kLeft ? "L" : "R");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, PathPropertyTest,
+                         ::testing::Values(0.0, 20.0, 45.0, 60.0, 85.0, 90.0,
+                                           95.0, 120.0, 150.0, 180.0));
+
+TEST_F(DiffractionTest, SymmetricHeadGivesSymmetricPaths) {
+  // A head with b == c is front/back symmetric: source at theta and
+  // 180-theta give mirrored paths.
+  const HeadBoundary sym(0.075, 0.095, 0.095, 512);
+  for (double theta : {20.0, 50.0, 80.0}) {
+    const auto front =
+        nearFieldPath(sym, pointFromPolarDeg(theta, 0.35), Ear::kRight);
+    const auto back =
+        nearFieldPath(sym, pointFromPolarDeg(180.0 - theta, 0.35), Ear::kRight);
+    EXPECT_NEAR(front.length, back.length, 1e-3) << "theta " << theta;
+  }
+}
+
+TEST_F(DiffractionTest, LeftRightEarSymmetryAtFront) {
+  // Source straight ahead: both ears equidistant.
+  const Vec2 source{0.0, 0.4};
+  const auto left = nearFieldPath(head_, source, Ear::kLeft);
+  const auto right = nearFieldPath(head_, source, Ear::kRight);
+  EXPECT_NEAR(left.length, right.length, 1e-6);
+}
+
+TEST_F(DiffractionTest, FarFieldLitEarDelayIsProjection) {
+  // Wave from the left: left ear lit.
+  const Vec2 d{1.0, 0.0};  // propagating +x (source on the left)
+  const auto path = farFieldPath(head_, d, Ear::kLeft);
+  EXPECT_FALSE(path.diffracted);
+  EXPECT_NEAR(path.length, dot(d, head_.leftEar()), 1e-9);
+  EXPECT_LT(path.length, 0.0);  // reaches the near ear before the center
+}
+
+TEST_F(DiffractionTest, FarFieldShadowedEarCreeps) {
+  const Vec2 d{1.0, 0.0};
+  const auto path = farFieldPath(head_, d, Ear::kRight);
+  EXPECT_TRUE(path.diffracted);
+  EXPECT_GT(path.arcLength, 0.03);
+  // Total exceeds the lit-side projection of the far ear.
+  EXPECT_GT(path.length, dot(d, head_.rightEar()));
+}
+
+TEST_F(DiffractionTest, FarFieldInterauralDelayPeaksNearNinety) {
+  auto itd = [&](double theta) {
+    const Vec2 d = -directionFromAzimuthDeg(theta);
+    const auto l = farFieldPath(head_, d, Ear::kLeft);
+    const auto r = farFieldPath(head_, d, Ear::kRight);
+    return (r.length - l.length) / kSpeedOfSound;
+  };
+  EXPECT_NEAR(itd(0.0), 0.0, 2e-5);
+  EXPECT_NEAR(itd(180.0), 0.0, 2e-5);
+  EXPECT_GT(itd(90.0), itd(30.0));
+  EXPECT_GT(itd(90.0), itd(150.0));
+  EXPECT_GT(itd(90.0), 0.5e-3);  // a head this size: ITD ~0.6-0.8 ms
+  EXPECT_LT(itd(90.0), 1.0e-3);
+}
+
+TEST_F(DiffractionTest, FarFieldContinuousAcrossLitShadowTransition) {
+  // Sweep the direction; the ear delay must vary continuously through the
+  // lit/shadow boundary.
+  double prev = 0.0;
+  bool first = true;
+  for (double theta = 0.0; theta <= 180.0; theta += 1.0) {
+    const Vec2 d = -directionFromAzimuthDeg(theta);
+    const auto r = farFieldPath(head_, d, Ear::kRight);
+    if (!first) {
+      EXPECT_LT(std::fabs(r.length - prev), 0.004) << theta;
+    }
+    prev = r.length;
+    first = false;
+  }
+}
+
+TEST_F(DiffractionTest, NearFieldApproachesFarFieldAtLargeRadius) {
+  // Relative interaural path difference at r = 5 m should be close to the
+  // far-field value.
+  const double theta = 60.0;
+  const Vec2 d = -directionFromAzimuthDeg(theta);
+  const auto farL = farFieldPath(head_, d, Ear::kLeft);
+  const auto farR = farFieldPath(head_, d, Ear::kRight);
+  const Vec2 source = pointFromPolarDeg(theta, 5.0);
+  const auto nearL = nearFieldPath(head_, source, Ear::kLeft);
+  const auto nearR = nearFieldPath(head_, source, Ear::kRight);
+  EXPECT_NEAR(nearR.length - nearL.length, farR.length - farL.length, 1e-3);
+}
+
+TEST_F(DiffractionTest, RejectsInteriorSource) {
+  const Vec2 interior{0.0, 0.0};
+  EXPECT_THROW(nearFieldPath(head_, interior, Ear::kLeft),
+               uniq::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq::geo

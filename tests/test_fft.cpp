@@ -1,0 +1,165 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/random.h"
+
+namespace uniq::dsp {
+namespace {
+
+TEST(FftHelpers, NextPowerOfTwo) {
+  EXPECT_EQ(nextPowerOfTwo(1), 1u);
+  EXPECT_EQ(nextPowerOfTwo(2), 2u);
+  EXPECT_EQ(nextPowerOfTwo(3), 4u);
+  EXPECT_EQ(nextPowerOfTwo(17), 32u);
+  EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(nextPowerOfTwo(1025), 2048u);
+}
+
+TEST(FftHelpers, IsPowerOfTwo) {
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(2));
+  EXPECT_TRUE(isPowerOfTwo(4096));
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_FALSE(isPowerOfTwo(3));
+  EXPECT_FALSE(isPowerOfTwo(4097));
+}
+
+TEST(Fft, RejectsNonPowerOfTwoInPlace) {
+  std::vector<Complex> data(3);
+  EXPECT_THROW(fftPow2InPlace(data, false), InvalidArgument);
+}
+
+TEST(Fft, RejectsEmpty) {
+  std::vector<Complex> empty;
+  EXPECT_THROW(fft(empty), InvalidArgument);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> data(64, Complex(0, 0));
+  data[0] = Complex(1, 0);
+  fftPow2InPlace(data, false);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SinusoidConcentratesInOneBin) {
+  const std::size_t n = 256;
+  const std::size_t bin = 12;
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = Complex(
+        std::cos(kTwoPi * static_cast<double>(bin * i) / static_cast<double>(n)),
+        0);
+  }
+  fftPow2InPlace(data, false);
+  EXPECT_NEAR(std::abs(data[bin]), static_cast<double>(n) / 2, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - bin]), static_cast<double>(n) / 2, 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin || k == n - bin) continue;
+    EXPECT_LT(std::abs(data[k]), 1e-9) << "leakage at bin " << k;
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, ForwardInverseIsIdentity) {
+  const std::size_t n = GetParam();
+  Pcg32 rng(n * 31 + 1);
+  std::vector<Complex> input(n);
+  for (auto& v : input) v = Complex(rng.gaussian(), rng.gaussian());
+  const auto spectrum = fft(input, false);
+  const auto back = fft(spectrum, true);
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), input[i].real(), 1e-9);
+    EXPECT_NEAR(back[i].imag(), input[i].imag(), 1e-9);
+  }
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  Pcg32 rng(n * 7 + 3);
+  std::vector<Complex> input(n);
+  double timeEnergy = 0.0;
+  for (auto& v : input) {
+    v = Complex(rng.gaussian(), 0);
+    timeEnergy += std::norm(v);
+  }
+  const auto spectrum = fft(input, false);
+  double freqEnergy = 0.0;
+  for (const auto& v : spectrum) freqEnergy += std::norm(v);
+  freqEnergy /= static_cast<double>(n);
+  EXPECT_NEAR(freqEnergy, timeEnergy, 1e-6 * std::max(1.0, timeEnergy));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOddSizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 1024,  // pow2
+                                           3, 5, 7, 12, 100, 241, 999));
+
+TEST(Fft, LinearityOfTransform) {
+  Pcg32 rng(5);
+  const std::size_t n = 128;
+  std::vector<Complex> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = Complex(rng.gaussian(), 0);
+    b[i] = Complex(rng.gaussian(), 0);
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  const auto fsum = fft(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(fsum[k] - (fa[k] + 2.0 * fb[k])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, RealInputGivesConjugateSymmetricSpectrum) {
+  Pcg32 rng(11);
+  std::vector<double> x(128);
+  for (auto& v : x) v = rng.gaussian();
+  const auto spec = fftReal(x);
+  for (std::size_t k = 1; k < x.size() / 2; ++k) {
+    EXPECT_NEAR(std::abs(spec[k] - std::conj(spec[x.size() - k])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, IfftRealRecoversRealSignal) {
+  Pcg32 rng(13);
+  std::vector<double> x(200);  // non power of two: exercises Bluestein
+  for (auto& v : x) v = rng.gaussian();
+  const auto spec = fftReal(x);
+  const auto back = ifftReal(spec);
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(back[i], x[i], 1e-8);
+}
+
+TEST(Fft, BluesteinMatchesPow2OnSharedSizes) {
+  // Size 256 runs through the pow-2 path; embed it in a 256-point Bluestein
+  // run by comparing DFT results computed both ways on the same data.
+  Pcg32 rng(17);
+  const std::size_t n = 256;
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  auto viaPow2 = fft(x);
+  // Naive DFT as ground truth on a few bins.
+  for (std::size_t k : {0ul, 1ul, 17ul, 128ul, 255ul}) {
+    Complex acc(0, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -kTwoPi * static_cast<double>(k * t) /
+                         static_cast<double>(n);
+      acc += x[t] * Complex(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(std::abs(viaPow2[k] - acc), 0.0, 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace uniq::dsp

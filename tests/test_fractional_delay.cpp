@@ -1,0 +1,89 @@
+#include "dsp/fractional_delay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "dsp/signal_generators.h"
+#include "test_util.h"
+
+namespace uniq::dsp {
+namespace {
+
+TEST(AddFractionalTap, IntegerPositionIsExact) {
+  std::vector<double> buf(64, 0.0);
+  addFractionalTap(buf, 20.0, 0.7);
+  EXPECT_NEAR(buf[20], 0.7, 1e-9);
+  // Sinc zero crossings at the other integer positions.
+  EXPECT_NEAR(buf[19], 0.0, 1e-9);
+  EXPECT_NEAR(buf[25], 0.0, 1e-9);
+}
+
+TEST(AddFractionalTap, ZeroAmplitudeNoOp) {
+  std::vector<double> buf(16, 0.0);
+  addFractionalTap(buf, 8.0, 0.0);
+  for (double v : buf) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(AddFractionalTap, ClipsAtBufferEdges) {
+  std::vector<double> buf(16, 0.0);
+  addFractionalTap(buf, 14.5, 1.0, 8);   // kernel extends past the end
+  addFractionalTap(buf, 1.5, 1.0, 8);    // kernel extends before the start
+  // Must not crash; energy present near both taps.
+  EXPECT_GT(std::fabs(buf[14]) + std::fabs(buf[15]), 0.1);
+  EXPECT_GT(std::fabs(buf[1]) + std::fabs(buf[2]), 0.1);
+}
+
+TEST(AddFractionalTap, RejectsBadHalfWidth) {
+  std::vector<double> buf(16, 0.0);
+  EXPECT_THROW(addFractionalTap(buf, 8.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(AddFractionalTap, EnergyCloseToUnityForInteriorTap) {
+  // The Blackman window trims the sinc tails, costing ~5% energy.
+  std::vector<double> buf(256, 0.0);
+  addFractionalTap(buf, 128.37, 1.0, 16);
+  EXPECT_NEAR(uniq::test::energy(buf), 0.95, 0.04);
+}
+
+class ShiftRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShiftRoundTrip, ShiftThenUnshiftIsNearIdentity) {
+  const double shift = GetParam();
+  Pcg32 rng(17);
+  // Band-limit the test signal a bit (white noise at full band suffers at
+  // the interpolation kernel's edge response).
+  auto sig = linearChirp(200.0, 18000.0, 512, 48000.0);
+  std::vector<double> padded(700, 0.0);
+  for (std::size_t i = 0; i < sig.size(); ++i) padded[i + 64] = sig[i];
+  const auto shifted = fractionalShift(padded, shift);
+  const auto back = fractionalShift(shifted, -shift);
+  // Compare away from the edges.
+  double maxErr = 0.0;
+  for (std::size_t i = 80; i + 80 < padded.size(); ++i)
+    maxErr = std::max(maxErr, std::fabs(back[i] - padded[i]));
+  EXPECT_LT(maxErr, 0.02) << "shift " << shift;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, ShiftRoundTrip,
+                         ::testing::Values(0.0, 0.5, 1.25, 3.75, 10.0, -4.5));
+
+TEST(FractionalShift, IntegerShiftMovesSamplesExactly) {
+  std::vector<double> sig(32, 0.0);
+  sig[10] = 1.0;
+  const auto shifted = fractionalShift(sig, 5.0);
+  EXPECT_NEAR(shifted[15], 1.0, 1e-9);
+  EXPECT_NEAR(shifted[10], 0.0, 1e-9);
+}
+
+TEST(FractionalShift, ContentShiftedOutIsLost) {
+  std::vector<double> sig(32, 0.0);
+  sig[30] = 1.0;
+  const auto shifted = fractionalShift(sig, 10.0);
+  EXPECT_LT(uniq::test::energy(shifted), 0.05);
+}
+
+}  // namespace
+}  // namespace uniq::dsp

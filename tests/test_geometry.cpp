@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "geometry/head_boundary.h"
+#include "geometry/polar.h"
+#include "geometry/vec2.h"
+
+namespace uniq::geo {
+namespace {
+
+TEST(Vec2, BasicOperations) {
+  const Vec2 a{3, 4};
+  const Vec2 b{1, -2};
+  EXPECT_DOUBLE_EQ((a + b).x, 4);
+  EXPECT_DOUBLE_EQ((a - b).y, 6);
+  EXPECT_DOUBLE_EQ((a * 2.0).x, 6);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 3 - 8);
+  EXPECT_DOUBLE_EQ(cross(a, b), -6 - 4);
+  EXPECT_NEAR(a.normalized().norm(), 1.0, 1e-12);
+}
+
+TEST(Vec2, PerpRotatesCcw) {
+  const Vec2 x{1, 0};
+  EXPECT_DOUBLE_EQ(x.perp().x, 0);
+  EXPECT_DOUBLE_EQ(x.perp().y, 1);
+  EXPECT_DOUBLE_EQ(dot(x, x.perp()), 0);
+}
+
+class PolarRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolarRoundTrip, AzimuthRecovered) {
+  const double theta = GetParam();
+  const Vec2 p = pointFromPolarDeg(theta, 0.5);
+  EXPECT_NEAR(azimuthDegOfPoint(p), theta, 1e-9);
+  EXPECT_NEAR(radiusOfPoint(p), 0.5, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, PolarRoundTrip,
+                         ::testing::Values(0.0, 30.0, 90.0, 135.0, 179.0,
+                                           -45.0));
+
+TEST(Polar, ConventionAnchors) {
+  // theta=0 -> nose (+y); theta=90 -> left ear (-x); theta=180 -> back (-y).
+  EXPECT_NEAR(pointFromPolarDeg(0.0, 1.0).y, 1.0, 1e-12);
+  EXPECT_NEAR(pointFromPolarDeg(90.0, 1.0).x, -1.0, 1e-12);
+  EXPECT_NEAR(pointFromPolarDeg(180.0, 1.0).y, -1.0, 1e-12);
+}
+
+class HeadBoundaryTest : public ::testing::Test {
+ protected:
+  HeadBoundary head_{0.075, 0.10, 0.09, 256};
+};
+
+TEST_F(HeadBoundaryTest, EarsAtExpectedPositions) {
+  EXPECT_NEAR(head_.rightEar().x, 0.075, 1e-12);
+  EXPECT_NEAR(head_.rightEar().y, 0.0, 1e-12);
+  EXPECT_NEAR(head_.leftEar().x, -0.075, 1e-12);
+  const Vec2 atRight = head_.point(head_.rightEarIndex());
+  const Vec2 atLeft = head_.point(head_.leftEarIndex());
+  EXPECT_NEAR(distance(atRight, head_.rightEar()), 0.0, 1e-12);
+  EXPECT_NEAR(distance(atLeft, head_.leftEar()), 0.0, 1e-12);
+}
+
+TEST_F(HeadBoundaryTest, PerimeterBetweenInnerAndOuterCircle) {
+  const double inner = kTwoPi * 0.075;
+  const double outer = kTwoPi * 0.10;
+  EXPECT_GT(head_.perimeter(), inner);
+  EXPECT_LT(head_.perimeter(), outer);
+}
+
+TEST_F(HeadBoundaryTest, InsideOutsideClassification) {
+  EXPECT_TRUE(head_.isInside({0, 0}));
+  EXPECT_TRUE(head_.isInside({0, 0.09}));    // front, inside b=0.10
+  EXPECT_FALSE(head_.isInside({0, 0.11}));
+  EXPECT_TRUE(head_.isInside({0, -0.085}));  // back, inside c=0.09
+  EXPECT_FALSE(head_.isInside({0, -0.095}));
+  EXPECT_FALSE(head_.isInside({0.3, 0.2}));
+}
+
+TEST_F(HeadBoundaryTest, NormalsPointOutward) {
+  for (std::size_t i = 0; i < head_.size(); i += 7) {
+    const Vec2 p = head_.point(i);
+    const Vec2 n = head_.normal(i);
+    EXPECT_NEAR(n.norm(), 1.0, 1e-9);
+    EXPECT_FALSE(head_.isInside(p + n * 0.002)) << "sample " << i;
+  }
+}
+
+TEST_F(HeadBoundaryTest, PointAtInterpolatesAndWraps) {
+  const Vec2 p0 = head_.pointAt(0.0);
+  EXPECT_NEAR(distance(p0, head_.rightEar()), 0.0, 1e-12);
+  const Vec2 wrapped = head_.pointAt(static_cast<double>(head_.size()) + 3.5);
+  const Vec2 direct = head_.pointAt(3.5);
+  EXPECT_NEAR(distance(wrapped, direct), 0.0, 1e-12);
+}
+
+TEST_F(HeadBoundaryTest, ArcForwardFullLoopIsPerimeter) {
+  EXPECT_NEAR(head_.arcForward(5.0, 5.0), 0.0, 1e-12);
+  const double forward = head_.arcForward(10.0, 50.0);
+  const double backward = head_.arcForward(50.0, 10.0);
+  EXPECT_NEAR(forward + backward, head_.perimeter(), 1e-9);
+  EXPECT_NEAR(head_.arcShortest(10.0, 50.0), std::min(forward, backward),
+              1e-12);
+}
+
+TEST_F(HeadBoundaryTest, TangentsFromExternalPointAreTangent) {
+  const Vec2 p{0.4, 0.25};
+  const auto tangents = head_.tangentsFrom(p);
+  for (double u : {tangents.u1, tangents.u2}) {
+    const Vec2 t = head_.pointAt(u);
+    // Tangency: the segment from p to t grazes the boundary; points just
+    // inside the segment's continuation must stay outside the head.
+    const Vec2 dir = (t - p).normalized();
+    EXPECT_FALSE(head_.isInside(p + dir * (distance(p, t) * 0.5)));
+    // The visibility value changes sign at the tangency param, so at the
+    // interpolated point it should be near zero.
+    // The discrete sample adjacent to the interpolated tangency parameter
+    // should have a visibility value near the sign change.
+    const auto i = static_cast<std::size_t>(u) % head_.size();
+    const double g = head_.visibilityValue(p, i);
+    EXPECT_LT(std::fabs(g), 0.03);
+  }
+}
+
+TEST_F(HeadBoundaryTest, TangentsRejectInteriorPoint) {
+  EXPECT_THROW(head_.tangentsFrom({0.0, 0.0}), InvalidArgument);
+}
+
+TEST_F(HeadBoundaryTest, TerminatorsPerpendicularToDirection) {
+  const Vec2 d = Vec2{1.0, 0.4}.normalized();
+  const auto terms = head_.terminators(d);
+  for (double u : {terms.u1, terms.u2}) {
+    const auto i = static_cast<std::size_t>(u) % head_.size();
+    EXPECT_LT(std::fabs(dot(d, head_.normal(i))), 0.05);
+  }
+}
+
+TEST_F(HeadBoundaryTest, IndexWithNormalFindsCrown) {
+  // Normal +y is at the nose (front crown).
+  const double u = head_.indexWithNormal({0, 1});
+  const Vec2 p = head_.pointAt(u);
+  EXPECT_NEAR(p.x, 0.0, 0.01);
+  EXPECT_NEAR(p.y, 0.10, 0.005);
+}
+
+TEST(HeadBoundaryHarmonics, PerturbationStaysSmallAndEarsExact) {
+  std::vector<BoundaryHarmonic> harmonics{{2, 0.02, 0.3}, {3, 0.015, 1.1}};
+  const HeadBoundary ideal(0.075, 0.10, 0.09, 256);
+  const HeadBoundary bumpy(0.075, 0.10, 0.09, harmonics, 256);
+  // Ears unchanged.
+  EXPECT_NEAR(distance(bumpy.point(bumpy.rightEarIndex()), ideal.rightEar()),
+              0.0, 1e-9);
+  EXPECT_NEAR(distance(bumpy.point(bumpy.leftEarIndex()), ideal.leftEar()),
+              0.0, 1e-9);
+  // Deviation bounded by the harmonic amplitudes.
+  double maxDev = 0.0;
+  for (std::size_t i = 0; i < bumpy.size(); ++i)
+    maxDev = std::max(maxDev, distance(bumpy.point(i), ideal.point(i)));
+  EXPECT_GT(maxDev, 0.0005);  // actually perturbed
+  EXPECT_LT(maxDev, 0.10 * (0.02 + 0.015) + 0.001);
+  // Normals remain unit outward.
+  for (std::size_t i = 0; i < bumpy.size(); i += 13) {
+    EXPECT_NEAR(bumpy.normal(i).norm(), 1.0, 1e-9);
+    EXPECT_FALSE(bumpy.isInside(bumpy.point(i) + bumpy.normal(i) * 0.004));
+  }
+}
+
+TEST(HeadBoundaryValidation, RejectsBadParameters) {
+  EXPECT_THROW(HeadBoundary(-0.07, 0.1, 0.09), InvalidArgument);
+  EXPECT_THROW(HeadBoundary(0.07, 0.1, 0.09, 15), InvalidArgument);
+  EXPECT_THROW(HeadBoundary(0.07, 0.1, 0.09, 33), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq::geo

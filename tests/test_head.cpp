@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "eval/metrics.h"
+#include "geometry/diffraction.h"
+#include "geometry/polar.h"
+#include "head/head_parameters.h"
+#include "head/hrir.h"
+#include "head/hrtf_database.h"
+#include "head/pinna_model.h"
+#include "head/subject.h"
+
+namespace uniq::head {
+namespace {
+
+TEST(HeadParameters, AverageIsPlausible) {
+  EXPECT_TRUE(HeadParameters::average().isPlausible());
+}
+
+TEST(HeadParameters, SampledHeadsPlausibleAndFrontDeeperThanBack) {
+  Pcg32 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto h = HeadParameters::sample(rng);
+    EXPECT_TRUE(h.isPlausible());
+    EXPECT_GT(h.b, h.c);
+  }
+}
+
+TEST(HeadParameters, MaxAxisError) {
+  const HeadParameters a{0.07, 0.10, 0.09};
+  const HeadParameters b{0.072, 0.095, 0.091};
+  EXPECT_NEAR(maxAxisError(a, b), 0.005, 1e-12);
+}
+
+TEST(Population, SubjectsDistinctAndDeterministic) {
+  const auto popA = makePopulation(5, 2021);
+  const auto popB = makePopulation(5, 2021);
+  ASSERT_EQ(popA.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(popA[i].pinnaSeed, popB[i].pinnaSeed);
+    EXPECT_DOUBLE_EQ(popA[i].headParams.a, popB[i].headParams.a);
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_NE(popA[i].pinnaSeed, popA[j].pinnaSeed);
+    }
+    EXPECT_FALSE(popA[i].shapeHarmonics.empty());
+  }
+}
+
+TEST(PinnaModel, DeterministicForSameSeed) {
+  const PinnaModel a(42, geo::Ear::kLeft);
+  const PinnaModel b(42, geo::Ear::kLeft);
+  const auto irA = a.impulseResponse(30.0, 48000.0);
+  const auto irB = b.impulseResponse(30.0, 48000.0);
+  for (std::size_t i = 0; i < irA.size(); ++i)
+    EXPECT_DOUBLE_EQ(irA[i], irB[i]);
+}
+
+TEST(PinnaModel, EarsDifferWithinUser) {
+  const PinnaModel left(42, geo::Ear::kLeft);
+  const PinnaModel right(42, geo::Ear::kRight);
+  const double corr = eval::channelSimilarity(
+      left.impulseResponse(0.0, 48000.0), right.impulseResponse(0.0, 48000.0),
+      48000.0);
+  EXPECT_LT(corr, 0.95);
+}
+
+TEST(PinnaModel, ResponseVariesSmoothlyWithAngle) {
+  const PinnaModel p(7, geo::Ear::kLeft);
+  const auto base = p.impulseResponse(0.0, 48000.0);
+  const auto nearAngle = p.impulseResponse(5.0, 48000.0);
+  const auto farAngle = p.impulseResponse(90.0, 48000.0);
+  const double nearCorr =
+      eval::channelSimilarity(base, nearAngle, 48000.0);
+  const double farCorr = eval::channelSimilarity(base, farAngle, 48000.0);
+  EXPECT_GT(nearCorr, 0.8);
+  EXPECT_LT(farCorr, nearCorr);
+}
+
+TEST(PinnaModel, DifferentUsersDiffer) {
+  const PinnaModel a(1001, geo::Ear::kLeft);
+  const PinnaModel b(2002, geo::Ear::kLeft);
+  const double corr = eval::channelSimilarity(
+      a.impulseResponse(45.0, 48000.0), b.impulseResponse(45.0, 48000.0),
+      48000.0);
+  EXPECT_LT(corr, 0.85);
+}
+
+TEST(PinnaModel, IncidenceAngleConvention) {
+  const geo::HeadBoundary head(0.075, 0.10, 0.09, 256);
+  // Wave traveling straight into the left ear: propagation +x direction.
+  const double frontal =
+      PinnaModel::incidenceAngleDeg(head, geo::Ear::kLeft, {1.0, 0.0});
+  EXPECT_NEAR(frontal, 0.0, 1.0);
+  // Arrival from the front (propagating toward -y at the left ear).
+  const double fromFront =
+      PinnaModel::incidenceAngleDeg(head, geo::Ear::kLeft, {0.0, -1.0});
+  EXPECT_GT(fromFront, 0.0);
+  // Mirror case for the right ear.
+  const double fromFrontR =
+      PinnaModel::incidenceAngleDeg(head, geo::Ear::kRight, {0.0, -1.0});
+  EXPECT_NEAR(fromFront, fromFrontR, 1.0);
+}
+
+class HrtfDatabaseTest : public ::testing::Test {
+ protected:
+  static Subject makeSubject() {
+    Subject s;
+    s.name = "test";
+    s.headParams = {0.07, 0.10, 0.09};
+    s.pinnaSeed = 77;
+    return s;
+  }
+  HrtfDatabase db_{makeSubject()};
+};
+
+TEST_F(HrtfDatabaseTest, NearFieldFirstTapMatchesDiffractionDelay) {
+  for (double theta : {10.0, 45.0, 90.0, 135.0, 170.0}) {
+    const double r = 0.35;
+    const auto hrir = db_.nearField(theta, r);
+    const auto src = geo::pointFromPolarDeg(theta, r);
+    for (geo::Ear ear : {geo::Ear::kLeft, geo::Ear::kRight}) {
+      const auto path = geo::nearFieldPath(db_.boundary(), src, ear);
+      const double expectedTap =
+          path.length / kSpeedOfSound * db_.options().sampleRate;
+      const auto& channel =
+          ear == geo::Ear::kLeft ? hrir.left : hrir.right;
+      // Find the first sample with significant energy.
+      double firstIdx = -1;
+      double peak = 0.0;
+      for (double v : channel) peak = std::max(peak, std::fabs(v));
+      for (std::size_t i = 0; i < channel.size(); ++i) {
+        if (std::fabs(channel[i]) > 0.35 * peak) {
+          firstIdx = static_cast<double>(i);
+          break;
+        }
+      }
+      ASSERT_GE(firstIdx, 0.0);
+      EXPECT_NEAR(firstIdx, expectedTap, 3.0)
+          << "theta " << theta << " ear " << (ear == geo::Ear::kLeft ? "L" : "R");
+    }
+  }
+}
+
+TEST_F(HrtfDatabaseTest, ShadowedEarQuieterAtNinetyDegrees) {
+  const auto hrir = db_.nearField(90.0, 0.35);  // source at the left
+  EXPECT_GT(channelEnergy(hrir.left), 4.0 * channelEnergy(hrir.right));
+}
+
+TEST_F(HrtfDatabaseTest, FarFieldItdIncreasesTowardNinety) {
+  auto firstTap = [&](const std::vector<double>& ch) {
+    double peak = 0.0;
+    for (double v : ch) peak = std::max(peak, std::fabs(v));
+    for (std::size_t i = 0; i < ch.size(); ++i)
+      if (std::fabs(ch[i]) > 0.35 * peak) return static_cast<double>(i);
+    return -1.0;
+  };
+  const auto at10 = db_.farField(10.0);
+  const auto at90 = db_.farField(90.0);
+  const double itd10 = firstTap(at10.right) - firstTap(at10.left);
+  const double itd90 = firstTap(at90.right) - firstTap(at90.left);
+  EXPECT_GT(itd90, itd10);
+  EXPECT_GT(itd90, 20.0);  // ~0.6+ ms at 48 kHz
+}
+
+TEST_F(HrtfDatabaseTest, NearFieldRejectsBadRadius) {
+  EXPECT_THROW(db_.nearField(45.0, 0.05), uniq::InvalidArgument);
+  EXPECT_THROW(db_.nearField(45.0, 2.0), uniq::InvalidArgument);
+}
+
+TEST_F(HrtfDatabaseTest, SameSubjectReproducible) {
+  const HrtfDatabase db2{HrtfDatabaseTest::makeSubject()};
+  const auto a = db_.farField(60.0);
+  const auto b = db2.farField(60.0);
+  for (std::size_t i = 0; i < a.left.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.left[i], b.left[i]);
+}
+
+TEST(HrtfDatabaseNoise, MeasurementNoiseLowersCorrelation) {
+  Subject s;
+  s.headParams = {0.075, 0.1, 0.09};
+  s.pinnaSeed = 5;
+  const HrtfDatabase db(s);
+  const auto clean = db.farField(45.0);
+  Pcg32 rng(3);
+  const auto noisy = withMeasurementNoise(clean, 10.0, rng);
+  const double corr = eval::hrirSimilarity(clean, noisy);
+  EXPECT_GT(corr, 0.8);
+  EXPECT_LT(corr, 0.999);
+}
+
+TEST(Hrir, NormalizePeakPreservesIldRatio) {
+  Hrir h;
+  h.sampleRate = 48000;
+  h.left = {0.0, 2.0, 0.0};
+  h.right = {0.0, 1.0, 0.0};
+  normalizePeak(h);
+  EXPECT_DOUBLE_EQ(h.left[1], 1.0);
+  EXPECT_DOUBLE_EQ(h.right[1], 0.5);
+}
+
+TEST(Hrir, RenderBinauralConvolves) {
+  Hrir h;
+  h.sampleRate = 48000;
+  h.left = {1.0};
+  h.right = {0.0, 0.5};
+  const std::vector<double> mono{1.0, 2.0, 3.0};
+  const auto out = renderBinaural(h, mono);
+  EXPECT_DOUBLE_EQ(out.left[0], 1.0);
+  EXPECT_DOUBLE_EQ(out.left[2], 3.0);
+  EXPECT_DOUBLE_EQ(out.right[0], 0.0);
+  EXPECT_DOUBLE_EQ(out.right[1], 0.5);
+}
+
+TEST(GlobalTemplate, DiffersFromRandomSubject) {
+  const auto tmpl = globalTemplateSubject();
+  const auto pop = makePopulation(3, 99);
+  for (const auto& s : pop) EXPECT_NE(s.pinnaSeed, tmpl.pinnaSeed);
+  EXPECT_TRUE(tmpl.headParams.isPlausible());
+  EXPECT_TRUE(tmpl.shapeHarmonics.empty());  // the template is the ideal shape
+}
+
+}  // namespace
+}  // namespace uniq::head

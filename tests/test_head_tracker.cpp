@@ -1,0 +1,153 @@
+#include "spatial3d/head_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "core/near_far.h"
+#include "dsp/peak_picking.h"
+#include "dsp/signal_generators.h"
+#include "head/hrtf_database.h"
+
+namespace uniq::spatial3d {
+namespace {
+
+constexpr double kFs = 48000.0;
+
+class TrackedRendererTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    head::Subject s;
+    s.headParams = {0.074, 0.104, 0.09};
+    s.pinnaSeed = 111;
+    head::HrtfDatabase::Options dbOpts;
+    db_ = new head::HrtfDatabase(s, dbOpts);
+    auto far = core::farTableFromDatabase(*db_);
+    core::NearFieldTable nearTable;
+    nearTable.sampleRate = far.sampleRate;
+    nearTable.headParams = far.headParams;
+    nearTable.medianRadiusM = 0.35;
+    nearTable.byDegree.resize(181);
+    nearTable.tapLeftSamples.assign(181, 24.0);
+    nearTable.tapRightSamples.assign(181, 28.0);
+    for (int deg = 0; deg <= 180; ++deg)
+      nearTable.byDegree[deg] = db_->nearField(static_cast<double>(deg), 0.35);
+    table_ = new core::HrtfTable(std::move(nearTable), std::move(far));
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    delete db_;
+  }
+  static head::HrtfDatabase* db_;
+  static core::HrtfTable* table_;
+};
+
+head::HrtfDatabase* TrackedRendererTest::db_ = nullptr;
+core::HrtfTable* TrackedRendererTest::table_ = nullptr;
+
+TEST_F(TrackedRendererTest, StaticHeadMatchesPlainRender) {
+  const TrackedRenderer tracked(*table_);
+  Pcg32 rng(1);
+  const auto mono = dsp::whiteNoise(12000, rng, 0.2);
+  const std::vector<double> stillYaw(10, 0.0);
+  const auto dynamic = tracked.renderTracked(60.0, mono, stillYaw, 20.0);
+  const auto fixed = table_->renderFar(60.0, mono);
+  // Same filter throughout: identical up to the crossfade bookkeeping.
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < fixed.left.size(); ++i) {
+    const double d = dynamic.left[i] - fixed.left[i];
+    err += d * d;
+    ref += fixed.left[i] * fixed.left[i];
+  }
+  EXPECT_LT(err / ref, 1e-6);
+}
+
+TEST_F(TrackedRendererTest, RotationMovesTheImage) {
+  const TrackedRenderer tracked(*table_);
+  Pcg32 rng(2);
+  const auto mono = dsp::whiteNoise(48000, rng, 0.2);  // 1 s
+  // The head turns from 0 to 120 degrees over the second; source fixed at
+  // world bearing 60 deg: it starts front-left and ends behind-right-ish.
+  std::vector<double> yaw(100);
+  for (std::size_t i = 0; i < yaw.size(); ++i)
+    yaw[i] = 120.0 * static_cast<double>(i) / 99.0;
+  const auto out = tracked.renderTracked(60.0, mono, yaw, 100.0);
+
+  // Early window (head at ~0 deg: source on the LEFT, left ear louder) vs
+  // late window (head past 60: source on the RIGHT side of the nose).
+  auto windowIld = [&](std::size_t from, std::size_t to) {
+    double l = 0.0, r = 0.0;
+    for (std::size_t i = from; i < to; ++i) {
+      l += out.left[i] * out.left[i];
+      r += out.right[i] * out.right[i];
+    }
+    return 10.0 * std::log10(l / r);
+  };
+  const double early = windowIld(0, 12000);
+  const double late = windowIld(36000, 48000);
+  EXPECT_GT(early, 3.0);   // clearly left
+  EXPECT_LT(late, early - 3.0);  // image moved toward/past the median plane
+}
+
+TEST_F(TrackedRendererTest, CrossfadePreventsEnvelopeDips) {
+  const TrackedRenderer tracked(*table_);
+  // A constant tone: block switching without crossfade would modulate the
+  // envelope; with it, mid-signal RMS per window stays flat.
+  std::vector<double> tone(24000);
+  for (std::size_t i = 0; i < tone.size(); ++i)
+    tone[i] = std::sin(kTwoPi * 500.0 * static_cast<double>(i) / kFs);
+  const std::vector<double> yaw{0.0, 30.0, 60.0, 90.0};
+  const auto out = tracked.renderTracked(45.0, tone, yaw, 8.0);
+  std::vector<double> rmsPerWindow;
+  for (std::size_t start = 2000; start + 2000 < 22000; start += 1000) {
+    double acc = 0.0;
+    for (std::size_t i = start; i < start + 2000; ++i)
+      acc += out.left[i] * out.left[i];
+    rmsPerWindow.push_back(std::sqrt(acc / 2000.0));
+  }
+  double minRms = 1e18, maxRms = 0.0;
+  for (double v : rmsPerWindow) {
+    minRms = std::min(minRms, v);
+    maxRms = std::max(maxRms, v);
+  }
+  // The level changes as the filter angle changes, but must never collapse
+  // (a missing crossfade would notch the envelope toward zero).
+  EXPECT_GT(minRms, 0.15 * maxRms);
+}
+
+TEST_F(TrackedRendererTest, Validation) {
+  const TrackedRenderer tracked(*table_);
+  EXPECT_THROW(tracked.renderTracked(60.0, {}, {0.0}, 10.0),
+               InvalidArgument);
+  EXPECT_THROW(tracked.renderTracked(60.0, {1.0}, {}, 10.0),
+               InvalidArgument);
+  TrackedRendererOptions bad;
+  bad.crossfadeSamples = bad.blockSize + 1;
+  EXPECT_THROW(TrackedRenderer(*table_, bad), InvalidArgument);
+}
+
+TEST_F(TrackedRendererTest, NearFieldRadiusChangesCues) {
+  // Companion feature: distance-aware near-field rendering.
+  const auto closeHrir = table_->nearHrirAt(60.0, 0.18);
+  const auto tableHrir = table_->nearHrirAt(60.0, 0.35);
+  const auto farHrir = table_->nearHrirAt(60.0, 0.8);
+  // Closer source: louder and earlier.
+  EXPECT_GT(head::channelEnergy(closeHrir.left),
+            head::channelEnergy(tableHrir.left));
+  EXPECT_LT(head::channelEnergy(farHrir.left),
+            head::channelEnergy(tableHrir.left));
+  const auto tapClose = dsp::findFirstTap(closeHrir.left);
+  const auto tapFar = dsp::findFirstTap(farHrir.left);
+  ASSERT_TRUE(tapClose && tapFar);
+  EXPECT_LT(tapClose->position, tapFar->position);
+  // At the table radius it's the untouched table entry.
+  const auto& raw = table_->nearAt(60.0);
+  for (std::size_t i = 0; i < raw.left.size(); ++i)
+    EXPECT_DOUBLE_EQ(tableHrir.left[i], raw.left[i]);
+  EXPECT_THROW(table_->nearHrirAt(60.0, 0.05), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq::spatial3d

@@ -1,0 +1,162 @@
+#include "optim/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace uniq::optim {
+namespace {
+
+TEST(Matrix, BasicOpsAndBounds) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(1, 2) = 5;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(Matrix(0, 3), InvalidArgument);
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 5);
+}
+
+TEST(Matrix, MultiplyKnownExample) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matrix, ApplyVector) {
+  Matrix a(2, 3);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      a.at(r, c) = static_cast<double>(r * 3 + c + 1);
+  const auto y = a.apply({1.0, 0.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], 1.0 - 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0 - 6.0);
+}
+
+TEST(Eigenvalues, DiagonalMatrix) {
+  Matrix m(3, 3);
+  m.at(0, 0) = 3;
+  m.at(1, 1) = -1;
+  m.at(2, 2) = 7;
+  const auto eig = symmetricEigenvalues(m);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 7, 1e-10);
+  EXPECT_NEAR(eig[1], 3, 1e-10);
+  EXPECT_NEAR(eig[2], -1, 1e-10);
+}
+
+TEST(Eigenvalues, KnownSymmetric2x2) {
+  // [[2,1],[1,2]] -> eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 2;
+  const auto eig = symmetricEigenvalues(m);
+  EXPECT_NEAR(eig[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig[1], 1.0, 1e-10);
+}
+
+TEST(Eigenvalues, TraceAndSumMatchForRandomSymmetric) {
+  Pcg32 rng(5);
+  const std::size_t n = 8;
+  Matrix m(n, n);
+  double trace = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) {
+      const double v = rng.gaussian();
+      m.at(r, c) = v;
+      m.at(c, r) = v;
+    }
+    trace += m.at(r, r);
+  }
+  const auto eig = symmetricEigenvalues(m);
+  double sum = 0.0;
+  for (double v : eig) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-8);
+}
+
+TEST(SingularValues, OrthogonalColumnsGiveEqualSingulars) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 3;
+  m.at(1, 1) = 3;  // 3 * identity
+  const auto sv = singularValues(m);
+  EXPECT_NEAR(sv[0], 3.0, 1e-9);
+  EXPECT_NEAR(sv[1], 3.0, 1e-9);
+  EXPECT_NEAR(conditionNumber(m), 1.0, 1e-9);
+}
+
+TEST(ConditionNumber, SingularMatrixIsInfinite) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 2;
+  m.at(1, 1) = 4;  // rank 1
+  EXPECT_TRUE(std::isinf(conditionNumber(m)));
+}
+
+TEST(SolveLinear, KnownSystem) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 3;
+  const auto x = solveLinear(m, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 1;
+  EXPECT_THROW(solveLinear(m, {1.0, 2.0}), NumericalFailure);
+}
+
+TEST(LeastSquares, OverdeterminedConsistentSystem) {
+  // Fit y = 2x + 1 from exact samples.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a.at(i, 0) = static_cast<double>(i);
+    a.at(i, 1) = 1.0;
+    b[static_cast<std::size_t>(i)] = 2.0 * i + 1.0;
+  }
+  const auto x = solveLeastSquares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquares, RegularizationShrinksSolution) {
+  Matrix a(3, 1);
+  a.at(0, 0) = 1;
+  a.at(1, 0) = 1;
+  a.at(2, 0) = 1;
+  const std::vector<double> b{3.0, 3.0, 3.0};
+  const auto plain = solveLeastSquares(a, b, 0.0);
+  const auto ridge = solveLeastSquares(a, b, 3.0);
+  EXPECT_NEAR(plain[0], 3.0, 1e-10);
+  EXPECT_NEAR(ridge[0], 3.0 * 3.0 / (3.0 + 3.0), 1e-10);
+}
+
+}  // namespace
+}  // namespace uniq::optim

@@ -1,0 +1,121 @@
+#include "core/localizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "geometry/diffraction.h"
+#include "geometry/polar.h"
+
+namespace uniq::core {
+namespace {
+
+struct AngleRadius {
+  double angleDeg;
+  double radiusM;
+};
+
+class LocalizerRoundTrip : public ::testing::TestWithParam<AngleRadius> {
+ protected:
+  geo::HeadBoundary head_{0.073, 0.102, 0.088, 256};
+};
+
+TEST_P(LocalizerRoundTrip, RecoversForwardModelPosition) {
+  const auto p = GetParam();
+  const geo::Vec2 pos = geo::pointFromPolarDeg(p.angleDeg, p.radiusM);
+  const double tL =
+      geo::nearFieldPath(head_, pos, geo::Ear::kLeft).length / kSpeedOfSound;
+  const double tR =
+      geo::nearFieldPath(head_, pos, geo::Ear::kRight).length / kSpeedOfSound;
+  const Localizer localizer(head_);
+  const auto fix = localizer.locate(tL, tR, p.angleDeg + 3.0);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->angleDeg, p.angleDeg, 1.0);
+  EXPECT_NEAR(fix->radiusM, p.radiusM, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LocalizerRoundTrip,
+    ::testing::Values(AngleRadius{10, 0.3}, AngleRadius{30, 0.25},
+                      AngleRadius{45, 0.4}, AngleRadius{60, 0.35},
+                      AngleRadius{75, 0.3}, AngleRadius{105, 0.3},
+                      AngleRadius{120, 0.45}, AngleRadius{150, 0.35},
+                      AngleRadius{170, 0.3}, AngleRadius{45, 0.6}));
+
+class LocalizerTest : public ::testing::Test {
+ protected:
+  geo::HeadBoundary head_{0.073, 0.102, 0.088, 256};
+  Localizer localizer_{head_};
+
+  std::pair<double, double> delaysAt(double angleDeg, double radiusM) const {
+    const geo::Vec2 pos = geo::pointFromPolarDeg(angleDeg, radiusM);
+    return {geo::nearFieldPath(head_, pos, geo::Ear::kLeft).length /
+                kSpeedOfSound,
+            geo::nearFieldPath(head_, pos, geo::Ear::kRight).length /
+                kSpeedOfSound};
+  }
+};
+
+TEST_F(LocalizerTest, FrontBackPairFound) {
+  // A front position's delays usually admit a back-side solution as well.
+  const auto [tL, tR] = delaysAt(40.0, 0.35);
+  const auto fixes = localizer_.locateAll(tL, tR);
+  ASSERT_GE(fixes.size(), 1u);
+  bool hasFront = false;
+  for (const auto& f : fixes) {
+    if (std::fabs(f.angleDeg - 40.0) < 2.0) hasFront = true;
+  }
+  EXPECT_TRUE(hasFront);
+  if (fixes.size() >= 2) {
+    // The ambiguous twin sits on the other side of the ear axis.
+    bool hasBack = false;
+    for (const auto& f : fixes)
+      if (f.angleDeg > 90.0) hasBack = true;
+    EXPECT_TRUE(hasBack);
+  }
+}
+
+TEST_F(LocalizerTest, ImuDisambiguatesFrontBack) {
+  const auto [tL, tR] = delaysAt(40.0, 0.35);
+  const auto fixes = localizer_.locateAll(tL, tR);
+  if (fixes.size() < 2) GTEST_SKIP() << "no ambiguity for this geometry";
+  const auto front = localizer_.locate(tL, tR, 35.0);
+  const auto back = localizer_.locate(tL, tR, 150.0);
+  ASSERT_TRUE(front && back);
+  EXPECT_LT(front->angleDeg, 90.0);
+  EXPECT_GT(back->angleDeg, 90.0);
+}
+
+TEST_F(LocalizerTest, ApproximateFallbackOnSlightMismatch) {
+  const auto [tL, tR] = delaysAt(90.0, 0.35);
+  // Inflate the interaural difference slightly beyond the model's maximum.
+  const double tRBad = tR + 8.0e-6;  // +2.7 mm
+  const auto fix = localizer_.locate(tL, tRBad, 90.0);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_NEAR(fix->angleDeg, 90.0, 8.0);
+}
+
+TEST_F(LocalizerTest, GrossMismatchReturnsNothing) {
+  const auto [tL, tR] = delaysAt(60.0, 0.35);
+  const auto fix = localizer_.locate(tL, tR + 1.0e-3, 60.0);  // +34 cm
+  EXPECT_FALSE(fix.has_value());
+}
+
+TEST_F(LocalizerTest, RejectsNonPositiveDelays) {
+  EXPECT_THROW(localizer_.locateAll(-1e-3, 1e-3), InvalidArgument);
+  EXPECT_THROW(localizer_.locateAll(1e-3, 0.0), InvalidArgument);
+}
+
+TEST_F(LocalizerTest, RejectsBadOptions) {
+  LocalizerOptions opts;
+  opts.minRadiusM = 0.05;  // inside the head
+  EXPECT_THROW(Localizer(head_, opts), InvalidArgument);
+  LocalizerOptions opts2;
+  opts2.maxRadiusM = opts2.minRadiusM;
+  EXPECT_THROW(Localizer(head_, opts2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq::core

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "dsp/signal_generators.h"
+#include "eval/metrics.h"
+#include "eval/reporting.h"
+
+namespace uniq::eval {
+namespace {
+
+TEST(Metrics, IdenticalChannelsGiveUnity) {
+  Pcg32 rng(1);
+  const auto a = dsp::whiteNoise(128, rng);
+  EXPECT_NEAR(channelSimilarity(a, a, 48000.0), 1.0, 1e-9);
+}
+
+TEST(Metrics, IndependentNoiseGivesLowSimilarity) {
+  Pcg32 rng(2);
+  const auto a = dsp::whiteNoise(256, rng);
+  const auto b = dsp::whiteNoise(256, rng);
+  EXPECT_LT(channelSimilarity(a, b, 48000.0), 0.4);
+}
+
+TEST(Metrics, ShiftWithinLagWindowForgiven) {
+  Pcg32 rng(3);
+  auto a = dsp::whiteNoise(256, rng);
+  std::vector<double> b(a.size(), 0.0);
+  for (std::size_t i = 10; i < a.size(); ++i) b[i] = a[i - 10];
+  // 10 samples ~ 0.21 ms at 48 kHz: inside the 1 ms window.
+  EXPECT_GT(channelSimilarity(a, b, 48000.0, 1.0), 0.9);
+  // But outside a 0.1 ms window.
+  EXPECT_LT(channelSimilarity(a, b, 48000.0, 0.1), 0.5);
+}
+
+TEST(Metrics, HrirSimilarityAveragesEars) {
+  head::Hrir x, y;
+  x.sampleRate = y.sampleRate = 48000.0;
+  Pcg32 rng(4);
+  x.left = dsp::whiteNoise(64, rng);
+  x.right = dsp::whiteNoise(64, rng);
+  y.left = x.left;                     // identical left
+  y.right = dsp::whiteNoise(64, rng);  // independent right
+  const auto per = hrirSimilarityPerEar(x, y);
+  EXPECT_NEAR(per.left, 1.0, 1e-9);
+  EXPECT_LT(per.right, 0.5);
+  EXPECT_NEAR(hrirSimilarity(x, y), 0.5 * (per.left + per.right), 1e-12);
+}
+
+TEST(Metrics, MeanMedianStd) {
+  const std::vector<double> v{1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(mean(v), 22.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+  EXPECT_GT(standardDeviation(v), 40.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(standardDeviation({1.0}), 0.0);
+}
+
+TEST(Metrics, PercentileInterpolates) {
+  const std::vector<double> v{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 5.0);
+  EXPECT_THROW(percentile(v, 120.0), InvalidArgument);
+}
+
+TEST(Reporting, CdfMonotoneAndNormalized) {
+  const auto cdf = computeCdf({5.0, 1.0, 3.0, 2.0});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 5.0);
+  EXPECT_DOUBLE_EQ(cdf.back().probability, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].probability, cdf[i - 1].probability);
+  }
+  EXPECT_TRUE(computeCdf({}).empty());
+}
+
+TEST(Reporting, PrintSeriesFormatsColumns) {
+  std::ostringstream os;
+  printSeries(os, "demo", {"x", "y"}, {{1.0, 2.0}, {3.0}});
+  const auto text = os.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("x"), std::string::npos);
+  EXPECT_NE(text.find("1.0000"), std::string::npos);
+  EXPECT_THROW(printSeries(os, "bad", {"x"}, {{1.0}, {2.0}}),
+               InvalidArgument);
+}
+
+TEST(Reporting, PrintCdfSummaryShowsPercentiles) {
+  std::ostringstream os;
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  printCdfSummary(os, "errors", samples);
+  const auto text = os.str();
+  EXPECT_NE(text.find("p 50"), std::string::npos);
+  EXPECT_NE(text.find("n=100"), std::string::npos);
+}
+
+TEST(Reporting, PrintHeader) {
+  std::ostringstream os;
+  printHeader(os, "Figure 18", "correlation vs angle");
+  EXPECT_NE(os.str().find("Figure 18"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uniq::eval

@@ -1,0 +1,189 @@
+#include "core/near_far.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "core/near_field_hrtf.h"
+#include "dsp/peak_picking.h"
+#include "eval/metrics.h"
+#include "geometry/diffraction.h"
+#include "geometry/polar.h"
+
+namespace uniq::core {
+namespace {
+
+constexpr double kFs = 48000.0;
+
+head::Subject testSubject() {
+  head::Subject s;
+  s.headParams = {0.072, 0.103, 0.090};
+  s.pinnaSeed = 41;
+  return s;
+}
+
+head::Subject otherSubject() {
+  head::Subject s;
+  s.headParams = {0.080, 0.112, 0.096};
+  s.pinnaSeed = 4242;
+  return s;
+}
+
+/// Ideal near-field table: built straight from the ground-truth database.
+NearFieldTable idealNearTable(const head::Subject& subject) {
+  head::HrtfDatabase::Options dbOpts;
+  dbOpts.sampleRate = kFs;
+  const head::HrtfDatabase db(subject, dbOpts);
+  std::vector<FusedStop> stops;
+  std::vector<BinauralChannel> channels;
+  for (double ang = 2; ang <= 178; ang += 4) {
+    const geo::Vec2 pos = geo::pointFromPolarDeg(ang, 0.35);
+    const auto hrir = db.nearFieldAt(pos);
+    FusedStop stop;
+    stop.localized = true;
+    stop.angleDeg = ang;
+    stop.radiusM = 0.35;
+    stop.imuAngleDeg = ang;
+    BinauralChannel ch;
+    ch.sampleRate = kFs;
+    ch.left = hrir.left;
+    ch.right = hrir.right;
+    const auto tapL = dsp::findFirstTap(ch.left);
+    const auto tapR = dsp::findFirstTap(ch.right);
+    ch.firstTapLeftSec = tapL->position / kFs;
+    ch.firstTapRightSec = tapR->position / kFs;
+    stops.push_back(stop);
+    channels.push_back(std::move(ch));
+  }
+  const NearFieldHrtfBuilder builder;
+  return builder.build(stops, channels, subject.headParams);
+}
+
+class NearFarTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    nearTable_ = new NearFieldTable(idealNearTable(testSubject()));
+    head::HrtfDatabase::Options dbOpts;
+    dbOpts.sampleRate = kFs;
+    truthDb_ = new head::HrtfDatabase(testSubject(), dbOpts);
+  }
+  static void TearDownTestSuite() {
+    delete nearTable_;
+    delete truthDb_;
+    nearTable_ = nullptr;
+    truthDb_ = nullptr;
+  }
+  static NearFieldTable* nearTable_;
+  static head::HrtfDatabase* truthDb_;
+};
+
+NearFieldTable* NearFarTest::nearTable_ = nullptr;
+head::HrtfDatabase* NearFarTest::truthDb_ = nullptr;
+
+TEST_F(NearFarTest, ConvertedTableHasExpectedShape) {
+  const NearFarConverter converter;
+  const auto far = converter.convert(*nearTable_);
+  EXPECT_EQ(far.byDegree.size(), 181u);
+  EXPECT_EQ(far.sampleRate, kFs);
+  for (const auto& hrir : far.byDegree) {
+    EXPECT_GT(head::channelEnergy(hrir.left), 0.0);
+    EXPECT_GT(head::channelEnergy(hrir.right), 0.0);
+  }
+}
+
+TEST_F(NearFarTest, ImposedDelaysMatchPlaneWaveModel) {
+  const NearFarConverter converter;
+  const auto far = converter.convert(*nearTable_);
+  const auto& E = nearTable_->headParams;
+  const geo::HeadBoundary boundary(E.a, E.b, E.c, 256);
+  for (int deg : {10, 50, 90, 130, 170}) {
+    const geo::Vec2 d =
+        -geo::directionFromAzimuthDeg(static_cast<double>(deg));
+    const double expectedItd =
+        (geo::farFieldPath(boundary, d, geo::Ear::kLeft).length -
+         geo::farFieldPath(boundary, d, geo::Ear::kRight).length) /
+        kSpeedOfSound;
+    const double tableItd =
+        (far.tapLeftSamples[deg] - far.tapRightSamples[deg]) / kFs;
+    EXPECT_NEAR(tableItd, expectedItd, 2e-6) << deg;
+  }
+}
+
+TEST_F(NearFarTest, ConvertedFarMatchesTruthFarBetterThanOtherSubject) {
+  const NearFarConverter converter;
+  const auto far = converter.convert(*nearTable_);
+  const auto truthFar = farTableFromDatabase(*truthDb_);
+  head::HrtfDatabase::Options dbOpts;
+  dbOpts.sampleRate = kFs;
+  const head::HrtfDatabase otherDb(otherSubject(), dbOpts);
+  const auto otherFar = farTableFromDatabase(otherDb);
+
+  double simTruth = 0.0, simOther = 0.0;
+  int count = 0;
+  for (double ang = 10; ang <= 170; ang += 20) {
+    simTruth += eval::hrirSimilarity(far.at(ang), truthFar.at(ang));
+    simOther += eval::hrirSimilarity(otherFar.at(ang), truthFar.at(ang));
+    ++count;
+  }
+  simTruth /= count;
+  simOther /= count;
+  EXPECT_GT(simTruth, 0.7);
+  EXPECT_GT(simTruth, simOther + 0.1);
+}
+
+TEST_F(NearFarTest, ShadowedEarAttenuatedInFarTable) {
+  const NearFarConverter converter;
+  const auto far = converter.convert(*nearTable_);
+  // Plane wave from the left (90 deg): right ear shadowed.
+  const auto& hrir = far.at(90.0);
+  EXPECT_GT(head::channelEnergy(hrir.left),
+            2.0 * head::channelEnergy(hrir.right));
+}
+
+TEST_F(NearFarTest, RejectsWrongTableSize) {
+  NearFieldTable bad = *nearTable_;
+  bad.byDegree.resize(90);
+  const NearFarConverter converter;
+  EXPECT_THROW(converter.convert(bad), InvalidArgument);
+}
+
+TEST(FarTableFromDatabase, TapsAnchoredAtAlignSample) {
+  head::HrtfDatabase::Options dbOpts;
+  dbOpts.sampleRate = kFs;
+  const head::HrtfDatabase db(testSubject(), dbOpts);
+  const auto table = farTableFromDatabase(db, 32.0, 192);
+  for (int deg : {0, 45, 90, 135, 180}) {
+    const double minTap =
+        std::min(table.tapLeftSamples[deg], table.tapRightSamples[deg]);
+    EXPECT_NEAR(minTap, 32.0, 1e-9) << deg;
+    // Verify the actual channel energy starts near the declared tap.
+    const auto& earlier = table.tapLeftSamples[deg] < table.tapRightSamples[deg]
+                              ? table.byDegree[deg].left
+                              : table.byDegree[deg].right;
+    const auto tap = dsp::findFirstTap(earlier);
+    ASSERT_TRUE(tap.has_value());
+    EXPECT_NEAR(tap->position, 32.0, 2.0) << deg;
+  }
+}
+
+TEST(FarTableFromDatabase, ItdSymmetricFrontBackForSymmetricHead) {
+  head::Subject s;
+  s.headParams = {0.075, 0.095, 0.095};
+  s.pinnaSeed = 51;
+  head::HrtfDatabase::Options dbOpts;
+  dbOpts.sampleRate = kFs;
+  const head::HrtfDatabase db(s, dbOpts);
+  const auto table = farTableFromDatabase(db);
+  for (int deg : {20, 40, 60, 80}) {
+    const double itdFront =
+        table.tapLeftSamples[deg] - table.tapRightSamples[deg];
+    const double itdBack = table.tapLeftSamples[180 - deg] -
+                           table.tapRightSamples[180 - deg];
+    EXPECT_NEAR(itdFront, itdBack, 0.35) << deg;
+  }
+}
+
+}  // namespace
+}  // namespace uniq::core

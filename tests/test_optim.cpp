@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "optim/nelder_mead.h"
+#include "optim/root_finding.h"
+
+namespace uniq::optim {
+namespace {
+
+TEST(NelderMead, MinimizesQuadraticBowl) {
+  const auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  NelderMeadOptions opts;
+  opts.maxIterations = 500;
+  const auto result = nelderMead(f, {0.0, 0.0}, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(result.fValue, 0.0, 1e-7);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.maxIterations = 3000;
+  opts.initialStep = 0.5;
+  opts.fTolerance = 1e-14;
+  opts.xTolerance = 1e-10;
+  const auto result = nelderMead(f, {-1.2, 1.0}, opts);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto f = [](const std::vector<double>& x) {
+    return std::cos(x[0]) + x[0] * x[0] / 10.0;
+  };
+  const auto result = nelderMead(f, {1.0});
+  // Minimum of cos(x)+x^2/10: where sin(x) = x/5, x ~ 2.596.
+  EXPECT_NEAR(result.x[0], 2.596, 0.05);
+}
+
+TEST(NelderMead, RespectsIterationBudget) {
+  int evals = 0;
+  const auto f = [&evals](const std::vector<double>& x) {
+    ++evals;
+    return x[0] * x[0];
+  };
+  NelderMeadOptions opts;
+  opts.maxIterations = 10;
+  opts.fTolerance = 0.0;  // never converge by tolerance
+  opts.xTolerance = 0.0;
+  const auto result = nelderMead(f, {5.0}, opts);
+  EXPECT_EQ(result.iterations, 10u);
+  EXPECT_LT(evals, 100);
+}
+
+TEST(NelderMead, RejectsEmptyStart) {
+  EXPECT_THROW(nelderMead([](const std::vector<double>&) { return 0.0; }, {}),
+               InvalidArgument);
+}
+
+TEST(RootFinding, BisectFindsSimpleRoot) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  const double root = bisect(f, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-8);
+}
+
+TEST(RootFinding, BisectRejectsBadBracket) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW(bisect(f, -1.0, 1.0), NumericalFailure);
+  EXPECT_THROW(bisect(f, 1.0, -1.0), InvalidArgument);
+}
+
+TEST(RootFinding, BrentFindsRootFasterThanBisection) {
+  int evalsBrent = 0, evalsBisect = 0;
+  const auto fb = [&evalsBrent](double x) {
+    ++evalsBrent;
+    return std::cos(x) - x;
+  };
+  const auto fbi = [&evalsBisect](double x) {
+    ++evalsBisect;
+    return std::cos(x) - x;
+  };
+  RootOptions opts;
+  opts.xTolerance = 1e-12;
+  const double rb = brent(fb, 0.0, 1.5, opts);
+  const double rbi = bisect(fbi, 0.0, 1.5, opts);
+  EXPECT_NEAR(rb, rbi, 1e-9);
+  EXPECT_NEAR(rb, 0.7390851332, 1e-8);
+  EXPECT_LT(evalsBrent, evalsBisect);
+}
+
+TEST(RootFinding, BrentHandlesEndpointRoot) {
+  const auto f = [](double x) { return x - 1.0; };
+  EXPECT_NEAR(brent(f, 1.0, 2.0), 1.0, 1e-12);
+}
+
+TEST(RootFinding, FindAllRootsOfSine) {
+  const auto f = [](double x) { return std::sin(x); };
+  const auto roots = findAllRoots(f, 0.5, 3.5 * kPi, 100);
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_NEAR(roots[0], kPi, 1e-8);
+  EXPECT_NEAR(roots[1], 2 * kPi, 1e-8);
+  EXPECT_NEAR(roots[2], 3 * kPi, 1e-8);
+}
+
+TEST(RootFinding, FindAllRootsEmptyWhenNoSignChange) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_TRUE(findAllRoots(f, -5.0, 5.0, 50).empty());
+}
+
+}  // namespace
+}  // namespace uniq::optim

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "core/pipeline.h"
+#include "dsp/peak_picking.h"
+#include "geometry/polar.h"
+#include "dsp/signal_generators.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+
+namespace uniq {
+namespace {
+
+/// Full end-to-end calibration is ~2-3 s, so it runs once per suite and the
+/// individual tests assert different facets of the same result.
+class PipelineIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::ExperimentConfig config;
+    const auto population = eval::makeStudyPopulation(config);
+    run_ = new eval::CalibratedVolunteer(
+        eval::calibrate(population[0], config));
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    run_ = nullptr;
+  }
+  static eval::CalibratedVolunteer* run_;
+};
+
+eval::CalibratedVolunteer* PipelineIntegration::run_ = nullptr;
+
+TEST_F(PipelineIntegration, HeadParametersPlausible) {
+  EXPECT_TRUE(run_->personal.headParams.isPlausible());
+  // Ear axis within a few millimeters of the truth.
+  EXPECT_NEAR(run_->personal.headParams.a,
+              run_->volunteer.subject.headParams.a, 0.008);
+}
+
+TEST_F(PipelineIntegration, AllStopsProcessed) {
+  EXPECT_EQ(run_->personal.fusion.stops.size(),
+            run_->capture.stops.size());
+  EXPECT_GT(run_->personal.fusion.localizedCount,
+            run_->capture.stops.size() * 3 / 4);
+}
+
+TEST_F(PipelineIntegration, GestureAccepted) {
+  EXPECT_TRUE(run_->personal.gestureReport.ok)
+      << (run_->personal.gestureReport.issues.empty()
+              ? ""
+              : run_->personal.gestureReport.issues[0]);
+}
+
+TEST_F(PipelineIntegration, LocalizationMedianErrorSmall) {
+  const auto loc = eval::localizationAccuracy(*run_);
+  ASSERT_GT(loc.absErrorDeg.size(), 20u);
+  EXPECT_LT(eval::median(loc.absErrorDeg), 6.0);
+}
+
+TEST_F(PipelineIntegration, PersonalizedBeatsGlobalHeadline) {
+  // The paper's key result: the personalized HRTF correlates with the
+  // ground truth substantially better than the global template.
+  const auto series = eval::correlationVsAngle(*run_, 15.0);
+  const double uniqAvg =
+      0.5 * (eval::mean(series.uniqLeft) + eval::mean(series.uniqRight));
+  const double globalAvg =
+      0.5 * (eval::mean(series.globalLeft) + eval::mean(series.globalRight));
+  const double repeatAvg =
+      0.5 * (eval::mean(series.repeatLeft) + eval::mean(series.repeatRight));
+  EXPECT_GT(uniqAvg, globalAvg + 0.15);
+  EXPECT_GT(uniqAvg / globalAvg, 1.3);
+  EXPECT_GE(repeatAvg, uniqAvg - 0.05);  // repeat measurement ~ upper bound
+}
+
+TEST_F(PipelineIntegration, TablesWellFormed) {
+  const auto& table = run_->personal.table;
+  EXPECT_EQ(table.nearTable().byDegree.size(), 181u);
+  EXPECT_EQ(table.farTable().byDegree.size(), 181u);
+  EXPECT_GT(table.nearTable().medianRadiusM, 0.2);
+  EXPECT_LT(table.nearTable().medianRadiusM, 0.5);
+}
+
+TEST_F(PipelineIntegration, RenderedBinauralItdSignCorrect) {
+  // A far-field render from the left must reach the left ear first.
+  const auto chirp = dsp::linearChirp(200.0, 8000.0, 2400, 48000.0);
+  const auto out = run_->personal.table.renderFar(90.0, chirp);
+  const auto tapL = dsp::findFirstTap(out.left);
+  const auto tapR = dsp::findFirstTap(out.right);
+  ASSERT_TRUE(tapL && tapR);
+  EXPECT_LT(tapL->position, tapR->position);
+}
+
+TEST_F(PipelineIntegration, RenderFromSwitchesNearFar) {
+  const std::vector<double> click{1.0, 0.5, 0.25};
+  const auto nearOut =
+      run_->personal.table.renderFrom(geo::pointFromPolarDeg(60.0, 0.4), click);
+  const auto farOut =
+      run_->personal.table.renderFrom(geo::pointFromPolarDeg(60.0, 3.0), click);
+  const auto nearRef = run_->personal.table.renderNear(60.0, 0.4, click);
+  const auto farRef = run_->personal.table.renderFar(60.0, click);
+  EXPECT_EQ(nearOut.left, nearRef.left);
+  EXPECT_EQ(farOut.left, farRef.left);
+  EXPECT_NE(nearOut.left, farOut.left);
+}
+
+TEST_F(PipelineIntegration, KnownSourceAoaBeatsGlobal) {
+  head::HrtfDatabase::Options dbOpts;
+  dbOpts.sampleRate = 48000.0;
+  const head::HrtfDatabase truthDb(run_->volunteer.subject, dbOpts);
+  const head::HrtfDatabase globalDb(head::globalTemplateSubject(), dbOpts);
+  const auto globalTable = core::farTableFromDatabase(globalDb);
+
+  eval::AoaExperimentOptions opts;
+  opts.trialAnglesDeg = {25.0, 65.0, 115.0, 155.0};
+  const auto personalTrials =
+      eval::runAoaTrials(truthDb, run_->personal.table.farTable(), true,
+                         eval::SignalKind::kChirp, opts);
+  const auto globalTrials = eval::runAoaTrials(
+      truthDb, globalTable, true, eval::SignalKind::kChirp, opts);
+  EXPECT_LT(eval::mean(eval::absErrors(personalTrials)),
+            eval::mean(eval::absErrors(globalTrials)));
+  EXPECT_LT(eval::median(eval::absErrors(personalTrials)), 10.0);
+}
+
+TEST(PipelineValidation, RejectsEmptyCapture) {
+  const core::CalibrationPipeline pipeline;
+  sim::CalibrationCapture empty;
+  EXPECT_THROW(pipeline.run(empty), InvalidArgument);
+}
+
+TEST(PipelineValidation, BadGestureIsFlagged) {
+  // A sweep held far too close to the head should trip the validator.
+  eval::ExperimentConfig config;
+  auto population = eval::makeStudyPopulation(config);
+  eval::Volunteer bad = population[1];
+  bad.gesture.radiusMeanM = 0.16;
+  bad.gesture.radiusWobbleM = 0.01;
+  const auto run = eval::calibrate(bad, config);
+  EXPECT_FALSE(run.personal.gestureReport.ok);
+}
+
+}  // namespace
+}  // namespace uniq

@@ -1,0 +1,88 @@
+#include "core/ray_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uniq::core {
+namespace {
+
+TEST(RayDecomposition, MatrixHasExpectedShape) {
+  SpeakerBeamformingStudyOptions opts;
+  opts.rayCount = 8;
+  opts.patternCount = 20;
+  const auto m = buildBeamformingMatrix(opts);
+  EXPECT_EQ(m.rows(), 40u);
+  EXPECT_EQ(m.cols(), 16u);
+}
+
+TEST(RayDecomposition, TwoSpeakerSystemIsIllConditioned) {
+  // The paper's finding: two speakers cannot form narrow beams, so the
+  // per-ray system is effectively rank-deficient.
+  SpeakerBeamformingStudyOptions opts;
+  const double cond2 = conditionNumberForSpeakerCount(opts, 2);
+  EXPECT_GT(cond2, 1e3);
+}
+
+TEST(RayDecomposition, RankIsLimitedBySpeakerCount) {
+  // The structural reason for the failure: every beam pattern is a linear
+  // combination of S per-speaker steering vectors, so the measurement
+  // matrix has (complex) rank at most min(S, rayCount) regardless of how
+  // many time-varying patterns are played.
+  SpeakerBeamformingStudyOptions opts;  // 12 rays
+  const auto phoneMatrix = buildBeamformingMatrix(opts);
+  // Tolerance accounts for the Jacobi eigensolver's numerical floor on the
+  // squared singular values.
+  EXPECT_EQ(optim::numericalRank(phoneMatrix, 1e-5), 4u);  // 2 * 2 speakers
+
+  // Counterfactual: enough ideal emitters make the system solvable.
+  const double condMany = conditionNumberForSpeakerCount(opts, 16);
+  EXPECT_TRUE(std::isfinite(condMany));
+  const double condPhone = conditionNumberForSpeakerCount(opts, 2);
+  EXPECT_TRUE(std::isinf(condPhone) || condPhone > 1e6);
+}
+
+TEST(RayDecomposition, RecoveryFailsAtRealisticSnr) {
+  SpeakerBeamformingStudyOptions opts;
+  const auto result = runRayRecoveryStudy(opts, 30.0);
+  // Even 30 dB measurements cannot recover the rays through the
+  // ill-conditioned system: relative error stays large.
+  EXPECT_GT(result.noisyError, 0.3);
+  EXPECT_GT(result.conditionNumber, 1e3);
+}
+
+TEST(RayDecomposition, FewRaysAreRecoverable) {
+  // With very few unknown directions the two-speaker system is (barely)
+  // informative — the failure is specific to fine angular decomposition.
+  SpeakerBeamformingStudyOptions opts;
+  opts.rayCount = 2;
+  opts.patternCount = 24;
+  const auto result = runRayRecoveryStudy(opts, 40.0);
+  EXPECT_LT(result.noiselessError, 0.05);
+  EXPECT_LT(result.conditionNumber, 100.0);
+}
+
+TEST(RayDecomposition, ErrorGrowsWithNoise) {
+  SpeakerBeamformingStudyOptions opts;
+  opts.rayCount = 6;
+  const auto clean = runRayRecoveryStudy(opts, 60.0);
+  const auto noisy = runRayRecoveryStudy(opts, 10.0);
+  EXPECT_GT(noisy.noisyError, clean.noisyError);
+}
+
+TEST(RayDecomposition, RejectsBadOptions) {
+  SpeakerBeamformingStudyOptions opts;
+  opts.rayCount = 1;
+  EXPECT_THROW(buildBeamformingMatrix(opts), InvalidArgument);
+  SpeakerBeamformingStudyOptions opts2;
+  opts2.patternCount = 4;
+  opts2.rayCount = 12;
+  EXPECT_THROW(buildBeamformingMatrix(opts2), InvalidArgument);
+  SpeakerBeamformingStudyOptions opts3;
+  EXPECT_THROW(conditionNumberForSpeakerCount(opts3, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq::core

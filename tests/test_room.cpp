@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/near_far.h"
+#include "dsp/peak_picking.h"
+#include "head/hrtf_database.h"
+#include "room/binaural_reverb.h"
+#include "room/image_source.h"
+
+namespace uniq::room {
+namespace {
+
+TEST(ImageSource, OrderZeroIsTheRealSource) {
+  RoomGeometry geom;
+  const geo::Vec2 src{2.0, 1.5};
+  const auto images = computeImageSources(geom, src);
+  ASSERT_FALSE(images.empty());
+  EXPECT_EQ(images.front().order, 0);
+  EXPECT_NEAR(images.front().position.x, 2.0, 1e-12);
+  EXPECT_NEAR(images.front().position.y, 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(images.front().gain, 1.0);
+}
+
+TEST(ImageSource, FirstOrderImagesMirrorOverWalls) {
+  RoomGeometry geom;
+  geom.widthM = 6.0;
+  geom.depthM = 4.0;
+  geom.maxOrder = 1;
+  const geo::Vec2 src{2.0, 1.5};
+  const auto images = computeImageSources(geom, src);
+  // 1 direct + 4 first-order images.
+  ASSERT_EQ(images.size(), 5u);
+  bool foundLeft = false, foundRight = false, foundFront = false,
+       foundBack = false;
+  for (const auto& img : images) {
+    if (img.order != 1) continue;
+    EXPECT_NEAR(img.gain, geom.wallReflection, 1e-12);
+    if (std::fabs(img.position.x + 2.0) < 1e-9) foundLeft = true;    // x=-s
+    if (std::fabs(img.position.x - 10.0) < 1e-9) foundRight = true;  // 2W-s
+    if (std::fabs(img.position.y + 1.5) < 1e-9) foundFront = true;
+    if (std::fabs(img.position.y - 6.5) < 1e-9) foundBack = true;
+  }
+  EXPECT_TRUE(foundLeft);
+  EXPECT_TRUE(foundRight);
+  EXPECT_TRUE(foundFront);
+  EXPECT_TRUE(foundBack);
+}
+
+TEST(ImageSource, GainDecaysWithOrder) {
+  RoomGeometry geom;
+  geom.maxOrder = 3;
+  const auto images = computeImageSources(geom, {3.0, 2.0});
+  for (const auto& img : images) {
+    EXPECT_NEAR(img.gain, std::pow(geom.wallReflection, img.order), 1e-12);
+    EXPECT_LE(img.order, geom.maxOrder);
+  }
+}
+
+TEST(ImageSource, CountGrowsWithOrder) {
+  RoomGeometry geom;
+  geom.maxOrder = 1;
+  const auto low = computeImageSources(geom, {3.0, 2.0});
+  geom.maxOrder = 4;
+  const auto high = computeImageSources(geom, {3.0, 2.0});
+  EXPECT_GT(high.size(), low.size());
+}
+
+TEST(ImageSource, RejectsBadInput) {
+  RoomGeometry geom;
+  EXPECT_THROW(computeImageSources(geom, {-1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(computeImageSources(geom, {7.0, 2.0}), InvalidArgument);
+  geom.wallReflection = 1.0;
+  EXPECT_THROW(computeImageSources(geom, {3.0, 2.0}), InvalidArgument);
+}
+
+TEST(ImageSource, ReverbRatioGrowsWithReflectivity) {
+  RoomGeometry dead;
+  dead.wallReflection = 0.2;
+  RoomGeometry live;
+  live.wallReflection = 0.8;
+  const geo::Vec2 src{2.0, 1.5};
+  const geo::Vec2 listener{4.0, 2.5};
+  const double deadRatio =
+      reverberantToDirectRatio(computeImageSources(dead, src), listener);
+  const double liveRatio =
+      reverberantToDirectRatio(computeImageSources(live, src), listener);
+  EXPECT_GT(liveRatio, 4.0 * deadRatio);
+}
+
+class BinauralReverbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    head::Subject s;
+    s.headParams = {0.074, 0.104, 0.09};
+    s.pinnaSeed = 71;
+    head::HrtfDatabase::Options dbOpts;
+    db_ = new head::HrtfDatabase(s, dbOpts);
+    table_ = new core::FarFieldTable(core::farTableFromDatabase(*db_));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete table_;
+  }
+  static head::HrtfDatabase* db_;
+  static core::FarFieldTable* table_;
+};
+
+head::HrtfDatabase* BinauralReverbTest::db_ = nullptr;
+core::FarFieldTable* BinauralReverbTest::table_ = nullptr;
+
+TEST_F(BinauralReverbTest, DirectPathArrivesFirstAtCorrectDelay) {
+  RoomGeometry geom;
+  const BinauralRoomRenderer renderer(*table_, geom);
+  const geo::Vec2 listener{3.0, 2.0};
+  const geo::Vec2 source{3.0, 3.5};  // 1.5 m straight ahead
+  const auto rir = renderer.roomImpulseResponse(listener, 0.0, source);
+  const auto tap = dsp::findFirstTap(rir.left);
+  ASSERT_TRUE(tap.has_value());
+  const double expected = 1.5 / 343.0 * rir.sampleRate;
+  EXPECT_NEAR(tap->position, expected, 40.0);  // within the HRIR anchor slack
+  EXPECT_GT(rir.length(), expected);
+}
+
+TEST_F(BinauralReverbTest, ReverbTailLongerInLiveRoom) {
+  RoomGeometry dead;
+  dead.wallReflection = 0.1;
+  RoomGeometry live;
+  live.wallReflection = 0.8;
+  const geo::Vec2 listener{3.0, 2.0};
+  const geo::Vec2 source{1.5, 3.0};
+  const auto deadRir = BinauralRoomRenderer(*table_, dead)
+                           .roomImpulseResponse(listener, 0.0, source);
+  const auto liveRir = BinauralRoomRenderer(*table_, live)
+                           .roomImpulseResponse(listener, 0.0, source);
+  // Energy beyond 12 ms compared between rooms.
+  const auto lateStart = static_cast<std::size_t>(0.012 * deadRir.sampleRate);
+  auto lateEnergy = [&](const std::vector<double>& ch) {
+    double e = 0.0;
+    for (std::size_t i = lateStart; i < ch.size(); ++i) e += ch[i] * ch[i];
+    return e;
+  };
+  EXPECT_GT(lateEnergy(liveRir.left), 10.0 * lateEnergy(deadRir.left));
+}
+
+TEST_F(BinauralReverbTest, SourceOnLeftGivesLeftLeadingItd) {
+  RoomGeometry geom;
+  geom.wallReflection = 0.2;  // keep the direct path dominant
+  const BinauralRoomRenderer renderer(*table_, geom);
+  const geo::Vec2 listener{3.0, 2.0};
+  const geo::Vec2 source{1.0, 2.0};  // directly left of the listener
+  const auto rir = renderer.roomImpulseResponse(listener, 0.0, source);
+  const auto tapL = dsp::findFirstTap(rir.left);
+  const auto tapR = dsp::findFirstTap(rir.right);
+  ASSERT_TRUE(tapL && tapR);
+  EXPECT_LT(tapL->position, tapR->position);
+}
+
+TEST_F(BinauralReverbTest, YawRotatesTheScene) {
+  RoomGeometry geom;
+  geom.wallReflection = 0.2;
+  const BinauralRoomRenderer renderer(*table_, geom);
+  const geo::Vec2 listener{3.0, 2.0};
+  const geo::Vec2 source{3.0, 3.5};  // ahead when yaw = 0
+  // Turn the head 90 degrees right: the source ends up on the LEFT side.
+  const auto rir = renderer.roomImpulseResponse(listener, -90.0, source);
+  const auto tapL = dsp::findFirstTap(rir.left);
+  const auto tapR = dsp::findFirstTap(rir.right);
+  ASSERT_TRUE(tapL && tapR);
+  EXPECT_LT(tapL->position, tapR->position);
+}
+
+TEST_F(BinauralReverbTest, RenderConvolvesSource) {
+  RoomGeometry geom;
+  const BinauralRoomRenderer renderer(*table_, geom);
+  const std::vector<double> click{1.0};
+  const auto out =
+      renderer.render({3.0, 2.0}, 0.0, {2.0, 3.0}, click);
+  EXPECT_GT(head::channelEnergy(out.left), 0.0);
+  EXPECT_GT(head::channelEnergy(out.right), 0.0);
+  EXPECT_THROW(renderer.render({3.0, 2.0}, 0.0, {2.0, 3.0}, {}),
+               InvalidArgument);
+}
+
+TEST_F(BinauralReverbTest, ListenerOutsideRoomRejected) {
+  RoomGeometry geom;
+  const BinauralRoomRenderer renderer(*table_, geom);
+  EXPECT_THROW(
+      renderer.roomImpulseResponse({-1.0, 2.0}, 0.0, {2.0, 3.0}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq::room

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "dsp/fft.h"
+#include "geometry/polar.h"
+#include "dsp/signal_generators.h"
+#include "dsp/spectrum.h"
+#include "sim/hardware_model.h"
+#include "sim/imu_sim.h"
+#include "sim/measurement_session.h"
+#include "sim/recorder.h"
+#include "sim/room_model.h"
+#include "sim/trajectory.h"
+
+namespace uniq::sim {
+namespace {
+
+TEST(HardwareModel, BandpassShape) {
+  const HardwareModel hw;
+  // Paper Figure 16: unusable below ~50 Hz, stable in 100 Hz - 10 kHz.
+  EXPECT_LT(hw.magnitudeDbAt(20.0), -20.0);
+  EXPECT_GT(hw.magnitudeDbAt(1000.0), -6.0);
+  EXPECT_GT(hw.magnitudeDbAt(8000.0), -6.0);
+  EXPECT_LT(hw.magnitudeDbAt(22000.0), hw.magnitudeDbAt(8000.0));
+}
+
+TEST(HardwareModel, RippleBoundedInBand) {
+  HardwareModel::Options opts;
+  opts.rippleDb = 2.0;
+  const HardwareModel hw(opts);
+  double minDb = 1e9, maxDb = -1e9;
+  for (double f = 500.0; f <= 8000.0; f *= 1.1) {
+    const double db = hw.magnitudeDbAt(f);
+    minDb = std::min(minDb, db);
+    maxDb = std::max(maxDb, db);
+  }
+  EXPECT_LT(maxDb - minDb, 4.0);
+}
+
+TEST(HardwareModel, ApplyAttenuatesOutOfBand) {
+  const HardwareModel hw;
+  const double fs = hw.sampleRate();
+  std::vector<double> low(4800), mid(4800);
+  for (std::size_t i = 0; i < low.size(); ++i) {
+    low[i] = std::sin(kTwoPi * 25.0 * static_cast<double>(i) / fs);
+    mid[i] = std::sin(kTwoPi * 1000.0 * static_cast<double>(i) / fs);
+  }
+  const auto lowOut = hw.apply(low);
+  const auto midOut = hw.apply(mid);
+  EXPECT_LT(dsp::rms(lowOut), 0.25 * dsp::rms(midOut));
+}
+
+TEST(HardwareModel, EstimateCloseToTruth) {
+  const HardwareModel hw;
+  Pcg32 rng(4);
+  const auto estimate = hw.estimateResponse(40.0, rng);
+  ASSERT_EQ(estimate.size(), hw.response().size());
+  // Compare magnitudes over the usable band.
+  const std::size_t n = estimate.size();
+  for (double f = 300.0; f <= 10000.0; f *= 1.5) {
+    const std::size_t bin = dsp::frequencyToBin(f, n, hw.sampleRate());
+    const double trueMag = std::abs(hw.response()[bin]);
+    const double estMag = std::abs(estimate[bin]);
+    EXPECT_NEAR(estMag / trueMag, 1.0, 0.15) << "f=" << f;
+  }
+}
+
+TEST(RoomModel, IdentityTapPlusLateEchoes) {
+  RoomModel::Options opts;
+  const RoomModel room(opts);
+  const auto& ir = room.impulseResponse();
+  EXPECT_DOUBLE_EQ(ir[0], 1.0);
+  const auto minDelaySamples =
+      static_cast<std::size_t>(opts.minDelaySec * opts.sampleRate);
+  for (std::size_t i = 1; i + 16 < minDelaySamples; ++i)
+    EXPECT_NEAR(ir[i], 0.0, 1e-9) << "early energy at " << i;
+  double lateEnergy = 0.0;
+  for (std::size_t i = minDelaySamples; i < ir.size(); ++i)
+    lateEnergy += ir[i] * ir[i];
+  EXPECT_GT(lateEnergy, 0.01);
+}
+
+TEST(RoomModel, AnechoicIsPureDelta) {
+  const auto room = RoomModel::anechoic();
+  const auto& ir = room.impulseResponse();
+  EXPECT_DOUBLE_EQ(ir[0], 1.0);
+  for (std::size_t i = 1; i < ir.size(); ++i) EXPECT_DOUBLE_EQ(ir[i], 0.0);
+  std::vector<double> sig{1.0, 2.0, 3.0};
+  const auto out = room.apply(sig);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(Trajectory, CoversRequestedRangeInOrder) {
+  Pcg32 rng(5);
+  const auto traj = generateTrajectory(defaultGesture(), rng);
+  ASSERT_EQ(traj.size(), defaultGesture().stops);
+  EXPECT_LT(traj.front().trueAngleDeg, 15.0);
+  EXPECT_GT(traj.back().trueAngleDeg, 165.0);
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_GT(traj[i].timeSec, traj[i - 1].timeSec);
+    EXPECT_GE(traj[i].trueAngleDeg, 0.0);
+    EXPECT_LE(traj[i].trueAngleDeg, 180.0);
+  }
+}
+
+TEST(Trajectory, RadiusStaysPhysical) {
+  Pcg32 rng(6);
+  for (const auto& profile : {defaultGesture(), constrainedGesture()}) {
+    const auto traj = generateTrajectory(profile, rng);
+    for (const auto& p : traj) {
+      EXPECT_GT(p.radiusM, 0.13);
+      EXPECT_LT(p.radiusM, 0.5);
+      EXPECT_NEAR(geo::radiusOfPoint(p.position), p.radiusM, 1e-9);
+    }
+  }
+}
+
+TEST(Trajectory, ConstrainedGestureDroopsAtBack) {
+  Pcg32 rng(7);
+  const auto traj = generateTrajectory(constrainedGesture(), rng);
+  double frontAvg = 0.0, backAvg = 0.0;
+  int frontN = 0, backN = 0;
+  for (const auto& p : traj) {
+    if (p.trueAngleDeg < 60.0) {
+      frontAvg += p.radiusM;
+      ++frontN;
+    } else if (p.trueAngleDeg > 150.0) {
+      backAvg += p.radiusM;
+      ++backN;
+    }
+  }
+  ASSERT_GT(frontN, 0);
+  ASSERT_GT(backN, 0);
+  EXPECT_LT(backAvg / backN, frontAvg / frontN - 0.02);
+}
+
+TEST(Trajectory, RejectsBadProfiles) {
+  Pcg32 rng(8);
+  GestureProfile p;
+  p.stops = 2;
+  EXPECT_THROW(generateTrajectory(p, rng), InvalidArgument);
+  GestureProfile q;
+  q.angleStartDeg = 100;
+  q.angleEndDeg = 50;
+  EXPECT_THROW(generateTrajectory(q, rng), InvalidArgument);
+}
+
+TEST(ImuSim, NoiselessGyroIntegratesExactly) {
+  Pcg32 trajRng(9);
+  const auto traj = generateTrajectory(defaultGesture(), trajRng);
+  ImuNoiseModel noiseless;
+  noiseless.biasDegPerSec = 0.0;
+  noiseless.noiseDegPerSec = 0.0;
+  noiseless.facingErrorDeg = 0.0;
+  noiseless.aimJitterDeg = 0.0;
+  Pcg32 imuRng(10);
+  const auto trace = simulateGyro(traj, noiseless, imuRng);
+  const auto angles = anglesAtStops(trace, traj.front().trueAngleDeg, traj);
+  ASSERT_EQ(angles.size(), traj.size());
+  for (std::size_t i = 0; i < traj.size(); ++i) {
+    EXPECT_NEAR(angles[i], traj[i].trueAngleDeg, 1.5) << "stop " << i;
+  }
+}
+
+TEST(ImuSim, BiasCausesGrowingDrift) {
+  Pcg32 trajRng(11);
+  const auto traj = generateTrajectory(defaultGesture(), trajRng);
+  ImuNoiseModel biased;
+  biased.biasDegPerSec = 2.0;
+  biased.noiseDegPerSec = 0.0;
+  biased.facingErrorDeg = 0.0;
+  biased.aimJitterDeg = 0.0;
+  Pcg32 imuRng(12);
+  const auto trace = simulateGyro(traj, biased, imuRng);
+  const auto angles = anglesAtStops(trace, traj.front().trueAngleDeg, traj);
+  const double earlyErr = std::fabs(angles[1] - traj[1].trueAngleDeg);
+  const double lateErr =
+      std::fabs(angles.back() - traj.back().trueAngleDeg);
+  EXPECT_GT(lateErr, earlyErr + 5.0);
+}
+
+TEST(Recorder, RecordingHasExpectedStructure) {
+  head::Subject s;
+  s.headParams = {0.075, 0.1, 0.09};
+  s.pinnaSeed = 13;
+  const head::HrtfDatabase db(s);
+  const HardwareModel hw;
+  const RoomModel room;
+  const BinauralRecorder recorder(db, hw, room);
+  Pcg32 rng(14);
+  const auto chirp = dsp::linearChirp(100.0, 20000.0, 960, 48000.0);
+  const auto rec = recorder.recordNearField({-0.3, 0.1}, chirp, rng);
+  EXPECT_EQ(rec.left.size(), rec.right.size());
+  EXPECT_GT(rec.left.size(), chirp.size());
+  EXPECT_GT(dsp::rms(rec.left), 0.0);
+  // Source on the left: left ear should be louder.
+  EXPECT_GT(dsp::rms(rec.left), dsp::rms(rec.right));
+}
+
+TEST(Recorder, SharedNoiseFloorHurtsShadowedEar) {
+  head::Subject s;
+  s.headParams = {0.075, 0.1, 0.09};
+  s.pinnaSeed = 15;
+  const head::HrtfDatabase db(s);
+  const HardwareModel hw;
+  const auto room = RoomModel::anechoic();
+  BinauralRecorder::Options opts;
+  opts.snrDb = 20.0;
+  const BinauralRecorder recorder(db, hw, room, opts);
+  Pcg32 rngA(16), rngB(16);
+  const auto chirp = dsp::linearChirp(100.0, 20000.0, 960, 48000.0);
+  // Record twice with identical noise seeds; difference isolates noise.
+  const auto noisy = recorder.recordNearField({-0.35, 0.0}, chirp, rngA);
+  BinauralRecorder::Options cleanOpts;
+  cleanOpts.snrDb = 300.0;  // effectively noiseless
+  const BinauralRecorder cleanRec(db, hw, room, cleanOpts);
+  const auto clean = cleanRec.recordNearField({-0.35, 0.0}, chirp, rngB);
+  auto snrOf = [&](const std::vector<double>& noisyCh,
+                   const std::vector<double>& cleanCh) {
+    double sig = 0.0, noise = 0.0;
+    const std::size_t n = std::min(noisyCh.size(), cleanCh.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      sig += cleanCh[i] * cleanCh[i];
+      noise += (noisyCh[i] - cleanCh[i]) * (noisyCh[i] - cleanCh[i]);
+    }
+    return 10.0 * std::log10(sig / noise);
+  };
+  const double snrLeft = snrOf(noisy.left, clean.left);
+  const double snrRight = snrOf(noisy.right, clean.right);
+  EXPECT_GT(snrLeft, snrRight + 5.0);  // right ear is shadowed at 90 deg
+}
+
+TEST(MeasurementSession, CaptureIsComplete) {
+  MeasurementSession::Options opts;
+  const MeasurementSession session(opts);
+  head::Subject s;
+  s.headParams = {0.072, 0.104, 0.088};
+  s.pinnaSeed = 17;
+  const auto capture = session.run(s, defaultGesture());
+  EXPECT_EQ(capture.sampleRate, opts.sampleRate);
+  EXPECT_FALSE(capture.sourceSignal.empty());
+  EXPECT_FALSE(capture.hardwareResponseEstimate.empty());
+  ASSERT_EQ(capture.stops.size(), defaultGesture().stops);
+  ASSERT_EQ(capture.truth.trajectory.size(), defaultGesture().stops);
+  for (const auto& stop : capture.stops) {
+    EXPECT_FALSE(stop.recording.left.empty());
+    EXPECT_FALSE(stop.recording.right.empty());
+  }
+  EXPECT_EQ(capture.truth.subject.pinnaSeed, s.pinnaSeed);
+}
+
+TEST(MeasurementSession, RejectsChirpBeyondNyquist) {
+  MeasurementSession::Options opts;
+  opts.chirpF1Hz = 24000.0;
+  EXPECT_THROW((MeasurementSession(opts)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq::sim

@@ -1,0 +1,119 @@
+#include "core/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "core/near_field_hrtf.h"
+#include "eval/metrics.h"
+#include "head/hrtf_database.h"
+
+namespace uniq::core {
+namespace {
+
+std::string tempPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+/// A compact synthetic table pair straight from a ground-truth database.
+HrtfTable makeTable() {
+  head::Subject s;
+  s.headParams = {0.074, 0.104, 0.09};
+  s.pinnaSeed = 101;
+  head::HrtfDatabase::Options dbOpts;
+  dbOpts.sampleRate = 48000.0;
+  const head::HrtfDatabase db(s, dbOpts);
+  auto far = farTableFromDatabase(db);
+  NearFieldTable nearTable;
+  nearTable.sampleRate = far.sampleRate;
+  nearTable.headParams = far.headParams;
+  nearTable.medianRadiusM = 0.35;
+  nearTable.byDegree.resize(181);
+  nearTable.tapLeftSamples.assign(181, 24.0);
+  nearTable.tapRightSamples.assign(181, 28.0);
+  for (int deg = 0; deg <= 180; ++deg) {
+    nearTable.byDegree[deg] = db.nearField(static_cast<double>(deg), 0.35);
+  }
+  return HrtfTable(std::move(nearTable), std::move(far));
+}
+
+TEST(TableIo, RoundTripPreservesEverything) {
+  const auto table = makeTable();
+  const auto path = tempPath("table.uniq");
+  saveHrtfTable(path, table);
+  const auto loaded = loadHrtfTable(path);
+
+  EXPECT_DOUBLE_EQ(loaded.sampleRate(), table.sampleRate());
+  EXPECT_DOUBLE_EQ(loaded.nearTable().headParams.a,
+                   table.nearTable().headParams.a);
+  EXPECT_DOUBLE_EQ(loaded.nearTable().medianRadiusM,
+                   table.nearTable().medianRadiusM);
+  for (int deg : {0, 37, 90, 144, 180}) {
+    const auto& a = table.farAt(deg);
+    const auto& b = loaded.farAt(deg);
+    ASSERT_EQ(a.left.size(), b.left.size());
+    for (std::size_t i = 0; i < a.left.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.left[i], b.left[i]);
+      EXPECT_DOUBLE_EQ(a.right[i], b.right[i]);
+    }
+    EXPECT_DOUBLE_EQ(
+        table.farTable().tapLeftSamples[deg],
+        loaded.farTable().tapLeftSamples[deg]);
+    const auto& na = table.nearAt(deg);
+    const auto& nb = loaded.nearAt(deg);
+    for (std::size_t i = 0; i < na.left.size(); ++i)
+      EXPECT_DOUBLE_EQ(na.left[i], nb.left[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIo, LoadedTableRendersIdentically) {
+  const auto table = makeTable();
+  const auto path = tempPath("table2.uniq");
+  saveHrtfTable(path, table);
+  const auto loaded = loadHrtfTable(path);
+  const std::vector<double> click{1.0, -0.5, 0.25};
+  const auto a = table.renderFar(72.0, click);
+  const auto b = loaded.renderFar(72.0, click);
+  for (std::size_t i = 0; i < a.left.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.left[i], b.left[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TableIo, RejectsMissingFile) {
+  EXPECT_THROW(loadHrtfTable("/nonexistent/table.uniq"), InvalidArgument);
+}
+
+TEST(TableIo, RejectsWrongMagic) {
+  const auto path = tempPath("bad_magic.uniq");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOTUNIQHRTFDATA-and-some-padding-to-be-long-enough";
+  }
+  EXPECT_THROW(loadHrtfTable(path), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TableIo, RejectsTruncatedFile) {
+  const auto table = makeTable();
+  const auto path = tempPath("truncated.uniq");
+  saveHrtfTable(path, table);
+  // Truncate to the first kilobyte.
+  std::string contents;
+  {
+    std::ifstream is(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(contents.data(), 1024);
+  }
+  EXPECT_THROW(loadHrtfTable(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uniq::core

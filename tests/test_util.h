@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "head/hrir.h"
+
+namespace uniq::test {
+
+/// Max absolute element difference between two equal-length vectors.
+inline double maxAbsDiff(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double m = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  for (std::size_t i = n; i < a.size(); ++i) m = std::max(m, std::fabs(a[i]));
+  for (std::size_t i = n; i < b.size(); ++i) m = std::max(m, std::fabs(b[i]));
+  return m;
+}
+
+inline double energy(const std::vector<double>& v) {
+  double e = 0.0;
+  for (double x : v) e += x * x;
+  return e;
+}
+
+}  // namespace uniq::test

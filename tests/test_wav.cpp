@@ -1,0 +1,102 @@
+#include "audio/wav.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "dsp/signal_generators.h"
+
+namespace uniq::audio {
+namespace {
+
+std::string tempPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(Wav, MonoRoundTrip) {
+  Pcg32 rng(1);
+  WavData data;
+  data.sampleRate = 48000.0;
+  data.channels.push_back(dsp::whiteNoise(1000, rng, 0.5));
+  const auto path = tempPath("mono.wav");
+  writeWav(path, data);
+  const auto back = readWav(path);
+  ASSERT_EQ(back.channels.size(), 1u);
+  EXPECT_EQ(back.sampleRate, 48000.0);
+  ASSERT_EQ(back.channels[0].size(), 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    // Writing clips to [-1, 1] (Gaussian noise occasionally exceeds it).
+    const double expected = std::clamp(data.channels[0][i], -1.0, 1.0);
+    EXPECT_NEAR(back.channels[0][i], expected, 1.0 / 32000.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Wav, StereoRoundTripPreservesChannels) {
+  Pcg32 rng(2);
+  const auto left = dsp::whiteNoise(500, rng, 0.4);
+  const auto right = dsp::whiteNoise(500, rng, 0.4);
+  const auto path = tempPath("stereo.wav");
+  writeStereoWav(path, left, right, 44100.0);
+  const auto back = readWav(path);
+  ASSERT_EQ(back.channels.size(), 2u);
+  EXPECT_EQ(back.sampleRate, 44100.0);
+  // writeStereoWav normalizes; correlation with the originals must be ~1.
+  double dotL = 0.0, dotR = 0.0, crossLR = 0.0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    dotL += back.channels[0][i] * left[i];
+    dotR += back.channels[1][i] * right[i];
+    crossLR += back.channels[0][i] * right[i];
+  }
+  EXPECT_GT(dotL, 0.0);
+  EXPECT_GT(dotR, 0.0);
+  EXPECT_LT(std::fabs(crossLR), dotL * 0.2);  // channels not swapped
+  std::remove(path.c_str());
+}
+
+TEST(Wav, ClipsOutOfRangeSamples) {
+  WavData data;
+  data.sampleRate = 48000.0;
+  data.channels.push_back({2.0, -3.0, 0.5});
+  const auto path = tempPath("clip.wav");
+  writeWav(path, data);
+  const auto back = readWav(path);
+  EXPECT_NEAR(back.channels[0][0], 1.0, 1e-4);
+  EXPECT_NEAR(back.channels[0][1], -1.0, 1e-4);
+  EXPECT_NEAR(back.channels[0][2], 0.5, 1e-4);
+  std::remove(path.c_str());
+}
+
+TEST(Wav, MismatchedChannelLengthsRejected) {
+  WavData data;
+  data.sampleRate = 48000.0;
+  data.channels.push_back(std::vector<double>(10, 0.0));
+  data.channels.push_back(std::vector<double>(11, 0.0));
+  EXPECT_THROW(writeWav(tempPath("bad.wav"), data), InvalidArgument);
+}
+
+TEST(Wav, ReadMissingFileThrows) {
+  EXPECT_THROW(readWav("/nonexistent/definitely/missing.wav"),
+               InvalidArgument);
+}
+
+TEST(Wav, NormalizeForPlayback) {
+  std::vector<std::vector<double>> channels{{0.1, -0.2}, {0.05, 0.4}};
+  normalizeForPlayback(channels, 0.8);
+  double peak = 0.0;
+  for (const auto& ch : channels)
+    for (double v : ch) peak = std::max(peak, std::fabs(v));
+  EXPECT_NEAR(peak, 0.8, 1e-12);
+  // Silence is untouched.
+  std::vector<std::vector<double>> silent{{0.0, 0.0}};
+  normalizeForPlayback(silent);
+  EXPECT_DOUBLE_EQ(silent[0][0], 0.0);
+}
+
+}  // namespace
+}  // namespace uniq::audio
