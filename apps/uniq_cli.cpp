@@ -20,6 +20,8 @@
 
 #include "audio/wav.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
+#include "dsp/fft_plan.h"
 #include "dsp/resample.h"
 #include "core/pipeline.h"
 #include "core/table_io.h"
@@ -93,6 +95,14 @@ int cmdCalibrate(const Args& args) {
             << " deg\n";
   core::saveHrtfTable(outPath, personal.table);
   std::cout << "saved personalized HRTF table to " << outPath << "\n";
+
+  const auto fft = dsp::fftStats();
+  const auto pool = common::poolStats();
+  std::cout << "perf: fft plans " << fft.cachedPlans << " cached, "
+            << fft.planHits << " hits / " << fft.planMisses
+            << " misses; pool " << pool.threads << " worker thread"
+            << (pool.threads == 1 ? "" : "s") << ", " << pool.tasksExecuted
+            << " tasks, max queue depth " << pool.maxQueueDepth << "\n";
   return 0;
 }
 

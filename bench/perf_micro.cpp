@@ -4,11 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include "common/constants.h"
+#include "common/thread_pool.h"
 #include "core/localizer.h"
 #include "core/sensor_fusion.h"
 #include "dsp/convolution.h"
 #include "dsp/deconvolution.h"
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "dsp/signal_generators.h"
 #include "geometry/diffraction.h"
 #include "geometry/polar.h"
@@ -24,14 +26,47 @@ void BM_FftPow2(benchmark::State& state) {
   std::vector<dsp::Complex> data(n);
   for (auto& v : data) v = dsp::Complex(rng.gaussian(), rng.gaussian());
   for (auto _ : state) {
-    auto copy = data;
-    dsp::fftPow2InPlace(copy, false);
-    benchmark::DoNotOptimize(copy);
+    // The out-of-place API every call site uses; the reference below pays
+    // the same input copy via `auto copy = data`.
+    auto out = dsp::fft(data, false);
+    benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_FftPow2)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// Seed implementation (twiddles recomputed every call): the baseline the
+// plan cache is measured against. Same input, same transform.
+void BM_FftPow2Reference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Pcg32 rng(1);
+  std::vector<dsp::Complex> data(n);
+  for (auto& v : data) v = dsp::Complex(rng.gaussian(), rng.gaussian());
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fftPow2ReferenceInPlace(copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftPow2Reference)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// Real-input fast path: one half-length complex FFT instead of a
+// full-length one on a zero-imag signal.
+void BM_Rfft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Pcg32 rng(8);
+  const auto signal = dsp::whiteNoise(n, rng);
+  for (auto _ : state) {
+    auto half = dsp::rfft(signal);
+    benchmark::DoNotOptimize(half);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Rfft)->Arg(1024)->Arg(4096)->Arg(16384);
 
 void BM_FftBluestein(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -56,6 +91,33 @@ void BM_ConvolveFft(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConvolveFft)->Arg(4096)->Arg(24000);
+
+// Direct vs FFT convolution for small kernels on a 4096-sample signal.
+// The crossover of these two curves justifies kDirectConvolveCutoff in
+// dsp/convolution.h; re-run after changing either path.
+void BM_ConvolveDirectSmall(benchmark::State& state) {
+  Pcg32 rng(9);
+  const auto signal = dsp::whiteNoise(4096, rng);
+  const auto kernel =
+      dsp::whiteNoise(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto out = dsp::convolveDirect(signal, kernel);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ConvolveDirectSmall)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConvolveFftSmall(benchmark::State& state) {
+  Pcg32 rng(9);
+  const auto signal = dsp::whiteNoise(4096, rng);
+  const auto kernel =
+      dsp::whiteNoise(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto out = dsp::convolveFft(signal, kernel);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ConvolveFftSmall)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_Deconvolve(benchmark::State& state) {
   Pcg32 rng(4);
@@ -116,13 +178,17 @@ void BM_FusionObjective(benchmark::State& state) {
         kSpeedOfSound;
     measurements.push_back(m);
   }
-  const core::SensorFusion fusion;
+  core::SensorFusionOptions opts;
+  opts.numThreads = static_cast<std::size_t>(state.range(0));
+  const core::SensorFusion fusion(opts);
   for (auto _ : state) {
     const double cost = fusion.objective(truth, measurements);
     benchmark::DoNotOptimize(cost);
   }
 }
-BENCHMARK(BM_FusionObjective);
+// Arg = thread cap (1 = serial baseline, 0 = full global pool). Outputs are
+// bitwise identical; only the wall clock moves.
+BENCHMARK(BM_FusionObjective)->Arg(1)->Arg(0);
 
 void BM_GroundTruthHrir(benchmark::State& state) {
   head::Subject s;

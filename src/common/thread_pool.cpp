@@ -1,0 +1,162 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace uniq::common {
+
+namespace {
+
+std::atomic<std::uint64_t> gTasksExecuted{0};
+std::atomic<std::uint64_t> gMaxQueueDepth{0};
+
+// True on threads owned by a pool; parallelFor uses it to degrade to the
+// inline path instead of fanning out recursively.
+thread_local bool tlInsidePool = false;
+
+void noteQueueDepth(std::size_t depth) {
+  std::uint64_t prev = gMaxQueueDepth.load(std::memory_order_relaxed);
+  while (depth > prev &&
+         !gMaxQueueDepth.compare_exchange_weak(prev, depth,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  tlInsidePool = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    gTasksExecuted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  noteQueueDepth(depth);
+  cv_.notify_one();
+}
+
+void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t maxThreads) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  std::size_t helpers = workers_.size();
+  if (maxThreads > 0) helpers = std::min(helpers, maxThreads - 1);
+  helpers = std::min(helpers, count - 1);
+  if (helpers == 0 || tlInsidePool) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Shared work descriptor: helpers and the caller pull indices from one
+  // atomic counter. Per-index work is disjoint, so results do not depend on
+  // which thread runs which index.
+  struct Work {
+    std::atomic<std::size_t> next;
+    std::size_t end;
+    const std::function<void(std::size_t)>& fn;
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    std::size_t pendingHelpers;
+    std::exception_ptr error;
+
+    Work(std::size_t b, std::size_t e,
+         const std::function<void(std::size_t)>& f, std::size_t helpers)
+        : next(b), end(e), fn(f), pendingHelpers(helpers) {}
+
+    void run() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(doneMutex);
+          if (!error) error = std::current_exception();
+          // Stop handing out further indices after a failure.
+          next.store(end, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+
+  auto work = std::make_shared<Work>(begin, end, fn, helpers);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    submit([work] {
+      work->run();
+      std::lock_guard<std::mutex> lock(work->doneMutex);
+      --work->pendingHelpers;
+      work->doneCv.notify_all();
+    });
+  }
+  work->run();
+  std::unique_lock<std::mutex> lock(work->doneMutex);
+  work->doneCv.wait(lock, [&] { return work->pendingHelpers == 0; });
+  if (work->error) std::rethrow_exception(work->error);
+}
+
+ThreadPool& globalPool() {
+  static ThreadPool pool([] {
+    std::size_t n = 0;
+    if (const char* env = std::getenv("UNIQ_NUM_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) n = static_cast<std::size_t>(parsed);
+    }
+    if (n == 0) n = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    n = std::clamp<std::size_t>(n, 1, 16);
+    // n counts executing threads including the caller of parallelFor.
+    return n - 1;
+  }());
+  return pool;
+}
+
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t maxThreads) {
+  globalPool().parallelFor(begin, end, fn, maxThreads);
+}
+
+PoolStats poolStats() {
+  PoolStats s;
+  s.threads = globalPool().threadCount();
+  s.tasksExecuted = gTasksExecuted.load(std::memory_order_relaxed);
+  s.maxQueueDepth = gMaxQueueDepth.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace uniq::common

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uniq::common {
+
+/// Snapshot of the process-wide pool counters (see poolStats()).
+struct PoolStats {
+  std::size_t threads = 0;          ///< worker threads in the global pool
+  std::uint64_t tasksExecuted = 0;  ///< tasks drained since process start
+  std::uint64_t maxQueueDepth = 0;  ///< high-water mark of the task queue
+};
+
+/// A small fixed-size thread pool with no external dependencies.
+///
+/// Two usage styles:
+///  - submit(task): fire-and-forget background task.
+///  - parallelFor(begin, end, fn): block until fn(i) ran for every i in
+///    [begin, end). Indices are handed out by an atomic counter and the
+///    calling thread participates, so the pool never deadlocks even with
+///    zero workers. Results are deterministic as long as fn(i) writes only
+///    to per-index state: the set of calls is identical for any thread
+///    count, only the interleaving differs.
+///
+/// parallelFor called from inside a pool worker runs inline (no nested
+/// fan-out), which keeps composed parallel stages deadlock-free.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is allowed; everything then runs inline on
+  /// the calling thread).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueue a background task.
+  void submit(std::function<void()> task);
+
+  /// Run fn(i) for every i in [begin, end), blocking until all complete.
+  /// `maxThreads` caps the number of executing threads for this call
+  /// (0 = use every worker plus the caller; 1 = run serially inline). The
+  /// first exception thrown by fn is rethrown on the calling thread after
+  /// the loop drains.
+  void parallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn,
+                   std::size_t maxThreads = 0);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool, created on first use. Sized by the UNIQ_NUM_THREADS
+/// environment variable when set (total executing threads including the
+/// caller), otherwise by std::thread::hardware_concurrency(), clamped to
+/// [1, 16].
+ThreadPool& globalPool();
+
+/// parallelFor on the global pool. Deterministic for per-index writes (see
+/// ThreadPool::parallelFor); `maxThreads` = 0 uses the full pool, 1 forces
+/// the serial inline path.
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t maxThreads = 0);
+
+/// Current global-pool counters (observability; logged by the CLI).
+PoolStats poolStats();
+
+}  // namespace uniq::common

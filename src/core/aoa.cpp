@@ -7,8 +7,10 @@
 #include "common/constants.h"
 #include "common/error.h"
 #include "common/math_util.h"  // square, clamp, angularDistanceDeg
+#include "common/thread_pool.h"
 #include "dsp/correlation.h"
 #include "dsp/deconvolution.h"
+#include "dsp/fft_plan.h"
 #include "dsp/fractional_delay.h"
 #include "dsp/peak_picking.h"
 #include "dsp/spectrum.h"
@@ -93,21 +95,35 @@ AoaEstimate AoaEstimator::estimateKnown(
 
   // Pre-align each measured channel to the template anchor so the shape
   // correlation compares like with like: shift the channel so its first tap
-  // lands at that angle's template tap position, per candidate angle.
+  // lands at that angle's template tap position, per candidate angle. Each
+  // angle scores independently, so the sweep fans out across the pool; the
+  // argmin below scans in grid order, giving thread-count-independent
+  // results.
+  std::vector<double> thetas;
+  for (double theta = 0.0; theta <= 180.0; theta += opts_.searchStepDeg)
+    thetas.push_back(theta);
+  std::vector<double> scores(thetas.size());
+  common::parallelFor(
+      0, thetas.size(),
+      [&](std::size_t c) {
+        const double theta = thetas[c];
+        const auto idx = static_cast<std::size_t>(std::lround(theta));
+        auto alignedL = dsp::fractionalShift(
+            chL.h, table_.tapLeftSamples[idx] - chL.tapSec * fs);
+        auto alignedR = dsp::fractionalShift(
+            chR.h, table_.tapRightSamples[idx] - chR.tapSec * fs);
+        alignedL.resize(table_.byDegree[idx].left.size(), 0.0);
+        alignedR.resize(table_.byDegree[idx].right.size(), 0.0);
+        scores[c] = knownSourceObjective(theta, t0, alignedL, alignedR);
+      },
+      opts_.numThreads);
+
   AoaEstimate best;
   best.score = std::numeric_limits<double>::infinity();
-  for (double theta = 0.0; theta <= 180.0; theta += opts_.searchStepDeg) {
-    const auto idx = static_cast<std::size_t>(std::lround(theta));
-    auto alignedL = dsp::fractionalShift(
-        chL.h, table_.tapLeftSamples[idx] - chL.tapSec * fs);
-    auto alignedR = dsp::fractionalShift(
-        chR.h, table_.tapRightSamples[idx] - chR.tapSec * fs);
-    alignedL.resize(table_.byDegree[idx].left.size(), 0.0);
-    alignedR.resize(table_.byDegree[idx].right.size(), 0.0);
-    const double score = knownSourceObjective(theta, t0, alignedL, alignedR);
-    if (score < best.score) {
-      best.score = score;
-      best.angleDeg = theta;
+  for (std::size_t c = 0; c < thetas.size(); ++c) {
+    if (scores[c] < best.score) {
+      best.score = scores[c];
+      best.angleDeg = thetas[c];
     }
   }
   return best;
@@ -190,49 +206,58 @@ AoaEstimate AoaEstimator::estimateUnknown(
   const std::size_t bHi =
       std::min(dsp::frequencyToBin(opts_.bandHiHz, n, fs), n / 2);
 
-  // Per-frame spectra of both ears.
+  // Per-frame half spectra of both ears (real signals; bins above n/2 are
+  // redundant and the Eq. 11 band never reaches them).
+  const auto plan = dsp::fftPlan(n);
   std::vector<std::vector<dsp::Complex>> framesL, framesR;
+  std::vector<double> scratch(n);
   for (std::size_t start : frameStarts) {
     const std::size_t len = std::min(frameLen, total - start);
-    std::vector<dsp::Complex> fl(n, dsp::Complex(0, 0));
-    std::vector<dsp::Complex> fr(n, dsp::Complex(0, 0));
-    for (std::size_t i = 0; i < len; ++i) {
-      fl[i] = dsp::Complex(leftRecording[start + i], 0);
-      fr[i] = dsp::Complex(rightRecording[start + i], 0);
-    }
-    dsp::fftPow2InPlace(fl, false);
-    dsp::fftPow2InPlace(fr, false);
-    framesL.push_back(std::move(fl));
-    framesR.push_back(std::move(fr));
+    std::fill(scratch.begin(), scratch.end(), 0.0);
+    for (std::size_t i = 0; i < len; ++i)
+      scratch[i] = leftRecording[start + i];
+    framesL.push_back(plan->rfft(scratch));
+    std::fill(scratch.begin(), scratch.end(), 0.0);
+    for (std::size_t i = 0; i < len; ++i)
+      scratch[i] = rightRecording[start + i];
+    framesR.push_back(plan->rfft(scratch));
   }
+
+  // Score every candidate independently across the pool, then argmin in
+  // candidate order (deterministic for any thread count).
+  std::vector<double> scores(candidates.size());
+  common::parallelFor(
+      0, candidates.size(),
+      [&](std::size_t c) {
+        const double theta = candidates[c];
+        const auto& tmpl = table_.at(theta);
+        std::vector<double> padded(n, 0.0);
+        std::copy(tmpl.left.begin(), tmpl.left.end(), padded.begin());
+        const auto hl = plan->rfft(padded);
+        std::fill(padded.begin(), padded.end(), 0.0);
+        std::copy(tmpl.right.begin(), tmpl.right.end(), padded.begin());
+        const auto hr = plan->rfft(padded);
+        double score = 0.0;
+        for (std::size_t f = 0; f < framesL.size(); ++f) {
+          double num = 0.0, den = 0.0;
+          for (std::size_t k = bLo; k <= bHi; ++k) {
+            const double lhs = std::abs(framesL[f][k] * hr[k]);
+            const double rhs = std::abs(framesR[f][k] * hl[k]);
+            num += square(lhs - rhs);
+            den += square(lhs) + square(rhs);
+          }
+          score += den > 1e-30 ? num / den : 2.0;
+        }
+        scores[c] = score / static_cast<double>(framesL.size());
+      },
+      opts_.numThreads);
 
   AoaEstimate best;
   best.score = std::numeric_limits<double>::infinity();
-  for (double theta : candidates) {
-    const auto& tmpl = table_.at(theta);
-    std::vector<dsp::Complex> hl(n, dsp::Complex(0, 0));
-    std::vector<dsp::Complex> hr(n, dsp::Complex(0, 0));
-    for (std::size_t i = 0; i < tmpl.left.size(); ++i)
-      hl[i] = dsp::Complex(tmpl.left[i], 0);
-    for (std::size_t i = 0; i < tmpl.right.size(); ++i)
-      hr[i] = dsp::Complex(tmpl.right[i], 0);
-    dsp::fftPow2InPlace(hl, false);
-    dsp::fftPow2InPlace(hr, false);
-    double score = 0.0;
-    for (std::size_t f = 0; f < framesL.size(); ++f) {
-      double num = 0.0, den = 0.0;
-      for (std::size_t k = bLo; k <= bHi; ++k) {
-        const double lhs = std::abs(framesL[f][k] * hr[k]);
-        const double rhs = std::abs(framesR[f][k] * hl[k]);
-        num += square(lhs - rhs);
-        den += square(lhs) + square(rhs);
-      }
-      score += den > 1e-30 ? num / den : 2.0;
-    }
-    score /= static_cast<double>(framesL.size());
-    if (score < best.score) {
-      best.score = score;
-      best.angleDeg = theta;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (scores[c] < best.score) {
+      best.score = scores[c];
+      best.angleDeg = candidates[c];
     }
   }
   return best;

@@ -34,6 +34,9 @@ struct AoaEstimatorOptions {
   /// Aggregate the Eq. 11 residual over short frames instead of one
   /// whole-signal spectrum (helps tonal sources; ablation knob).
   bool frameAggregation = true;
+  /// Threads used for the per-candidate template matching (0 = use the
+  /// global pool, 1 = serial). Results are identical for any value.
+  std::size_t numThreads = 0;
 };
 
 /// HRTF-aware binaural AoA estimation (paper Section 4.5). Classical array

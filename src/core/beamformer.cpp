@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
+#include "dsp/fft_plan.h"
 #include "dsp/spectrum.h"
 #include "dsp/window.h"
 
@@ -14,12 +15,14 @@ namespace {
 
 using Cx = dsp::Complex;
 
-/// Zero-padded FFT of a real signal at length n.
-std::vector<Cx> paddedFft(const std::vector<double>& x, std::size_t n) {
-  std::vector<Cx> f(n, Cx(0, 0));
-  for (std::size_t i = 0; i < x.size() && i < n; ++i) f[i] = Cx(x[i], 0);
-  dsp::fftPow2InPlace(f, false);
-  return f;
+/// Zero-padded half-spectrum FFT of a real signal at length n (bins 0..n/2).
+std::vector<Cx> paddedRfft(const dsp::FftPlan& plan,
+                           const std::vector<double>& x) {
+  std::vector<double> padded(plan.size(), 0.0);
+  const std::size_t len = std::min(x.size(), plan.size());
+  std::copy(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(len),
+            padded.begin());
+  return plan.rfft(padded);
 }
 
 /// Solve the 2x2 Hermitian system (R + dI) w = h.
@@ -57,9 +60,10 @@ std::vector<double> BinauralBeamformer::steer(
   const std::size_t total =
       std::min(leftRecording.size(), rightRecording.size());
 
+  const auto plan = dsp::fftPlan(n);
   const auto& tmpl = table_.at(thetaDeg);
-  const auto hl = paddedFft(tmpl.left, n);
-  const auto hr = paddedFft(tmpl.right, n);
+  const auto hl = paddedRfft(*plan, tmpl.left);
+  const auto hr = paddedRfft(*plan, tmpl.right);
 
   const auto window = dsp::makeWindow(dsp::WindowType::kHann, n);
 
@@ -71,19 +75,21 @@ std::vector<double> BinauralBeamformer::steer(
     for (std::size_t s = 0; s + n <= total + hop; s += hop) starts.push_back(s);
   }
 
+  // Half-spectrum frames: the signals are real, so bins above n/2 are the
+  // conjugate mirror and never need to be materialized.
   std::vector<std::vector<Cx>> framesL, framesR;
   framesL.reserve(starts.size());
   framesR.reserve(starts.size());
+  std::vector<double> tl(n), tr(n);
   for (std::size_t s : starts) {
-    std::vector<Cx> fl(n, Cx(0, 0)), fr(n, Cx(0, 0));
+    std::fill(tl.begin(), tl.end(), 0.0);
+    std::fill(tr.begin(), tr.end(), 0.0);
     for (std::size_t i = 0; i < n && s + i < total; ++i) {
-      fl[i] = Cx(leftRecording[s + i] * window[i], 0);
-      fr[i] = Cx(rightRecording[s + i] * window[i], 0);
+      tl[i] = leftRecording[s + i] * window[i];
+      tr[i] = rightRecording[s + i] * window[i];
     }
-    dsp::fftPow2InPlace(fl, false);
-    dsp::fftPow2InPlace(fr, false);
-    framesL.push_back(std::move(fl));
-    framesR.push_back(std::move(fr));
+    framesL.push_back(plan->rfft(tl));
+    framesR.push_back(plan->rfft(tr));
   }
 
   // Per-bin MPDR weights from the frame-averaged 2x2 covariance.
@@ -117,17 +123,17 @@ std::vector<double> BinauralBeamformer::steer(
 
   // Apply per frame and overlap-add (Hann at 50% overlap sums to 1).
   std::vector<double> out(total, 0.0);
+  std::vector<Cx> fy(n / 2 + 1);
   for (std::size_t f = 0; f < framesL.size(); ++f) {
-    std::vector<Cx> fy(n, Cx(0, 0));
+    std::fill(fy.begin(), fy.end(), Cx(0, 0));
     for (std::size_t k = bLo; k <= bHi; ++k) {
       fy[k] = std::conj(w0[k]) * framesL[f][k] +
               std::conj(w1[k]) * framesR[f][k];
-      if (k > 0 && k < n / 2) fy[n - k] = std::conj(fy[k]);
     }
-    dsp::fftPow2InPlace(fy, true);
+    const auto time = plan->irfft(fy);
     const std::size_t s = starts[f];
     for (std::size_t i = 0; i < n && s + i < total; ++i)
-      out[s + i] += fy[i].real();
+      out[s + i] += time[i];
   }
   return out;
 }
@@ -136,12 +142,13 @@ double BinauralBeamformer::relativeResponse(double steerDeg,
                                             double probeDeg) const {
   const double fs = table_.sampleRate;
   const std::size_t n = opts_.frameLength;
+  const auto plan = dsp::fftPlan(n);
   const auto& steerT = table_.at(steerDeg);
   const auto& probeT = table_.at(probeDeg);
-  const auto sl = paddedFft(steerT.left, n);
-  const auto sr = paddedFft(steerT.right, n);
-  const auto pl = paddedFft(probeT.left, n);
-  const auto pr = paddedFft(probeT.right, n);
+  const auto sl = paddedRfft(*plan, steerT.left);
+  const auto sr = paddedRfft(*plan, steerT.right);
+  const auto pl = paddedRfft(*plan, probeT.left);
+  const auto pr = paddedRfft(*plan, probeT.right);
   const std::size_t bLo = dsp::frequencyToBin(opts_.bandLoHz, n, fs);
   const std::size_t bHi =
       std::min(dsp::frequencyToBin(opts_.bandHiHz, n, fs), n / 2);

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "dsp/deconvolution.h"
+#include "dsp/fft_plan.h"
 #include "dsp/peak_picking.h"
 
 namespace uniq::core {
@@ -25,14 +26,14 @@ std::vector<double> ChannelExtractor::extractEar(
   UNIQ_REQUIRE(!recording.empty() && !source.empty(), "empty input");
   const std::size_t n =
       dsp::nextPowerOfTwo(recording.size() + source.size());
-  std::vector<dsp::Complex> fy(n, dsp::Complex(0, 0));
-  std::vector<dsp::Complex> fx(n, dsp::Complex(0, 0));
-  for (std::size_t i = 0; i < recording.size(); ++i)
-    fy[i] = dsp::Complex(recording[i], 0);
-  for (std::size_t i = 0; i < source.size(); ++i)
-    fx[i] = dsp::Complex(source[i], 0);
-  dsp::fftPow2InPlace(fy, false);
-  dsp::fftPow2InPlace(fx, false);
+  const auto plan = dsp::fftPlan(n);
+  // Real inputs: half-spectrum transforms (bins 0..n/2) carry everything.
+  std::vector<double> py(n, 0.0);
+  std::vector<double> px(n, 0.0);
+  std::copy(recording.begin(), recording.end(), py.begin());
+  std::copy(source.begin(), source.end(), px.begin());
+  const auto fy = plan->rfft(py);
+  auto fx = plan->rfft(px);
 
   // Fold the estimated hardware response into the known transmit chain so
   // the spectral division compensates it in one step.
@@ -44,16 +45,15 @@ std::vector<double> ChannelExtractor::extractEar(
           std::lround(frac * static_cast<double>(rn)),
           static_cast<double>(rn / 2)));
       fx[k] *= hardwareEstimate_[rk];
-      if (k > 0 && k < n / 2) fx[n - k] = std::conj(fx[k]);
     }
   }
 
-  auto fh =
+  const auto fh =
       dsp::regularizedSpectralDivide(fy, fx, opts_.relativeRegularization);
-  dsp::fftPow2InPlace(fh, true);
+  const auto time = plan->irfft(fh);
   std::vector<double> h(opts_.channelLength, 0.0);
   const std::size_t keep = std::min<std::size_t>(opts_.channelLength, n);
-  for (std::size_t i = 0; i < keep; ++i) h[i] = fh[i].real();
+  for (std::size_t i = 0; i < keep; ++i) h[i] = time[i];
   return h;
 }
 

@@ -6,6 +6,7 @@
 #include "common/constants.h"
 #include "common/error.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "dsp/fractional_delay.h"
 #include "geometry/diffraction.h"
 #include "geometry/polar.h"
@@ -100,7 +101,11 @@ NearFieldTable NearFieldHrtfBuilder::build(
   const geo::HeadBoundary boundary(headParams.a, headParams.b, headParams.c,
                                    opts_.boundaryResolution);
 
-  for (int deg = 0; deg <= 180; ++deg) {
+  // Each degree reads shared immutable state (`usable`, the boundary) and
+  // writes only its own table entries, so the 181 angles fan out across the
+  // pool with thread-count-independent results.
+  common::parallelFor(0, 181, [&](std::size_t degIndex) {
+    const int deg = static_cast<int>(degIndex);
     // Bracketing measurements (clamped at the sweep ends).
     const double g = static_cast<double>(deg);
     std::size_t hi = 0;
@@ -170,7 +175,7 @@ NearFieldTable NearFieldHrtfBuilder::build(
     table.tapRightSamples[deg] = opts_.modelCorrection ? tapR
                                                        : opts_.alignSample;
     table.byDegree[deg] = std::move(hrir);
-  }
+  }, opts_.numThreads);
   return table;
 }
 

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace uniq::core {
 
@@ -12,13 +13,17 @@ std::vector<BinauralChannel> CalibrationPipeline::extractChannels(
   UNIQ_REQUIRE(!capture.stops.empty(), "capture has no stops");
   const ChannelExtractor extractor(capture.hardwareResponseEstimate,
                                    capture.sampleRate, opts_.extractor);
-  std::vector<BinauralChannel> channels;
-  channels.reserve(capture.stops.size());
-  for (const auto& stop : capture.stops) {
-    channels.push_back(extractor.extract(stop.recording.left,
-                                         stop.recording.right,
-                                         capture.sourceSignal));
-  }
+  // Stops are independent: fan the deconvolution batch out across the pool.
+  // Each stop writes its own slot, so the result matches the serial order.
+  std::vector<BinauralChannel> channels(capture.stops.size());
+  common::parallelFor(
+      0, capture.stops.size(),
+      [&](std::size_t i) {
+        channels[i] = extractor.extract(capture.stops[i].recording.left,
+                                        capture.stops[i].recording.right,
+                                        capture.sourceSignal);
+      },
+      opts_.numThreads);
   return channels;
 }
 
@@ -46,7 +51,14 @@ PersonalHrtf CalibrationPipeline::run(
   const auto channels = extractChannels(capture);
   const auto measurements = toFusionMeasurements(capture, channels);
 
-  const SensorFusion fusion(opts_.fusion);
+  // The pipeline-level thread knob flows into stages that did not set
+  // their own.
+  SensorFusionOptions fusionOpts = opts_.fusion;
+  if (fusionOpts.numThreads == 0) fusionOpts.numThreads = opts_.numThreads;
+  NearFieldBuilderOptions nearFieldOpts = opts_.nearField;
+  if (nearFieldOpts.numThreads == 0) nearFieldOpts.numThreads = opts_.numThreads;
+
+  const SensorFusion fusion(fusionOpts);
   auto fusionResult = fusion.solve(measurements);
 
   // Re-expand fused stops to align with the full stop list (stops whose
@@ -68,7 +80,7 @@ PersonalHrtf CalibrationPipeline::run(
     }
   }
 
-  const NearFieldHrtfBuilder nearBuilder(opts_.nearField);
+  const NearFieldHrtfBuilder nearBuilder(nearFieldOpts);
   auto nearTable =
       nearBuilder.build(fullStops, channels, fusionResult.headParams);
 

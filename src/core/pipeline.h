@@ -26,6 +26,13 @@ struct CalibrationPipelineOptions {
   NearFieldBuilderOptions nearField{};
   NearFarConverterOptions nearFar{};
   GestureValidatorOptions gesture{};
+  /// Threads used by the pipeline's parallel stages: the per-stop channel
+  /// extraction batch, the sensor-fusion localization loop, and the
+  /// per-angle near-field interpolation (0 = size from the global pool,
+  /// which honors UNIQ_NUM_THREADS; 1 = fully serial). Stage-specific
+  /// values in `fusion`/`nearField` win when set. Every stage is
+  /// deterministic, so this knob trades latency only.
+  std::size_t numThreads = 0;
 };
 
 /// End-to-end UNIQ pipeline (paper Figure 6): channel extraction ->

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "optim/nelder_mead.h"
 
 namespace uniq::core {
@@ -41,22 +42,51 @@ std::vector<double> encode(const head::HeadParameters& e) {
 
 SensorFusion::SensorFusion(Options opts) : opts_(opts) {}
 
+std::shared_ptr<const SensorFusion::CachedGeometry> SensorFusion::geometryFor(
+    const head::HeadParameters& candidate) const {
+  // Keyed on the exact parameter bits: Nelder-Mead revisits vertices
+  // verbatim, so bit equality is the right match and never returns stale
+  // geometry for a genuinely new candidate.
+  constexpr std::size_t kMaxCachedGeometries = 8;
+  {
+    std::lock_guard<std::mutex> lock(geometryMutex_);
+    for (auto it = geometryLru_.begin(); it != geometryLru_.end(); ++it) {
+      if (it->first.a == candidate.a && it->first.b == candidate.b &&
+          it->first.c == candidate.c) {
+        geometryLru_.splice(geometryLru_.begin(), geometryLru_, it);
+        return geometryLru_.front().second;
+      }
+    }
+  }
+  auto built = std::make_shared<const CachedGeometry>(
+      candidate, opts_.boundaryResolution, opts_.localizer);
+  std::lock_guard<std::mutex> lock(geometryMutex_);
+  geometryLru_.emplace_front(candidate, built);
+  if (geometryLru_.size() > kMaxCachedGeometries) geometryLru_.pop_back();
+  return built;
+}
+
 double SensorFusion::objective(
     const head::HeadParameters& candidate,
     const std::vector<FusionMeasurement>& measurements) const {
-  const geo::HeadBoundary boundary(candidate.a, candidate.b, candidate.c,
-                                   opts_.boundaryResolution);
-  const Localizer localizer(boundary, opts_.localizer);
+  const auto geometry = geometryFor(candidate);
+  const Localizer& localizer = geometry->localizer;
+  // Localize every measurement independently across the pool; reduce in
+  // measurement order so the objective is bitwise identical for any thread
+  // count.
+  std::vector<double> costs(measurements.size());
+  common::parallelFor(
+      0, measurements.size(),
+      [&](std::size_t i) {
+        const auto& m = measurements[i];
+        const auto fix =
+            localizer.locate(m.delayLeftSec, m.delayRightSec, m.imuAngleDeg);
+        costs[i] =
+            fix ? square(m.imuAngleDeg - fix->angleDeg) : opts_.unlocalizedPenalty;
+      },
+      opts_.numThreads);
   double cost = 0.0;
-  for (const auto& m : measurements) {
-    const auto fix =
-        localizer.locate(m.delayLeftSec, m.delayRightSec, m.imuAngleDeg);
-    if (!fix) {
-      cost += opts_.unlocalizedPenalty;
-      continue;
-    }
-    cost += square(m.imuAngleDeg - fix->angleDeg);
-  }
+  for (const double c : costs) cost += c;
   cost /= static_cast<double>(measurements.size());
   const auto avg = head::HeadParameters::average();
   cost += opts_.priorWeight *
@@ -86,11 +116,11 @@ SensorFusionResult SensorFusion::solve(
   result.headParams = decode(min.x);
   result.converged = min.converged;
 
-  // Final pass with the optimal parameters: fuse angles per Eq. 3.
-  const geo::HeadBoundary boundary(result.headParams.a, result.headParams.b,
-                                   result.headParams.c,
-                                   opts_.boundaryResolution);
-  const Localizer localizer(boundary, opts_.localizer);
+  // Final pass with the optimal parameters: fuse angles per Eq. 3. The
+  // winning vertex was just evaluated by the optimizer, so this is a
+  // geometry-cache hit.
+  const auto geometry = geometryFor(result.headParams);
+  const Localizer& localizer = geometry->localizer;
   double residual = 0.0;
   for (const auto& m : measurements) {
     FusedStop stop;

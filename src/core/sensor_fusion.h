@@ -1,5 +1,8 @@
 #pragma once
 
+#include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -48,6 +51,11 @@ struct SensorFusionOptions {
   /// (deg^2 per m^2 of axis deviation); keeps the head estimate from
   /// drifting to the bounds when the IMU is noisy.
   double priorWeight = 5.0e4;
+  /// Threads used for the per-measurement localization loop inside the
+  /// objective (0 = use the global pool, 1 = serial). The result is bitwise
+  /// identical for any value: per-measurement costs land in per-index slots
+  /// and are reduced in measurement order.
+  std::size_t numThreads = 0;
   LocalizerOptions localizer{};
 };
 
@@ -71,7 +79,33 @@ class SensorFusion {
                    const std::vector<FusionMeasurement>& measurements) const;
 
  private:
+  /// A candidate head geometry with its localizer, built once per distinct
+  /// (a, b, c) and reused. Nelder-Mead re-evaluates simplex vertices
+  /// (shrinks, the accepted-point bookkeeping, and the final solve pass),
+  /// so keying on the exact parameter bits turns those rebuilds into cache
+  /// hits. Immutable after construction; safe to share across threads.
+  struct CachedGeometry {
+    geo::HeadBoundary boundary;
+    Localizer localizer;
+    CachedGeometry(const head::HeadParameters& p, std::size_t resolution,
+                   const LocalizerOptions& lopts)
+        : boundary(p.a, p.b, p.c, resolution), localizer(boundary, lopts) {}
+    CachedGeometry(const CachedGeometry&) = delete;
+    CachedGeometry& operator=(const CachedGeometry&) = delete;
+  };
+
+  /// Geometry for `candidate` from the small LRU cache (built on miss).
+  std::shared_ptr<const CachedGeometry> geometryFor(
+      const head::HeadParameters& candidate) const;
+
   Options opts_;
+
+  // LRU of recently used geometries, most recent first. Guarded by
+  // geometryMutex_ so concurrent objective() calls stay safe.
+  mutable std::mutex geometryMutex_;
+  mutable std::list<
+      std::pair<head::HeadParameters, std::shared_ptr<const CachedGeometry>>>
+      geometryLru_;
 };
 
 }  // namespace uniq::core

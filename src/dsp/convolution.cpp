@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace uniq::dsp {
 
@@ -24,17 +25,19 @@ std::vector<double> convolveFft(std::span<const double> a,
   UNIQ_REQUIRE(!a.empty() && !b.empty(), "convolution of empty signal");
   const std::size_t outLen = a.size() + b.size() - 1;
   const std::size_t n = nextPowerOfTwo(outLen);
-  std::vector<Complex> fa(n, Complex(0, 0));
-  std::vector<Complex> fb(n, Complex(0, 0));
-  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0);
-  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0);
-  fftPow2InPlace(fa, false);
-  fftPow2InPlace(fb, false);
-  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-  fftPow2InPlace(fa, true);
-  std::vector<double> out(outLen);
-  for (std::size_t i = 0; i < outLen; ++i) out[i] = fa[i].real();
-  return out;
+  const auto plan = fftPlan(n);
+  // Both inputs are real: two half-spectrum transforms and one inverse
+  // replace the three full complex FFTs of the naive approach.
+  std::vector<double> pa(n, 0.0);
+  std::vector<double> pb(n, 0.0);
+  std::copy(a.begin(), a.end(), pa.begin());
+  std::copy(b.begin(), b.end(), pb.begin());
+  auto fa = plan->rfft(pa);
+  const auto fb = plan->rfft(pb);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  auto full = plan->irfft(fa);
+  full.resize(outLen);
+  return full;
 }
 
 std::vector<double> convolveOverlapAdd(std::span<const double> signal,
@@ -45,25 +48,26 @@ std::vector<double> convolveOverlapAdd(std::span<const double> signal,
   UNIQ_REQUIRE(blockSize >= 1, "blockSize must be >= 1");
   const std::size_t outLen = signal.size() + kernel.size() - 1;
   const std::size_t fftLen = nextPowerOfTwo(blockSize + kernel.size() - 1);
+  const auto plan = fftPlan(fftLen);
 
   // Pre-transform the kernel once.
-  std::vector<Complex> fk(fftLen, Complex(0, 0));
-  for (std::size_t i = 0; i < kernel.size(); ++i) fk[i] = Complex(kernel[i], 0);
-  fftPow2InPlace(fk, false);
+  std::vector<double> pk(fftLen, 0.0);
+  std::copy(kernel.begin(), kernel.end(), pk.begin());
+  const auto fk = plan->rfft(pk);
 
   std::vector<double> out(outLen, 0.0);
-  std::vector<Complex> block(fftLen);
+  std::vector<double> block(fftLen);
   for (std::size_t start = 0; start < signal.size(); start += blockSize) {
     const std::size_t len = std::min(blockSize, signal.size() - start);
-    std::fill(block.begin(), block.end(), Complex(0, 0));
-    for (std::size_t i = 0; i < len; ++i)
-      block[i] = Complex(signal[start + i], 0);
-    fftPow2InPlace(block, false);
-    for (std::size_t i = 0; i < fftLen; ++i) block[i] *= fk[i];
-    fftPow2InPlace(block, true);
+    std::fill(block.begin(), block.end(), 0.0);
+    std::copy(signal.begin() + static_cast<std::ptrdiff_t>(start),
+              signal.begin() + static_cast<std::ptrdiff_t>(start + len),
+              block.begin());
+    auto fb = plan->rfft(block);
+    for (std::size_t i = 0; i < fb.size(); ++i) fb[i] *= fk[i];
+    const auto time = plan->irfft(fb);
     const std::size_t tail = std::min(len + kernel.size() - 1, outLen - start);
-    for (std::size_t i = 0; i < tail; ++i)
-      out[start + i] += block[i].real();
+    for (std::size_t i = 0; i < tail; ++i) out[start + i] += time[i];
   }
   return out;
 }
@@ -71,7 +75,7 @@ std::vector<double> convolveOverlapAdd(std::span<const double> signal,
 std::vector<double> convolve(std::span<const double> a,
                              std::span<const double> b) {
   const std::size_t shorter = std::min(a.size(), b.size());
-  if (shorter <= 32) return convolveDirect(a, b);
+  if (shorter <= kDirectConvolveCutoff) return convolveDirect(a, b);
   return convolveFft(a, b);
 }
 

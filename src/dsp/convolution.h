@@ -23,7 +23,17 @@ std::vector<double> convolveOverlapAdd(std::span<const double> signal,
                                        std::span<const double> kernel,
                                        std::size_t blockSize = 4096);
 
-/// Size-adaptive convolution: direct for tiny kernels, FFT otherwise.
+/// Shorter-signal length at or below which convolve() picks the direct
+/// O(N*M) kernel over the FFT path. Chosen from the crossover of
+/// BM_ConvolveDirectSmall vs BM_ConvolveFftSmall in bench/perf_micro.cpp:
+/// on a 4096-sample signal, direct wins ~1.6x at 64 taps and only reaches
+/// parity with the rfft path near 128, so 64 keeps a comfortable margin for
+/// longer signals (direct scales as N*M, FFT as N log N). Re-run those
+/// benches before changing it.
+inline constexpr std::size_t kDirectConvolveCutoff = 64;
+
+/// Size-adaptive convolution: direct for tiny kernels (shorter input at or
+/// below kDirectConvolveCutoff taps), FFT otherwise.
 std::vector<double> convolve(std::span<const double> a,
                              std::span<const double> b);
 

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace uniq::dsp {
 
@@ -67,14 +68,15 @@ std::vector<double> crossCorrelate(std::span<const double> a,
   // xcorr(a, b)[lag] = conv(a, reverse(b))[lag + b.size()-1]
   const std::size_t outLen = a.size() + b.size() - 1;
   const std::size_t n = nextPowerOfTwo(outLen);
-  std::vector<Complex> fa(n, Complex(0, 0));
-  std::vector<Complex> fb(n, Complex(0, 0));
-  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0);
-  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0);
-  fftPow2InPlace(fa, false);
-  fftPow2InPlace(fb, false);
-  for (std::size_t i = 0; i < n; ++i) fa[i] *= std::conj(fb[i]);
-  fftPow2InPlace(fa, true);
+  const auto plan = fftPlan(n);
+  std::vector<double> pa(n, 0.0);
+  std::vector<double> pb(n, 0.0);
+  std::copy(a.begin(), a.end(), pa.begin());
+  std::copy(b.begin(), b.end(), pb.begin());
+  auto fa = plan->rfft(pa);
+  const auto fb = plan->rfft(pb);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= std::conj(fb[i]);
+  const auto r = plan->irfft(fa);
   // IFFT of A*conj(B) yields r[p] = sum_t a[t+p]*b[t] = c[-p] under the
   // header convention c[lag] = sum_t a[t]*b[t+lag]; unwrap accordingly into
   // lags [-(b-1) .. a-1]. c's true support is [-(a-1), b-1]; lags outside
@@ -93,7 +95,7 @@ std::vector<double> crossCorrelate(std::span<const double> a,
     const long p = -lag;
     const std::size_t idx = p >= 0 ? static_cast<std::size_t>(p)
                                    : n - static_cast<std::size_t>(-p);
-    out[k] = fa[idx].real();
+    out[k] = r[idx];
   }
   return out;
 }
@@ -143,18 +145,19 @@ std::vector<double> gccPhat(std::span<const double> a,
   UNIQ_REQUIRE(!a.empty() && !b.empty(), "gccPhat of empty signal");
   const std::size_t outLen = a.size() + b.size() - 1;
   const std::size_t n = nextPowerOfTwo(outLen);
-  std::vector<Complex> fa(n, Complex(0, 0));
-  std::vector<Complex> fb(n, Complex(0, 0));
-  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0);
-  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0);
-  fftPow2InPlace(fa, false);
-  fftPow2InPlace(fb, false);
-  for (std::size_t i = 0; i < n; ++i) {
-    Complex cross = fa[i] * std::conj(fb[i]);
+  const auto plan = fftPlan(n);
+  std::vector<double> pa(n, 0.0);
+  std::vector<double> pb(n, 0.0);
+  std::copy(a.begin(), a.end(), pa.begin());
+  std::copy(b.begin(), b.end(), pb.begin());
+  auto fa = plan->rfft(pa);
+  const auto fb = plan->rfft(pb);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const Complex cross = fa[i] * std::conj(fb[i]);
     const double mag = std::abs(cross);
     fa[i] = mag > 1e-15 ? cross / mag : Complex(0, 0);
   }
-  fftPow2InPlace(fa, true);
+  const auto r = plan->irfft(fa);
   std::vector<double> out(outLen);
   const std::size_t nb = b.size() - 1;
   const long lagLo = -(static_cast<long>(a.size()) - 1);
@@ -168,7 +171,7 @@ std::vector<double> gccPhat(std::span<const double> a,
     const long p = -lag;
     const std::size_t idx = p >= 0 ? static_cast<std::size_t>(p)
                                    : n - static_cast<std::size_t>(-p);
-    out[k] = fa[idx].real();
+    out[k] = r[idx];
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "dsp/fft_plan.h"
 
 namespace uniq::dsp {
 
@@ -31,22 +32,24 @@ std::vector<double> deconvolve(std::span<const double> received,
   UNIQ_REQUIRE(!received.empty() && !source.empty(),
                "deconvolve of empty signal");
   const std::size_t n = nextPowerOfTwo(received.size() + source.size());
-  std::vector<Complex> fy(n, Complex(0, 0));
-  std::vector<Complex> fx(n, Complex(0, 0));
-  for (std::size_t i = 0; i < received.size(); ++i)
-    fy[i] = Complex(received[i], 0);
-  for (std::size_t i = 0; i < source.size(); ++i)
-    fx[i] = Complex(source[i], 0);
-  fftPow2InPlace(fy, false);
-  fftPow2InPlace(fx, false);
-  auto fh =
+  const auto plan = fftPlan(n);
+  // Both inputs are real: divide the half spectra only. The regularization
+  // floor is unchanged because |X(f)|^2 attains its maximum inside the half
+  // spectrum of a conjugate-symmetric transform.
+  std::vector<double> py(n, 0.0);
+  std::vector<double> px(n, 0.0);
+  std::copy(received.begin(), received.end(), py.begin());
+  std::copy(source.begin(), source.end(), px.begin());
+  const auto fy = plan->rfft(py);
+  const auto fx = plan->rfft(px);
+  const auto fh =
       regularizedSpectralDivide(fy, fx, opts.relativeRegularization);
-  fftPow2InPlace(fh, true);
+  const auto time = plan->irfft(fh);
   std::size_t keep = opts.responseLength == 0
                          ? received.size()
                          : std::min(opts.responseLength, n);
   std::vector<double> h(keep);
-  for (std::size_t i = 0; i < keep; ++i) h[i] = fh[i].real();
+  for (std::size_t i = 0; i < keep; ++i) h[i] = time[i];
   return h;
 }
 

@@ -1,13 +1,19 @@
 #include "dsp/fft.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/constants.h"
 #include "common/error.h"
+#include "dsp/fft_plan.h"
 
 namespace uniq::dsp {
 
 std::size_t nextPowerOfTwo(std::size_t n) {
+  constexpr std::size_t kMaxPow2 =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  UNIQ_REQUIRE(n <= kMaxPow2,
+               "nextPowerOfTwo: n exceeds the largest size_t power of two");
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -18,6 +24,18 @@ bool isPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 void fftPow2InPlace(std::span<Complex> data, bool inverse) {
   const std::size_t n = data.size();
   UNIQ_REQUIRE(isPowerOfTwo(n), "fftPow2InPlace needs a power-of-two size");
+  const auto plan = fftPlan(n);
+  if (inverse) {
+    plan->inverseInPlace(data);
+  } else {
+    plan->forwardInPlace(data);
+  }
+}
+
+void fftPow2ReferenceInPlace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  UNIQ_REQUIRE(isPowerOfTwo(n),
+               "fftPow2ReferenceInPlace needs a power-of-two size");
   if (n == 1) return;
 
   // Bit-reversal permutation.
@@ -49,64 +67,26 @@ void fftPow2InPlace(std::span<Complex> data, bool inverse) {
   }
 }
 
-namespace {
-
-/// Bluestein chirp-z transform for arbitrary-length DFTs. Expresses the DFT
-/// as a convolution, evaluated with a power-of-two FFT.
-std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
-  const std::size_t n = input.size();
-  const std::size_t m = nextPowerOfTwo(2 * n + 1);
-  const double sign = inverse ? 1.0 : -1.0;
-
-  // Chirp factors: w_k = exp(sign * i * pi * k^2 / n).
-  std::vector<Complex> chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n avoids precision loss for large k.
-    const double kk =
-        static_cast<double>((static_cast<unsigned long long>(k) * k) %
-                            (2 * n));
-    const double phase = sign * kPi * kk / static_cast<double>(n);
-    chirp[k] = Complex(std::cos(phase), std::sin(phase));
-  }
-
-  std::vector<Complex> a(m, Complex(0, 0));
-  std::vector<Complex> b(m, Complex(0, 0));
-  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
-  b[0] = std::conj(chirp[0]);
-  for (std::size_t k = 1; k < n; ++k) {
-    b[k] = std::conj(chirp[k]);
-    b[m - k] = b[k];
-  }
-
-  fftPow2InPlace(a, false);
-  fftPow2InPlace(b, false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fftPow2InPlace(a, true);
-
-  std::vector<Complex> out(n);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
-  if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (auto& x : out) x *= scale;
-  }
-  return out;
-}
-
-}  // namespace
-
 std::vector<Complex> fft(std::span<const Complex> input, bool inverse) {
   UNIQ_REQUIRE(!input.empty(), "fft of empty signal");
-  if (isPowerOfTwo(input.size())) {
-    std::vector<Complex> data(input.begin(), input.end());
-    fftPow2InPlace(data, inverse);
-    return data;
-  }
-  return bluestein(input, inverse);
+  const auto plan = fftPlan(input.size());
+  return inverse ? plan->inverse(input) : plan->forward(input);
 }
 
 std::vector<Complex> fftReal(std::span<const double> input) {
-  std::vector<Complex> data(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) data[i] = Complex(input[i], 0);
+  UNIQ_REQUIRE(!input.empty(), "fft of empty signal");
+  const std::size_t n = input.size();
+  if (isPowerOfTwo(n)) {
+    // Real fast path: transform the half spectrum, mirror the rest.
+    const auto half = fftPlan(n)->rfft(input);
+    std::vector<Complex> out(n);
+    for (std::size_t k = 0; k < half.size(); ++k) out[k] = half[k];
+    for (std::size_t k = 1; k < n - n / 2; ++k)
+      out[n - k] = std::conj(half[k]);
+    return out;
+  }
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = Complex(input[i], 0);
   return fft(data, false);
 }
 

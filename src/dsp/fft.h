@@ -8,7 +8,9 @@ namespace uniq::dsp {
 
 using Complex = std::complex<double>;
 
-/// Smallest power of two >= n (n >= 1).
+/// Smallest power of two >= n (n >= 1). Throws uniq::InvalidArgument when n
+/// exceeds the largest representable power of two instead of looping or
+/// wrapping.
 std::size_t nextPowerOfTwo(std::size_t n);
 
 /// True when n is a power of two (n >= 1).
@@ -16,8 +18,15 @@ bool isPowerOfTwo(std::size_t n);
 
 /// In-place iterative radix-2 Cooley-Tukey FFT. data.size() must be a power
 /// of two. `inverse` applies the conjugate transform and scales by 1/N, so
-/// fft(ifft(x)) == x.
+/// fft(ifft(x)) == x. Uses the process-wide plan cache (dsp::fftPlan) for
+/// precomputed bit-reversal and twiddle tables.
 void fftPow2InPlace(std::span<Complex> data, bool inverse);
+
+/// The seed's table-free radix-2 FFT, which recomputes twiddles on every
+/// call. Kept as the independent reference the plan-cache tests and the
+/// before/after perf benchmarks compare against; production code should use
+/// fftPow2InPlace.
+void fftPow2ReferenceInPlace(std::span<Complex> data, bool inverse);
 
 /// FFT of arbitrary length (Bluestein's chirp-z algorithm for non powers of
 /// two). Returns a new vector; `inverse` includes the 1/N scaling.

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace uniq::dsp {
+
+/// Snapshot of the process-wide FFT plan cache counters (cheap atomics; see
+/// fftStats()). `planHits`/`planMisses` count fftPlan() lookups; a miss
+/// builds and caches a new plan.
+struct FftStats {
+  std::uint64_t planHits = 0;
+  std::uint64_t planMisses = 0;
+  std::size_t cachedPlans = 0;
+};
+
+/// A precomputed transform plan for one FFT length.
+///
+/// Power-of-two lengths precompute the bit-reversal permutation and the
+/// twiddle-factor table once, so repeated transforms stop paying the
+/// trigonometric setup that dominated the seed implementation. Arbitrary
+/// lengths precompute the Bluestein chirp and the spectrum of the chirp
+/// convolution kernel, reducing every subsequent transform from three
+/// power-of-two FFTs (plus chirp setup) to two table-driven ones.
+///
+/// Plans are immutable after construction and safe to share across threads.
+/// Most callers should go through the process-wide cache (fftPlan()) instead
+/// of constructing plans directly.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  bool isPow2() const { return pow2_; }
+
+  /// In-place transforms; only valid for power-of-two plans.
+  void forwardInPlace(std::span<Complex> data) const;
+  void inverseInPlace(std::span<Complex> data) const;
+
+  /// Out-of-place transforms for any plan length. `inverse` includes the
+  /// 1/N scaling, matching dsp::fft().
+  std::vector<Complex> forward(std::span<const Complex> input) const;
+  std::vector<Complex> inverse(std::span<const Complex> input) const;
+
+  /// Real-input fast path (power-of-two plans only): transforms length-n
+  /// real input via one complex FFT of length n/2 and returns the
+  /// non-redundant half spectrum X[0..n/2] (size n/2 + 1). The remaining
+  /// bins are the conjugate mirror X[n-k] = conj(X[k]).
+  std::vector<Complex> rfft(std::span<const double> input) const;
+
+  /// Inverse of rfft(): takes the half spectrum (size n/2 + 1, assumed to
+  /// describe a conjugate-symmetric full spectrum) and returns the length-n
+  /// real signal, including the 1/N scaling.
+  std::vector<double> irfft(std::span<const Complex> halfSpectrum) const;
+
+ private:
+  void transformPow2(std::span<Complex> data, bool inverse) const;
+  /// Butterfly stages over already bit-reverse-permuted data. When
+  /// `firstStageDone` the caller has fused the multiply-free len == 2 stage
+  /// into its permutation pass and the stages start at len == 4.
+  void stagesPow2(std::span<Complex> data, bool inverse,
+                  bool firstStageDone) const;
+  /// Copies `input` into `out` in bit-reversed order with the len == 2
+  /// butterfly stage fused in, so stagesPow2(..., true) can follow without a
+  /// separate permutation pass.
+  void gatherStage2(std::span<const Complex> input,
+                    std::span<Complex> out) const;
+  std::vector<Complex> forwardBluestein(std::span<const Complex> input) const;
+
+  std::size_t n_;
+  bool pow2_;
+
+  // Power-of-two tables.
+  std::vector<std::uint32_t> bitrev_;
+  /// Interleaved (i, j) index pairs with i < bitrev(i) == j: the in-place
+  /// bit-reversal permutation as a branch-free swap list.
+  std::vector<std::uint32_t> swapPairs_;
+  std::vector<Complex> twiddles_;  ///< exp(-2*pi*i*k/n), k < n/2
+  std::vector<Complex> inverseTwiddles_;  ///< conjugates, for the inverse
+  std::shared_ptr<const FftPlan> halfPlan_;  ///< length n/2, for rfft/irfft
+
+  // Bluestein tables (non power of two).
+  std::size_t m_ = 0;                  ///< inner convolution length (pow2)
+  std::vector<Complex> chirp_;         ///< exp(-i*pi*k^2/n)
+  std::vector<Complex> kernelSpectrum_;  ///< FFT_m of the chirp kernel
+  std::shared_ptr<const FftPlan> convPlan_;  ///< length m_
+};
+
+/// Process-wide, mutex-guarded plan cache. Returns a shared immutable plan
+/// for length n, building it on first use. Thread-safe.
+std::shared_ptr<const FftPlan> fftPlan(std::size_t n);
+
+/// Current plan-cache counters (observability; logged by the CLI).
+FftStats fftStats();
+
+/// Reset the hit/miss counters (the cached plans themselves are kept).
+void resetFftStats();
+
+/// Convenience wrappers over the plan cache. `n = input.size()` must be a
+/// power of two; the half spectrum has size n/2 + 1.
+std::vector<Complex> rfft(std::span<const double> input);
+
+/// Inverse of rfft() for a full length of n (power of two,
+/// halfSpectrum.size() == n/2 + 1).
+std::vector<double> irfft(std::span<const Complex> halfSpectrum,
+                          std::size_t n);
+
+}  // namespace uniq::dsp

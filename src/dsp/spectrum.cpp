@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
+#include "dsp/fft_plan.h"
 
 namespace uniq::dsp {
 
@@ -58,12 +59,13 @@ std::vector<double> applyFrequencyResponse(std::span<const double> signal,
   UNIQ_REQUIRE(!response.empty(), "empty response");
   const std::size_t outLen = signal.size() + tailSamples;
   const std::size_t n = nextPowerOfTwo(outLen);
-  std::vector<Complex> fx(n, Complex(0, 0));
-  for (std::size_t i = 0; i < signal.size(); ++i) fx[i] = Complex(signal[i], 0);
-  fftPow2InPlace(fx, false);
+  const auto plan = fftPlan(n);
+  std::vector<double> padded(n, 0.0);
+  std::copy(signal.begin(), signal.end(), padded.begin());
+  auto fx = plan->rfft(padded);
   // Map each FFT bin to the nearest bin of `response` (which is assumed to
-  // cover the same sample-rate axis with its own resolution). Maintain
-  // conjugate symmetry so the output stays real.
+  // cover the same sample-rate axis with its own resolution). Working on
+  // the half spectrum keeps the output real by construction.
   const std::size_t rn = response.size();
   for (std::size_t k = 0; k <= n / 2; ++k) {
     const double frac =
@@ -71,13 +73,10 @@ std::vector<double> applyFrequencyResponse(std::span<const double> signal,
     const auto rk = static_cast<std::size_t>(
         std::min<double>(std::lround(frac * static_cast<double>(rn)),
                          static_cast<double>(rn / 2)));
-    const Complex r = response[rk];
-    fx[k] *= r;
-    if (k > 0 && k < n / 2) fx[n - k] = std::conj(fx[k]);
+    fx[k] *= response[rk];
   }
-  fftPow2InPlace(fx, true);
-  std::vector<double> out(outLen);
-  for (std::size_t i = 0; i < outLen; ++i) out[i] = fx[i].real();
+  auto out = plan->irfft(fx);
+  out.resize(outLen);
   return out;
 }
 

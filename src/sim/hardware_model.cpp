@@ -7,6 +7,7 @@
 #include "common/math_util.h"
 #include "dsp/biquad.h"
 #include "dsp/deconvolution.h"
+#include "dsp/fft_plan.h"
 #include "dsp/signal_generators.h"
 #include "dsp/spectrum.h"
 
@@ -78,9 +79,17 @@ std::vector<dsp::Complex> HardwareModel::estimateResponse(double snrDb,
   dsp::addNoiseSnrDb(recorded, snrDb, rng);
   recorded.resize(opts_.gridSize);
   chirp.resize(opts_.gridSize, 0.0);
-  auto fy = dsp::fftReal(recorded);
-  auto fx = dsp::fftReal(chirp);
-  return dsp::regularizedSpectralDivide(fy, fx, 1e-4);
+  // Real-input fast path: divide the half spectra, then mirror back out to
+  // the full grid the callers expect.
+  const auto fy = dsp::rfft(recorded);
+  const auto fx = dsp::rfft(chirp);
+  const auto half = dsp::regularizedSpectralDivide(fy, fx, 1e-4);
+  const std::size_t n = opts_.gridSize;
+  std::vector<dsp::Complex> full(n);
+  for (std::size_t k = 0; k < half.size(); ++k) full[k] = half[k];
+  for (std::size_t k = 1; k < n - n / 2; ++k)
+    full[n - k] = std::conj(half[k]);
+  return full;
 }
 
 double HardwareModel::magnitudeDbAt(double freqHz) const {

@@ -1,0 +1,171 @@
+#include "dsp/fft_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/random.h"
+#include "dsp/fft.h"
+
+namespace uniq::dsp {
+namespace {
+
+std::vector<Complex> randomComplex(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex(rng.gaussian(), rng.gaussian());
+  return v;
+}
+
+/// O(n^2) DFT, the independent ground truth both FFT paths are checked
+/// against.
+std::vector<Complex> naiveDft(const std::vector<Complex>& in, bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * kTwoPi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      sum += in[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    if (inverse) sum /= static_cast<double>(n);
+    out[k] = sum;
+  }
+  return out;
+}
+
+double maxAbsDiff(const std::vector<Complex>& a,
+                  const std::vector<Complex>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+TEST(FftPlan, Pow2MatchesSeedReferenceImplementation) {
+  for (const std::size_t n : {2u, 8u, 64u, 1024u}) {
+    auto planned = randomComplex(n, 10 + n);
+    auto reference = planned;
+    const auto plan = fftPlan(n);
+    plan->forwardInPlace(planned);
+    fftPow2ReferenceInPlace(reference, false);
+    EXPECT_LT(maxAbsDiff(planned, reference), 1e-9) << "n=" << n;
+
+    plan->inverseInPlace(planned);
+    fftPow2ReferenceInPlace(reference, true);
+    EXPECT_LT(maxAbsDiff(planned, reference), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(FftPlan, BluesteinMatchesNaiveDft) {
+  for (const std::size_t n : {3u, 7u, 12u, 100u, 129u}) {
+    const auto in = randomComplex(n, 20 + n);
+    const auto plan = fftPlan(n);
+    EXPECT_FALSE(plan->isPow2());
+    EXPECT_LT(maxAbsDiff(plan->forward(in), naiveDft(in, false)), 1e-8)
+        << "n=" << n;
+    EXPECT_LT(maxAbsDiff(plan->inverse(in), naiveDft(in, true)), 1e-8)
+        << "n=" << n;
+  }
+}
+
+TEST(FftPlan, RfftMatchesFullComplexFft) {
+  for (const std::size_t n : {2u, 4u, 16u, 1024u}) {
+    Pcg32 rng(30 + n);
+    std::vector<double> signal(n);
+    for (auto& s : signal) s = rng.gaussian();
+
+    std::vector<Complex> full(n);
+    for (std::size_t i = 0; i < n; ++i) full[i] = Complex(signal[i], 0.0);
+    fftPow2ReferenceInPlace(full, false);
+
+    const auto half = rfft(signal);
+    ASSERT_EQ(half.size(), n / 2 + 1) << "n=" << n;
+    for (std::size_t k = 0; k <= n / 2; ++k)
+      EXPECT_LT(std::abs(half[k] - full[k]), 1e-9) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(FftPlan, RfftIrfftRoundTripIsIdentity) {
+  for (const std::size_t n : {2u, 4u, 8u, 256u, 4096u}) {
+    Pcg32 rng(40 + n);
+    std::vector<double> signal(n);
+    for (auto& s : signal) s = rng.gaussian();
+    const auto back = irfft(rfft(signal), n);
+    ASSERT_EQ(back.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(back[i], signal[i], 1e-9) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(FftPlan, CacheCountsHitsAndMisses) {
+  // An uncommon length keeps this test independent of which plans other
+  // tests already cached.
+  const std::size_t n = 1 << 14;
+  fftPlan(n);  // warm: miss on first-ever use, hit otherwise
+  resetFftStats();
+  const auto before = fftStats();
+  EXPECT_EQ(before.planHits, 0u);
+  EXPECT_EQ(before.planMisses, 0u);
+  fftPlan(n);
+  fftPlan(n);
+  const auto after = fftStats();
+  EXPECT_EQ(after.planHits, 2u);
+  EXPECT_EQ(after.planMisses, 0u);
+  EXPECT_GE(after.cachedPlans, 1u);
+}
+
+TEST(FftPlan, ConcurrentLookupsAndTransformsAreRaceFree) {
+  // Several threads hammer the cache with overlapping sizes while
+  // transforming; every thread must see results identical to the serial
+  // reference.
+  const std::vector<std::size_t> sizes = {64, 100, 256, 1000};
+  std::vector<std::vector<Complex>> inputs;
+  std::vector<std::vector<Complex>> expected;
+  for (const auto n : sizes) {
+    inputs.push_back(randomComplex(n, 50 + n));
+    expected.push_back(naiveDft(inputs.back(), false));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  std::vector<double> worstPerThread(kThreads, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      double worst = 0.0;
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t which = static_cast<std::size_t>(t + round) %
+                                  sizes.size();
+        const auto plan = fftPlan(sizes[which]);
+        const auto out = plan->forward(inputs[which]);
+        for (std::size_t i = 0; i < out.size(); ++i)
+          worst = std::max(worst, std::abs(out[i] - expected[which][i]));
+      }
+      worstPerThread[static_cast<std::size_t>(t)] = worst;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const double worst : worstPerThread) EXPECT_LT(worst, 1e-8);
+}
+
+TEST(FftPlan, NextPowerOfTwoThrowsInsteadOfOverflowing) {
+  constexpr std::size_t kMaxPow2 =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  EXPECT_EQ(nextPowerOfTwo(kMaxPow2), kMaxPow2);
+  EXPECT_THROW(nextPowerOfTwo(kMaxPow2 + 1), InvalidArgument);
+  EXPECT_THROW(nextPowerOfTwo(std::numeric_limits<std::size_t>::max()),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq::dsp
