@@ -1,11 +1,13 @@
 // uniq — command-line front end for the UNIQ HRTF personalization library.
 //
 // Subcommands:
-//   calibrate --out table.uniq [--seed N] [--constrained]
+//   calibrate --out table.uniq [--seed N] [--constrained] [--stops N]
+//             [--report] [--trace-out trace.json] [--metrics-out m.json]
 //       Run a (simulated) calibration sweep for a synthetic subject and
 //       save the personalized HRTF lookup table. On real hardware the
 //       capture stage would be replaced by the phone/earbud recordings;
-//       everything downstream is identical.
+//       everything downstream is identical. --report prints the per-stage
+//       summary table; the *-out flags dump Chrome trace / metrics JSON.
 //   inspect --table table.uniq
 //       Print the table's head parameters and structural summary.
 //   render --table table.uniq --in mono.wav --out binaural.wav
@@ -20,13 +22,16 @@
 
 #include "audio/wav.h"
 #include "common/error.h"
-#include "common/thread_pool.h"
-#include "dsp/fft_plan.h"
-#include "dsp/resample.h"
 #include "core/pipeline.h"
 #include "core/table_io.h"
+#include "dsp/resample.h"
 #include "dsp/signal_generators.h"
 #include "head/subject.h"
+#include "obs/export.h"
+#include "obs/json_check.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/measurement_session.h"
 #include "spatial3d/elevation_renderer.h"
 
@@ -66,23 +71,50 @@ std::string optional(const Args& args, const std::string& key,
   return it == args.end() ? fallback : it->second;
 }
 
+/// Serialize, validate, and write one observability JSON export. The CLI
+/// checks its own output so a malformed exporter fails the run (and the CI
+/// smoke test) instead of producing a file chrome://tracing rejects.
+int writeValidatedJson(const std::string& path, const std::string& json,
+                       const char* what) {
+  std::string error;
+  if (!obs::validateJson(json, &error)) {
+    std::cerr << "error: generated " << what << " JSON is malformed: " << error
+              << "\n";
+    return 1;
+  }
+  if (!obs::writeTextFile(path, json, &error)) {
+    std::cerr << "error: writing " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << what << " JSON to " << path << "\n";
+  return 0;
+}
+
 int cmdCalibrate(const Args& args) {
   const auto outPath = require(args, "out");
   const auto seed =
       static_cast<std::uint64_t>(std::stoull(optional(args, "seed", "42")));
   const bool constrained = args.count("constrained") > 0;
+  const bool wantReport = args.count("report") > 0;
+  const auto traceOut = optional(args, "trace-out", "");
+  const auto metricsOut = optional(args, "metrics-out", "");
 
   std::cout << "simulating subject (seed " << seed << ")...\n";
   const auto subject = head::makePopulation(1, seed)[0];
   const sim::MeasurementSession session;
-  const auto gesture =
+  auto gesture =
       constrained ? sim::constrainedGesture() : sim::defaultGesture();
+  if (args.count("stops") > 0) {
+    gesture.stops = static_cast<std::size_t>(
+        std::stoull(require(args, "stops")));
+  }
   const auto capture = session.run(subject, gesture);
 
   std::cout << "running the UNIQ pipeline on " << capture.stops.size()
             << " stops...\n";
   const core::CalibrationPipeline pipeline;
-  const auto personal = pipeline.run(capture);
+  obs::RunReport report;
+  const auto personal = pipeline.run(capture, &report);
   if (!personal.gestureReport.ok) {
     std::cout << "gesture check FLAGGED:\n";
     for (const auto& issue : personal.gestureReport.issues)
@@ -96,13 +128,30 @@ int cmdCalibrate(const Args& args) {
   core::saveHrtfTable(outPath, personal.table);
   std::cout << "saved personalized HRTF table to " << outPath << "\n";
 
-  const auto fft = dsp::fftStats();
-  const auto pool = common::poolStats();
-  std::cout << "perf: fft plans " << fft.cachedPlans << " cached, "
-            << fft.planHits << " hits / " << fft.planMisses
-            << " misses; pool " << pool.threads << " worker thread"
-            << (pool.threads == 1 ? "" : "s") << ", " << pool.tasksExecuted
-            << " tasks, max queue depth " << pool.maxQueueDepth << "\n";
+  if (wantReport) {
+    std::cout << "\nrun report\n" << report.summaryTable() << "\n";
+  }
+
+  // The perf section reads the process-wide registry, so it also covers
+  // instruments the pipeline stages registered on their own.
+  std::cout << "perf:\n"
+            << obs::summarizeMetrics(obs::registry().snapshot(),
+                                     {"fft.", "pool."});
+
+  if (!traceOut.empty()) {
+    const int rc = writeValidatedJson(
+        traceOut, obs::traceEventJson(obs::collectSpans()), "trace");
+    if (rc != 0) return rc;
+    if (!obs::traceEnabled()) {
+      std::cout << "note: tracing is disabled (UNIQ_OBSERVABILITY=0 or an "
+                   "observability-off build); the trace is empty\n";
+    }
+  }
+  if (!metricsOut.empty()) {
+    const int rc = writeValidatedJson(
+        metricsOut, obs::metricsJson(obs::registry().snapshot()), "metrics");
+    if (rc != 0) return rc;
+  }
   return 0;
 }
 
@@ -170,7 +219,9 @@ int cmdRender(const Args& args, bool demo) {
 void usage() {
   std::cout <<
       "usage: uniq <command> [flags]\n"
-      "  calibrate  --out table.uniq [--seed N] [--constrained]\n"
+      "  calibrate  --out table.uniq [--seed N] [--constrained] [--stops N]\n"
+      "             [--report] [--trace-out trace.json]\n"
+      "             [--metrics-out metrics.json]\n"
       "  inspect    --table table.uniq\n"
       "  render     --table table.uniq --in mono.wav --out out.wav\n"
       "             --angle DEG [--elevation DEG]\n"

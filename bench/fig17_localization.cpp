@@ -8,6 +8,7 @@
 #include "eval/experiments.h"
 #include "eval/metrics.h"
 #include "eval/reporting.h"
+#include "obs/report.h"
 
 using namespace uniq;
 
@@ -40,5 +41,6 @@ int main() {
   std::cout << "overall median error = " << eval::median(allErr)
             << " deg (paper: 4.8 deg; error dominated by imperfect "
                "phone-facing, Section 5.1)\n";
+  uniq::obs::exportMetricsIfRequested();
   return 0;
 }

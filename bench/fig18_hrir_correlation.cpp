@@ -9,6 +9,7 @@
 #include "eval/experiments.h"
 #include "eval/metrics.h"
 #include "eval/reporting.h"
+#include "obs/report.h"
 
 using namespace uniq;
 
@@ -48,5 +49,6 @@ int main() {
             << "x   (paper: ~1.75x; UNIQ 0.74/0.71 vs global 0.41)\n";
   std::cout << "(paper also notes the right ear dips near 90 deg where the "
                "phone is opposite that ear and SNR drops)\n";
+  uniq::obs::exportMetricsIfRequested();
   return 0;
 }

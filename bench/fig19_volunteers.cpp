@@ -7,6 +7,7 @@
 #include "eval/experiments.h"
 #include "eval/metrics.h"
 #include "eval/reporting.h"
+#include "obs/report.h"
 
 using namespace uniq;
 
@@ -47,5 +48,6 @@ int main() {
   std::cout << "\npersonalization gain consistent across all volunteers: "
             << (allBeatGlobal ? "yes" : "NO") << "  (paper: yes, with "
             << "volunteers 4-5 slightly lower due to arm constraints)\n";
+  uniq::obs::exportMetricsIfRequested();
   return 0;
 }

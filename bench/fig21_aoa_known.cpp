@@ -9,6 +9,7 @@
 #include "eval/experiments.h"
 #include "eval/metrics.h"
 #include "eval/reporting.h"
+#include "obs/report.h"
 
 using namespace uniq;
 
@@ -59,5 +60,6 @@ int main() {
   std::cout << "improvement of the personalized HRTF: "
             << eval::median(globalErrs) - eval::median(uniqErrs)
             << " deg at the median (paper headline: >20 deg average)\n";
+  uniq::obs::exportMetricsIfRequested();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "eval/experiments.h"
 #include "eval/metrics.h"
 #include "eval/reporting.h"
+#include "obs/report.h"
 
 using namespace uniq;
 
@@ -74,5 +75,6 @@ int main() {
             << 100.0 * globalFbSum / 3.0
             << "%  (paper: 82.8% vs 59.8%; white noise easiest, speech "
                "hardest because it reveals the least of the channel)\n";
+  uniq::obs::exportMetricsIfRequested();
   return 0;
 }

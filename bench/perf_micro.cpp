@@ -1,6 +1,7 @@
 // Performance micro-benchmarks (google-benchmark) for the hot paths of the
 // UNIQ pipeline: FFT, convolution, deconvolution, diffraction path queries,
-// localization, the fusion objective, and HRIR synthesis.
+// localization, the fusion objective, HRIR synthesis, and the observability
+// primitives (spans, counters, histograms) themselves.
 #include <benchmark/benchmark.h>
 
 #include "common/constants.h"
@@ -15,6 +16,9 @@
 #include "geometry/diffraction.h"
 #include "geometry/polar.h"
 #include "head/hrtf_database.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 using namespace uniq;
 
@@ -218,6 +222,59 @@ void BM_RenderBinaural(benchmark::State& state) {
 }
 BENCHMARK(BM_RenderBinaural);
 
+// Cost of one recorded span when tracing is runtime-enabled. The trace is
+// drained every 64k spans so the per-thread buffers stay bounded; the clear
+// amortizes to noise.
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::setTraceEnabled(true);
+  obs::clearTrace();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    UNIQ_SPAN("bench.span");
+    if ((++i & 0xFFFF) == 0) obs::clearTrace();
+  }
+  obs::clearTrace();
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+// Cost of a span when tracing is runtime-disabled: the ceiling on what
+// instrumented-but-quiet code pays (compile-time OFF pays exactly zero).
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::setTraceEnabled(false);
+  for (auto _ : state) {
+    UNIQ_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+  obs::setTraceEnabled(true);
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  static obs::Counter& c = obs::registry().counter("bench.counter");
+  for (auto _ : state) c.inc();
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  static obs::Histogram& h = obs::registry().histogram(
+      "bench.histogram", obs::HistogramOptions{1e-6, 2.0, 32});
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 1.0 ? v * 1.01 : 1e-6;
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main (instead of BENCHMARK_MAIN) so a run can be asked for
+// its metrics JSON via the UNIQ_METRICS_OUT environment variable.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  obs::exportMetricsIfRequested();
+  return 0;
+}

@@ -7,23 +7,29 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace uniq::common {
 
 namespace {
 
-std::atomic<std::uint64_t> gTasksExecuted{0};
-std::atomic<std::uint64_t> gMaxQueueDepth{0};
+// Pool counters live in the process-wide metrics registry (poolStats()
+// reads them back for the legacy struct API).
+obs::Counter& tasksCounter() {
+  static obs::Counter& c = obs::registry().counter("pool.tasks");
+  return c;
+}
+obs::Gauge& maxQueueDepthGauge() {
+  static obs::Gauge& g = obs::registry().gauge("pool.queue.max_depth");
+  return g;
+}
 
 // True on threads owned by a pool; parallelFor uses it to degrade to the
 // inline path instead of fanning out recursively.
 thread_local bool tlInsidePool = false;
 
 void noteQueueDepth(std::size_t depth) {
-  std::uint64_t prev = gMaxQueueDepth.load(std::memory_order_relaxed);
-  while (depth > prev &&
-         !gMaxQueueDepth.compare_exchange_weak(prev, depth,
-                                               std::memory_order_relaxed)) {
-  }
+  maxQueueDepthGauge().setMax(static_cast<double>(depth));
 }
 
 }  // namespace
@@ -55,7 +61,7 @@ void ThreadPool::workerLoop() {
       queue_.pop_front();
     }
     task();
-    gTasksExecuted.fetch_add(1, std::memory_order_relaxed);
+    tasksCounter().inc();
   }
 }
 
@@ -142,6 +148,16 @@ ThreadPool& globalPool() {
     // n counts executing threads including the caller of parallelFor.
     return n - 1;
   }());
+  static const bool gaugeSet = [] {
+    obs::registry().gauge("pool.threads").set(
+        static_cast<double>(pool.threadCount()));
+    // Touch the other pool instruments so a run that never queues work
+    // still reports them (as zeros) instead of omitting the lines.
+    tasksCounter();
+    maxQueueDepthGauge();
+    return true;
+  }();
+  (void)gaugeSet;
   return pool;
 }
 
@@ -154,8 +170,9 @@ void parallelFor(std::size_t begin, std::size_t end,
 PoolStats poolStats() {
   PoolStats s;
   s.threads = globalPool().threadCount();
-  s.tasksExecuted = gTasksExecuted.load(std::memory_order_relaxed);
-  s.maxQueueDepth = gMaxQueueDepth.load(std::memory_order_relaxed);
+  s.tasksExecuted = tasksCounter().value();
+  s.maxQueueDepth =
+      static_cast<std::uint64_t>(maxQueueDepthGauge().value());
   return s;
 }
 

@@ -14,8 +14,42 @@
 #include "dsp/fractional_delay.h"
 #include "dsp/peak_picking.h"
 #include "dsp/spectrum.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uniq::core {
+
+namespace {
+
+/// Argmin over (angle, score) pairs plus the decision margin: the best
+/// score among candidates >= 10 degrees from the winner. Scanned in grid
+/// order, so the result is thread-count independent.
+AoaEstimate pickBest(const std::vector<double>& angles,
+                     const std::vector<double>& scores,
+                     const char* marginMetric) {
+  AoaEstimate best;
+  best.score = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < angles.size(); ++c) {
+    if (scores[c] < best.score) {
+      best.score = scores[c];
+      best.angleDeg = angles[c];
+    }
+  }
+  best.runnerUpScore = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < angles.size(); ++c) {
+    if (std::fabs(angles[c] - best.angleDeg) < 10.0) continue;
+    best.runnerUpScore = std::min(best.runnerUpScore, scores[c]);
+  }
+  best.scoreMargin = std::isfinite(best.runnerUpScore)
+                         ? best.runnerUpScore - best.score
+                         : 0.0;
+  obs::registry()
+      .histogram(marginMetric, obs::HistogramOptions{1e-4, 2.0, 24})
+      .observe(best.scoreMargin);
+  return best;
+}
+
+}  // namespace
 
 AoaEstimator::AoaEstimator(const FarFieldTable& table, Options opts)
     : table_(table), opts_(opts) {
@@ -80,6 +114,7 @@ AoaEstimate AoaEstimator::estimateKnown(
     const std::vector<double>& leftRecording,
     const std::vector<double>& rightRecording,
     const std::vector<double>& source) const {
+  UNIQ_SPAN("aoa.known");
   UNIQ_REQUIRE(!leftRecording.empty() && !rightRecording.empty() &&
                    !source.empty(),
                "empty input");
@@ -118,15 +153,7 @@ AoaEstimate AoaEstimator::estimateKnown(
       },
       opts_.numThreads);
 
-  AoaEstimate best;
-  best.score = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < thetas.size(); ++c) {
-    if (scores[c] < best.score) {
-      best.score = scores[c];
-      best.angleDeg = thetas[c];
-    }
-  }
-  return best;
+  return pickBest(thetas, scores, "aoa.known.margin");
 }
 
 std::vector<double> AoaEstimator::candidateAnglesForDelay(
@@ -151,6 +178,7 @@ std::vector<double> AoaEstimator::candidateAnglesForDelay(
 AoaEstimate AoaEstimator::estimateUnknown(
     const std::vector<double>& leftRecording,
     const std::vector<double>& rightRecording) const {
+  UNIQ_SPAN("aoa.unknown");
   UNIQ_REQUIRE(!leftRecording.empty() && !rightRecording.empty(),
                "empty input");
   const double fs = table_.sampleRate;
@@ -252,15 +280,7 @@ AoaEstimate AoaEstimator::estimateUnknown(
       },
       opts_.numThreads);
 
-  AoaEstimate best;
-  best.score = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < candidates.size(); ++c) {
-    if (scores[c] < best.score) {
-      best.score = scores[c];
-      best.angleDeg = candidates[c];
-    }
-  }
-  return best;
+  return pickBest(candidates, scores, "aoa.unknown.margin");
 }
 
 double trainLambda(const FarFieldTable& table, const std::vector<double>& grid,

@@ -11,6 +11,15 @@ struct AoaEstimate {
   double angleDeg = 0.0;
   /// Value of the matching objective at the winning angle (lower = better).
   double score = 0.0;
+  /// Best score among candidates at least 10 degrees away from the winner
+  /// (infinity when no such candidate was scanned). The gap to `score` is
+  /// the decision margin.
+  double runnerUpScore = 0.0;
+  /// Confidence margin: runnerUpScore - score (>= 0; larger = the winning
+  /// angle beat genuinely different candidates more clearly). 0 when only
+  /// one distinct angle was scanned. Also observed into the
+  /// "aoa.known.margin" / "aoa.unknown.margin" metric histograms.
+  double scoreMargin = 0.0;
 };
 
 struct AoaEstimatorOptions {

@@ -7,6 +7,8 @@
 #include "dsp/deconvolution.h"
 #include "dsp/fft_plan.h"
 #include "dsp/peak_picking.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uniq::core {
 
@@ -61,6 +63,12 @@ BinauralChannel ChannelExtractor::extract(
     const std::vector<double>& leftRecording,
     const std::vector<double>& rightRecording,
     const std::vector<double>& source) const {
+  UNIQ_SPAN("extract.stop");
+  static obs::Counter& extracted =
+      obs::registry().counter("extract.stops");
+  static obs::Counter& tapMisses =
+      obs::registry().counter("extract.tap_misses");
+  extracted.inc();
   BinauralChannel out;
   out.sampleRate = sampleRate_;
   out.left = extractEar(leftRecording, source);
@@ -76,6 +84,7 @@ BinauralChannel ChannelExtractor::extract(
     auto& tapOut = e == 0 ? out.firstTapLeftSec : out.firstTapRightSec;
     const auto tap = dsp::findFirstTap(channel, tapOpts);
     if (!tap) {
+      tapMisses.inc();
       tapOut = std::nullopt;
       continue;
     }

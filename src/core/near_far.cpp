@@ -9,6 +9,7 @@
 #include "dsp/fractional_delay.h"
 #include "geometry/diffraction.h"
 #include "geometry/polar.h"
+#include "obs/trace.h"
 
 namespace uniq::core {
 
@@ -35,6 +36,7 @@ void accumulate(std::vector<double>& acc, const std::vector<double>& channel,
 }  // namespace
 
 FarFieldTable NearFarConverter::convert(const NearFieldTable& nearTable) const {
+  UNIQ_SPAN("nearfar.convert");
   UNIQ_REQUIRE(nearTable.byDegree.size() == 181, "near table must cover 0-180");
   const auto& E = nearTable.headParams;
   const geo::HeadBoundary boundary(E.a, E.b, E.c, opts_.boundaryResolution);

@@ -10,6 +10,8 @@
 #include "dsp/fractional_delay.h"
 #include "geometry/diffraction.h"
 #include "geometry/polar.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uniq::core {
 
@@ -56,6 +58,7 @@ NearFieldTable NearFieldHrtfBuilder::build(
     const std::vector<FusedStop>& stops,
     const std::vector<BinauralChannel>& channels,
     const head::HeadParameters& headParams) const {
+  UNIQ_SPAN("nearfield.build");
   UNIQ_REQUIRE(stops.size() == channels.size(),
                "stops and channels must be parallel");
 
@@ -82,6 +85,8 @@ NearFieldTable NearFieldHrtfBuilder::build(
     radii.push_back(stop.radiusM);
   }
   UNIQ_REQUIRE(usable.size() >= 4, "too few usable stops for interpolation");
+  obs::registry().gauge("nearfield.usable_stops").set(
+      static_cast<double>(usable.size()));
 
   std::sort(usable.begin(), usable.end(),
             [](const AlignedStop& x, const AlignedStop& y) {

@@ -1,15 +1,56 @@
 #include "core/pipeline.h"
 
+#include <cmath>
+
+#include "common/constants.h"
 #include "common/error.h"
+#include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "geometry/diffraction.h"
+#include "geometry/head_boundary.h"
+#include "geometry/polar.h"
+#include "obs/trace.h"
 
 namespace uniq::core {
+
+namespace {
+
+/// RMS error (microseconds) between each usable stop's measured interaural
+/// first-tap delay and the delay the fused diffraction model predicts at
+/// that stop's fused position — the per-angle tap-alignment residual the
+/// near-field stage then corrects for. Large values mean the head estimate
+/// and the measured taps disagree (bad gesture, low SNR, wrong geometry).
+double tapAlignmentRmsUs(const std::vector<FusedStop>& stops,
+                         const std::vector<BinauralChannel>& channels,
+                         const head::HeadParameters& headParams) {
+  const geo::HeadBoundary boundary(headParams.a, headParams.b, headParams.c,
+                                   128);
+  double sumSq = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    const auto& stop = stops[i];
+    const auto& ch = channels[i];
+    if (!stop.localized || !ch.firstTapLeftSec || !ch.firstTapRightSec)
+      continue;
+    const double measuredSec = *ch.firstTapLeftSec - *ch.firstTapRightSec;
+    const geo::Vec2 p = geo::pointFromPolarDeg(stop.angleDeg, stop.radiusM);
+    const auto pathL = geo::nearFieldPath(boundary, p, geo::Ear::kLeft);
+    const auto pathR = geo::nearFieldPath(boundary, p, geo::Ear::kRight);
+    const double modelSec = (pathL.length - pathR.length) / kSpeedOfSound;
+    sumSq += square((measuredSec - modelSec) * 1e6);
+    ++n;
+  }
+  return n > 0 ? std::sqrt(sumSq / static_cast<double>(n)) : 0.0;
+}
+
+}  // namespace
 
 CalibrationPipeline::CalibrationPipeline(Options opts)
     : opts_(std::move(opts)) {}
 
 std::vector<BinauralChannel> CalibrationPipeline::extractChannels(
     const sim::CalibrationCapture& capture) const {
+  UNIQ_SPAN("pipeline.extract_channels");
   UNIQ_REQUIRE(!capture.stops.empty(), "capture has no stops");
   const ChannelExtractor extractor(capture.hardwareResponseEstimate,
                                    capture.sampleRate, opts_.extractor);
@@ -48,8 +89,21 @@ std::vector<FusionMeasurement> CalibrationPipeline::toFusionMeasurements(
 
 PersonalHrtf CalibrationPipeline::run(
     const sim::CalibrationCapture& capture) const {
+  return run(capture, nullptr);
+}
+
+PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
+                                      obs::RunReport* report) const {
+  UNIQ_SPAN("pipeline.run");
+
+  obs::StageTimer extractTimer(report, "extract");
   const auto channels = extractChannels(capture);
   const auto measurements = toFusionMeasurements(capture, channels);
+  if (auto* stage = extractTimer.stage()) {
+    stage->set("stops", static_cast<double>(capture.stops.size()));
+    stage->set("tapsDetected", static_cast<double>(measurements.size()));
+  }
+  extractTimer.stop();
 
   // The pipeline-level thread knob flows into stages that did not set
   // their own.
@@ -58,8 +112,19 @@ PersonalHrtf CalibrationPipeline::run(
   NearFieldBuilderOptions nearFieldOpts = opts_.nearField;
   if (nearFieldOpts.numThreads == 0) nearFieldOpts.numThreads = opts_.numThreads;
 
+  obs::StageTimer fusionTimer(report, "fusion");
   const SensorFusion fusion(fusionOpts);
   auto fusionResult = fusion.solve(measurements);
+  if (auto* stage = fusionTimer.stage()) {
+    stage->set("iterations", static_cast<double>(fusionResult.iterations));
+    stage->set("restarts", static_cast<double>(fusionResult.restartsUsed));
+    stage->set("converged", fusionResult.converged ? 1.0 : 0.0);
+    stage->set("localized", static_cast<double>(fusionResult.localizedCount));
+    stage->set("objectiveDeg2", fusionResult.finalObjectiveDeg2);
+    stage->set("residualRmsDeg",
+               std::sqrt(fusionResult.meanSquaredResidualDeg2));
+  }
+  fusionTimer.stop();
 
   // Re-expand fused stops to align with the full stop list (stops whose
   // taps were undetectable are marked un-localized so the near-field
@@ -80,19 +145,42 @@ PersonalHrtf CalibrationPipeline::run(
     }
   }
 
+  obs::StageTimer nearTimer(report, "nearfield");
   const NearFieldHrtfBuilder nearBuilder(nearFieldOpts);
   auto nearTable =
       nearBuilder.build(fullStops, channels, fusionResult.headParams);
+  if (auto* stage = nearTimer.stage()) {
+    std::size_t usable = 0;
+    for (const auto& stop : fullStops)
+      if (stop.localized) ++usable;
+    stage->set("usableStops", static_cast<double>(usable));
+    stage->set("medianRadiusM", nearTable.medianRadiusM);
+    stage->set("tapAlignRmsUs",
+               tapAlignmentRmsUs(fullStops, channels,
+                                 fusionResult.headParams));
+  }
+  nearTimer.stop();
 
+  obs::StageTimer farTimer(report, "nearfar");
   const NearFarConverter converter(opts_.nearFar);
   auto farTable = converter.convert(nearTable);
+  if (auto* stage = farTimer.stage()) {
+    stage->set("entries", static_cast<double>(farTable.byDegree.size()));
+  }
+  farTimer.stop();
 
+  obs::StageTimer gestureTimer(report, "gesture");
   const GestureValidator validator(opts_.gesture);
-  auto report = validator.validate(fusionResult);
+  auto gestureReport = validator.validate(fusionResult);
+  if (auto* stage = gestureTimer.stage()) {
+    stage->set("ok", gestureReport.ok ? 1.0 : 0.0);
+    stage->set("issues", static_cast<double>(gestureReport.issues.size()));
+  }
+  gestureTimer.stop();
 
   return PersonalHrtf{HrtfTable(std::move(nearTable), std::move(farTable)),
                       fusionResult.headParams, std::move(fusionResult),
-                      std::move(report)};
+                      std::move(gestureReport)};
 }
 
 }  // namespace uniq::core

@@ -8,6 +8,7 @@
 #include "core/near_far.h"
 #include "core/near_field_hrtf.h"
 #include "core/sensor_fusion.h"
+#include "obs/report.h"
 #include "sim/measurement_session.h"
 
 namespace uniq::core {
@@ -46,6 +47,29 @@ class CalibrationPipeline {
   explicit CalibrationPipeline(Options opts = {});
 
   PersonalHrtf run(const sim::CalibrationCapture& capture) const;
+
+  /// Instrumented run: identical output to run(capture), but additionally
+  /// fills `report` (when non-null) with one StageReport per pipeline
+  /// stage, in execution order:
+  ///
+  ///   - "extract"   — wallMs; `stops` (capture stops processed),
+  ///                   `tapsDetected` (stops with a first tap in both ears)
+  ///   - "fusion"    — wallMs; `iterations` (Nelder-Mead total over
+  ///                   restarts), `restarts`, `converged` (0/1),
+  ///                   `localized` (stops the localizer placed),
+  ///                   `objectiveDeg2` (final Eq. 2 objective incl. prior),
+  ///                   `residualRmsDeg` (RMS IMU-vs-acoustic disagreement)
+  ///   - "nearfield" — wallMs; `usableStops`, `medianRadiusM`,
+  ///                   `tapAlignRmsUs` (per-stop RMS error between the
+  ///                   measured interaural first-tap delay and the fused
+  ///                   diffraction model's prediction, microseconds)
+  ///   - "nearfar"   — wallMs; `entries` (far-field table angles)
+  ///   - "gesture"   — wallMs; `ok` (0/1), `issues` (flag count)
+  ///
+  /// Timings come from a dedicated steady-clock timer, so the report works
+  /// even when the build compiles trace spans out.
+  PersonalHrtf run(const sim::CalibrationCapture& capture,
+                   obs::RunReport* report) const;
 
   /// Intermediate access for experiments: per-stop channels only.
   std::vector<BinauralChannel> extractChannels(

@@ -5,6 +5,8 @@
 #include "common/error.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/nelder_mead.h"
 
 namespace uniq::core {
@@ -69,6 +71,10 @@ std::shared_ptr<const SensorFusion::CachedGeometry> SensorFusion::geometryFor(
 double SensorFusion::objective(
     const head::HeadParameters& candidate,
     const std::vector<FusionMeasurement>& measurements) const {
+  UNIQ_SPAN("dsf.objective");
+  static obs::Counter& evals =
+      obs::registry().counter("dsf.objective.evals");
+  evals.inc();
   const auto geometry = geometryFor(candidate);
   const Localizer& localizer = geometry->localizer;
   // Localize every measurement independently across the pool; reduce in
@@ -97,8 +103,10 @@ double SensorFusion::objective(
 
 SensorFusionResult SensorFusion::solve(
     const std::vector<FusionMeasurement>& measurements) const {
+  UNIQ_SPAN("dsf.solve");
   UNIQ_REQUIRE(measurements.size() >= 6,
                "sensor fusion needs at least 6 usable stops");
+  UNIQ_REQUIRE(opts_.restarts >= 1, "sensor fusion needs >= 1 restart");
 
   const auto f = [&](const std::vector<double>& x) {
     return objective(decode(x), measurements);
@@ -109,16 +117,35 @@ SensorFusionResult SensorFusion::solve(
   nmOpts.initialStep = 0.6;  // in squashed coordinates
   nmOpts.fTolerance = 1e-4;
   nmOpts.xTolerance = 1e-3;
-  const auto start = encode(head::HeadParameters::average());
-  const auto min = optim::nelderMead(f, start, nmOpts);
 
   SensorFusionResult result;
-  result.headParams = decode(min.x);
-  result.converged = min.converged;
+  static obs::Histogram& iterHist = obs::registry().histogram(
+      "dsf.restart.iterations", obs::HistogramOptions{1.0, 2.0, 10});
+  optim::MinimizeResult best;
+  for (std::size_t r = 0; r < opts_.restarts; ++r) {
+    UNIQ_SPAN("dsf.restart");
+    auto start = encode(head::HeadParameters::average());
+    // Restart 0 is the canonical average start; later restarts probe the
+    // corners of a small cube around it (deterministic, no RNG, so the
+    // solve stays reproducible).
+    if (r > 0) {
+      for (std::size_t j = 0; j < start.size(); ++j)
+        start[j] += 0.45 * (((r >> j) & 1) ? 1.0 : -1.0);
+    }
+    auto min = optim::nelderMead(f, start, nmOpts);
+    iterHist.observe(static_cast<double>(min.iterations));
+    result.iterations += min.iterations;
+    if (r == 0 || min.fValue < best.fValue) best = std::move(min);
+  }
+  result.restartsUsed = opts_.restarts;
+  result.headParams = decode(best.x);
+  result.converged = best.converged;
+  result.finalObjectiveDeg2 = best.fValue;
 
   // Final pass with the optimal parameters: fuse angles per Eq. 3. The
   // winning vertex was just evaluated by the optimizer, so this is a
   // geometry-cache hit.
+  UNIQ_SPAN("dsf.fuse");
   const auto geometry = geometryFor(result.headParams);
   const Localizer& localizer = geometry->localizer;
   double residual = 0.0;

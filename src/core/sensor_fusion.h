@@ -36,7 +36,15 @@ struct SensorFusionResult {
   /// Final objective value: mean squared IMU-vs-acoustic angle disagreement
   /// (deg^2) over localized stops.
   double meanSquaredResidualDeg2 = 0.0;
+  /// Eq. 2 objective at the winning head parameters (includes the
+  /// unlocalized penalty and the anthropometric prior; what the optimizer
+  /// actually minimized).
+  double finalObjectiveDeg2 = 0.0;
   std::size_t localizedCount = 0;
+  /// Total Nelder-Mead iterations spent, summed over restarts.
+  std::size_t iterations = 0;
+  /// Number of optimizer restarts run (== SensorFusionOptions::restarts).
+  std::size_t restartsUsed = 0;
   bool converged = false;
 };
 
@@ -51,6 +59,12 @@ struct SensorFusionOptions {
   /// (deg^2 per m^2 of axis deviation); keeps the head estimate from
   /// drifting to the bounds when the IMU is noisy.
   double priorWeight = 5.0e4;
+  /// Independent Nelder-Mead starts: restart 0 begins at the population-
+  /// average head, later restarts at deterministically perturbed corners of
+  /// the squashed parameter box; the best final objective wins. 1 (the
+  /// default) reproduces the single-start behaviour exactly. Each restart
+  /// is wrapped in a "dsf.restart" trace span.
+  std::size_t restarts = 1;
   /// Threads used for the per-measurement localization loop inside the
   /// objective (0 = use the global pool, 1 = serial). The result is bitwise
   /// identical for any value: per-measurement costs land in per-index slots

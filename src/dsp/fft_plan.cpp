@@ -1,6 +1,5 @@
 #include "dsp/fft_plan.h"
 
-#include <atomic>
 #include <cmath>
 #include <mutex>
 #include <unordered_map>
@@ -8,6 +7,7 @@
 
 #include "common/constants.h"
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace uniq::dsp {
 
@@ -25,8 +25,21 @@ std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>>& planCache() {
   return c;
 }
 
-std::atomic<std::uint64_t> gPlanHits{0};
-std::atomic<std::uint64_t> gPlanMisses{0};
+// Cache counters live in the process-wide metrics registry so the CLI and
+// the exporters report them alongside everything else; fftStats() reads
+// them back for the legacy struct API.
+obs::Counter& planHitCounter() {
+  static obs::Counter& c = obs::registry().counter("fft.plan.hits");
+  return c;
+}
+obs::Counter& planMissCounter() {
+  static obs::Counter& c = obs::registry().counter("fft.plan.misses");
+  return c;
+}
+obs::Gauge& cachedPlansGauge() {
+  static obs::Gauge& g = obs::registry().gauge("fft.plan.cached");
+  return g;
+}
 
 // Plans are a few hundred KiB at the largest sizes this pipeline uses; cap
 // the cache so a pathological caller sweeping many distinct lengths cannot
@@ -324,11 +337,11 @@ std::shared_ptr<const FftPlan> fftPlan(std::size_t n) {
     auto& cache = planCache();
     const auto it = cache.find(n);
     if (it != cache.end()) {
-      gPlanHits.fetch_add(1, std::memory_order_relaxed);
+      planHitCounter().inc();
       return it->second;
     }
   }
-  gPlanMisses.fetch_add(1, std::memory_order_relaxed);
+  planMissCounter().inc();
   // Build outside the lock: construction may recurse into fftPlan() for the
   // half-length / convolution-length sub-plans.
   auto plan = std::make_shared<const FftPlan>(n);
@@ -336,21 +349,22 @@ std::shared_ptr<const FftPlan> fftPlan(std::size_t n) {
   auto& cache = planCache();
   if (cache.size() >= kMaxCachedPlans) cache.erase(cache.begin());
   const auto [it, inserted] = cache.emplace(n, std::move(plan));
+  cachedPlansGauge().set(static_cast<double>(cache.size()));
   return it->second;
 }
 
 FftStats fftStats() {
   FftStats s;
-  s.planHits = gPlanHits.load(std::memory_order_relaxed);
-  s.planMisses = gPlanMisses.load(std::memory_order_relaxed);
+  s.planHits = planHitCounter().value();
+  s.planMisses = planMissCounter().value();
   std::lock_guard<std::mutex> lock(cacheMutex());
   s.cachedPlans = planCache().size();
   return s;
 }
 
 void resetFftStats() {
-  gPlanHits.store(0, std::memory_order_relaxed);
-  gPlanMisses.store(0, std::memory_order_relaxed);
+  planHitCounter().reset();
+  planMissCounter().reset();
 }
 
 std::vector<Complex> rfft(std::span<const double> input) {

@@ -1,0 +1,136 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace uniq::obs {
+
+namespace {
+
+/// JSON number formatting: finite values print with enough precision to
+/// round-trip; non-finite values (not representable in JSON) print as 0.
+void appendNumber(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  os << buf;
+}
+
+}  // namespace
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string traceEventJson(const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << jsonEscape(span.name)
+       << "\",\"cat\":\"uniq\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid
+       << ",\"ts\":";
+    appendNumber(os, span.startUs);
+    os << ",\"dur\":";
+    appendNumber(os, span.durUs);
+    os << ",\"args\":{\"id\":" << span.id << ",\"parent\":" << span.parent
+       << ",\"depth\":" << span.depth << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string metricsJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jsonEscape(c.name) << "\":" << c.value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jsonEscape(g.name) << "\":";
+    appendNumber(os, g.value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jsonEscape(h.name) << "\":{\"lo\":";
+    appendNumber(os, h.options.lo);
+    os << ",\"growth\":";
+    appendNumber(os, h.options.growth);
+    os << ",\"counts\":[";
+    for (std::size_t k = 0; k < h.counts.size(); ++k) {
+      if (k) os << ",";
+      os << h.counts[k];
+    }
+    os << "],\"underflow\":" << h.underflow << ",\"overflow\":" << h.overflow
+       << ",\"count\":" << h.count << ",\"sum\":";
+    appendNumber(os, h.sum);
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool writeTextFile(const std::string& path, const std::string& content,
+                   std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    if (error) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace uniq::obs

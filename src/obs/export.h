@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace uniq::obs {
+
+/// Serialize spans as Chrome trace_event JSON (the "Trace Event Format"):
+/// one complete ("ph":"X") event per span with microsecond timestamps.
+/// Open the result at chrome://tracing or https://ui.perfetto.dev.
+std::string traceEventJson(const std::vector<SpanRecord>& spans);
+
+/// Serialize a metrics snapshot as a flat JSON document with "counters",
+/// "gauges", and "histograms" objects (see docs/OBSERVABILITY.md for the
+/// exact schema).
+std::string metricsJson(const MetricsSnapshot& snapshot);
+
+/// Write `content` to `path`, overwriting. Returns false (and fills
+/// `error` when non-null) on I/O failure instead of throwing, so exporters
+/// can run in destruction paths.
+bool writeTextFile(const std::string& path, const std::string& content,
+                   std::string* error = nullptr);
+
+/// Escape a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string jsonEscape(const std::string& s);
+
+}  // namespace uniq::obs

@@ -1,0 +1,219 @@
+#include "obs/json_check.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace uniq::obs {
+
+namespace {
+
+/// Recursive-descent validator over a string_view. Tracks only a cursor;
+/// errors unwind as false with the offset of the first offending byte.
+class Checker {
+ public:
+  explicit Checker(std::string_view text) : text_(text) {}
+
+  bool run(std::string* error) {
+    skipWs();
+    if (!value()) {
+      fill(error);
+      return false;
+    }
+    skipWs();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing characters after top-level value";
+      fill(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  bool fail(const char* reason) {
+    if (!reason_) reason_ = reason;
+    return false;
+  }
+
+  void fill(std::string* error) const {
+    if (!error) return;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "invalid JSON at byte %zu: %s", pos_,
+                  reason_ ? reason_ : "malformed value");
+    *error = buf;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skipWs() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("unknown literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value() {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    bool ok;
+    if (eof()) {
+      ok = fail("unexpected end of input");
+    } else {
+      switch (peek()) {
+        case '{':
+          ok = object();
+          break;
+        case '[':
+          ok = array();
+          break;
+        case '"':
+          ok = string();
+          break;
+        case 't':
+          ok = literal("true");
+          break;
+        case 'f':
+          ok = literal("false");
+          break;
+        case 'n':
+          ok = literal("null");
+          break;
+        default:
+          ok = number();
+      }
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (eof() || peek() != '"') return fail("expected object key string");
+      if (!string()) return false;
+      skipWs();
+      if (eof() || peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return fail("unterminated escape");
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])))
+              return fail("bad \\u escape");
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return fail("unknown escape character");
+        }
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("expected digit");
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof()) return fail("expected number");
+    if (peek() == '0') {
+      ++pos_;  // leading zero must stand alone
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+  const char* reason_ = nullptr;
+};
+
+}  // namespace
+
+bool validateJson(std::string_view text, std::string* error) {
+  return Checker(text).run(error);
+}
+
+}  // namespace uniq::obs

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace uniq::obs {
+
+/// Strict single-pass JSON syntax check (RFC 8259 grammar: objects, arrays,
+/// strings with escapes, numbers, true/false/null; no trailing commas or
+/// comments). Builds no DOM — it only answers "would a JSON parser accept
+/// this document?", which is exactly what the exporter tests and the
+/// `report_smoke` CTest need. Returns true when `text` is one valid JSON
+/// value; on failure fills `error` (when non-null) with a byte offset and
+/// reason.
+bool validateJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace uniq::obs

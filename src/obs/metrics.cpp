@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace uniq::obs {
+
+Histogram::Histogram(const HistogramOptions& opts) : opts_(opts) {
+  UNIQ_REQUIRE(opts_.lo > 0.0, "histogram lo edge must be positive");
+  UNIQ_REQUIRE(opts_.growth > 1.0, "histogram growth must exceed 1");
+  UNIQ_REQUIRE(opts_.bins >= 1, "histogram needs at least one bin");
+  edges_.resize(opts_.bins + 1);
+  double edge = opts_.lo;
+  for (std::size_t k = 0; k <= opts_.bins; ++k) {
+    edges_[k] = edge;
+    edge *= opts_.growth;
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(opts_.bins);
+  for (std::size_t k = 0; k < opts_.bins; ++k) counts_[k].store(0);
+}
+
+void Histogram::observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double prev = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(prev, prev + v,
+                                     std::memory_order_relaxed)) {
+  }
+  if (!(v >= edges_.front())) {  // NaN and negatives land in underflow
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (v >= edges_.back()) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // First edge strictly greater than v; the bucket starting just below it
+  // owns the value, so edge values land in the bucket they open.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+  const auto k = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[k].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (std::size_t k = 0; k < opts_.bins; ++k)
+    counts_[k].store(0, std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_)
+    if (entry.name == name) return *entry.instrument;
+  counters_.push_back({name, std::make_unique<Counter>()});
+  return *counters_.back().instrument;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : gauges_)
+    if (entry.name == name) return *entry.instrument;
+  gauges_.push_back({name, std::make_unique<Gauge>()});
+  return *gauges_.back().instrument;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const HistogramOptions& opts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : histograms_)
+    if (entry.name == name) return *entry.instrument;
+  histograms_.push_back({name, std::make_unique<Histogram>(opts)});
+  return *histograms_.back().instrument;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : counters_)
+    snap.counters.push_back({entry.name, entry.instrument->value()});
+  for (const auto& entry : gauges_)
+    snap.gauges.push_back({entry.name, entry.instrument->value()});
+  for (const auto& entry : histograms_) {
+    MetricsSnapshot::HistogramEntry h;
+    h.name = entry.name;
+    h.options = entry.instrument->options();
+    h.counts.resize(h.options.bins);
+    for (std::size_t k = 0; k < h.options.bins; ++k)
+      h.counts[k] = entry.instrument->binCount(k);
+    h.underflow = entry.instrument->underflow();
+    h.overflow = entry.instrument->overflow();
+    h.count = entry.instrument->count();
+    h.sum = entry.instrument->sum();
+    snap.histograms.push_back(std::move(h));
+  }
+  const auto byName = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), byName);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), byName);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), byName);
+  return snap;
+}
+
+void Registry::resetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.instrument->reset();
+  for (auto& entry : gauges_) entry.instrument->reset();
+  for (auto& entry : histograms_) entry.instrument->reset();
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& entry : counters)
+    if (entry.name == name) return entry.value;
+  return 0;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& entry : gauges)
+    if (entry.name == name) return entry.value;
+  return 0.0;
+}
+
+Registry& registry() {
+  // Leaked on purpose: instrumented code (pool workers, static dtors) may
+  // still record during shutdown.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace uniq::obs

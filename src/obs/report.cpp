@@ -1,0 +1,161 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace uniq::obs {
+
+namespace {
+
+/// Short fixed-point rendering for table cells: residuals and timings read
+/// better at a stable precision than with %g's exponent flips.
+std::string formatValue(double v) {
+  char buf[48];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void StageReport::set(const std::string& key, double v) {
+  for (auto& kv : values) {
+    if (kv.first == key) {
+      kv.second = v;
+      return;
+    }
+  }
+  values.emplace_back(key, v);
+}
+
+double StageReport::value(const std::string& key, double fallback) const {
+  for (const auto& kv : values)
+    if (kv.first == key) return kv.second;
+  return fallback;
+}
+
+bool StageReport::has(const std::string& key) const {
+  for (const auto& kv : values)
+    if (kv.first == key) return true;
+  return false;
+}
+
+StageReport& RunReport::stage(const std::string& name) {
+  for (auto& s : stages)
+    if (s.name == name) return s;
+  stages.push_back(StageReport{name, 0.0, {}});
+  return stages.back();
+}
+
+const StageReport* RunReport::find(const std::string& name) const {
+  for (const auto& s : stages)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::vector<std::string> RunReport::stageNames() const {
+  std::vector<std::string> names;
+  names.reserve(stages.size());
+  for (const auto& s : stages) names.push_back(s.name);
+  return names;
+}
+
+std::string RunReport::summaryTable() const {
+  // Column widths from content so the table stays aligned however large
+  // the numbers get.
+  std::size_t nameWidth = 5;  // "stage"
+  std::size_t timeWidth = 7;  // "wall ms"
+  double totalMs = 0.0;
+  std::vector<std::string> times;
+  for (const auto& s : stages) {
+    nameWidth = std::max(nameWidth, s.name.size());
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", s.wallMs);
+    times.emplace_back(buf);
+    timeWidth = std::max(timeWidth, times.back().size());
+    totalMs += s.wallMs;
+  }
+  char totalBuf[32];
+  std::snprintf(totalBuf, sizeof(totalBuf), "%.2f", totalMs);
+  const std::string totalStr(totalBuf);
+  timeWidth = std::max(timeWidth, totalStr.size());
+
+  std::ostringstream os;
+  os << "  " << std::string(nameWidth - 5, ' ') << "stage  "
+     << std::string(timeWidth - 7, ' ') << "wall ms  details\n";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const auto& s = stages[i];
+    os << "  " << std::string(nameWidth - s.name.size(), ' ') << s.name
+       << "  " << std::string(timeWidth - times[i].size(), ' ') << times[i]
+       << "  ";
+    bool first = true;
+    for (const auto& kv : s.values) {
+      if (!first) os << "  ";
+      first = false;
+      os << kv.first << "=" << formatValue(kv.second);
+    }
+    os << "\n";
+  }
+  os << "  " << std::string(nameWidth - 5, ' ') << "total  "
+     << std::string(timeWidth - totalStr.size(), ' ') << totalStr << "\n";
+  return os.str();
+}
+
+StageTimer::StageTimer(RunReport* report, const char* name)
+    : report_(report), name_(name) {
+  if (!report_) return;
+  running_ = true;
+  startUs_ = nowUs();
+}
+
+void StageTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  report_->stage(name_).wallMs = (nowUs() - startUs_) / 1000.0;
+}
+
+StageTimer::~StageTimer() { stop(); }
+
+StageReport* StageTimer::stage() const {
+  return report_ ? &report_->stage(name_) : nullptr;
+}
+
+std::string summarizeMetrics(const MetricsSnapshot& snapshot,
+                             const std::vector<std::string>& prefixes) {
+  const auto matches = [&](const std::string& name) {
+    if (prefixes.empty()) return true;
+    return std::any_of(prefixes.begin(), prefixes.end(),
+                       [&](const std::string& p) {
+                         return name.rfind(p, 0) == 0;
+                       });
+  };
+  std::vector<std::string> lines;
+  for (const auto& c : snapshot.counters)
+    if (matches(c.name))
+      lines.push_back("  " + c.name + " " + std::to_string(c.value) + "\n");
+  for (const auto& g : snapshot.gauges)
+    if (matches(g.name))
+      lines.push_back("  " + g.name + " " + formatValue(g.value) + "\n");
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& line : lines) out += line;
+  return out;
+}
+
+bool exportMetricsIfRequested() {
+  const char* path = std::getenv("UNIQ_METRICS_OUT");
+  if (!path || !*path) return false;
+  return writeTextFile(path, metricsJson(registry().snapshot()));
+}
+
+}  // namespace uniq::obs

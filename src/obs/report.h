@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace uniq::obs {
+
+/// Structured record of one pipeline stage: wall time plus named numeric
+/// results (iteration counts, residuals, sizes). Values keep insertion
+/// order so the summary table reads the way the stage reported them.
+struct StageReport {
+  std::string name;    ///< stage name, e.g. "fusion" (see docs/OBSERVABILITY.md)
+  double wallMs = 0.0;  ///< stage wall-clock time in milliseconds
+
+  /// Named numeric results, in insertion order.
+  std::vector<std::pair<std::string, double>> values;
+
+  /// Set or overwrite the value named `key`.
+  void set(const std::string& key, double value);
+  /// Value named `key`, or `fallback` when the stage never set it.
+  double value(const std::string& key, double fallback = 0.0) const;
+  /// Whether the stage set a value named `key`.
+  bool has(const std::string& key) const;
+};
+
+/// Structured result of one instrumented run: per-stage timings and
+/// residuals, in execution order. Returned by
+/// core::CalibrationPipeline::run(capture, &report) so callers consume
+/// stage data directly instead of parsing logs.
+struct RunReport {
+  std::vector<StageReport> stages;
+
+  /// Stage named `name`, appended (with zero wall time) on first use.
+  StageReport& stage(const std::string& name);
+  /// Stage named `name`, or nullptr when the run never reported it.
+  const StageReport* find(const std::string& name) const;
+  /// Names of all reported stages, in execution order.
+  std::vector<std::string> stageNames() const;
+
+  /// Human-readable per-stage summary table (the body of
+  /// `uniq calibrate --report`): one aligned row per stage with wall time
+  /// and every reported value.
+  std::string summaryTable() const;
+};
+
+/// Scoped stage timer: measures wall time from construction to destruction
+/// (or stop()) and writes it into `report.stage(name).wallMs`. When
+/// `report` is null the timer does nothing, which lets instrumented code
+/// accept an optional RunReport without branching at every stage.
+class StageTimer {
+ public:
+  StageTimer(RunReport* report, const char* name);
+  ~StageTimer();
+
+  /// Stop early and record the elapsed time; the destructor then no-ops.
+  void stop();
+
+  /// The stage being timed, or nullptr when reporting is off. Valid until
+  /// another stage is appended to the report.
+  StageReport* stage() const;
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  RunReport* report_;
+  const char* name_;
+  double startUs_ = 0.0;
+  bool running_ = false;
+};
+
+/// Plain-text lines for the counters/gauges whose names start with one of
+/// `prefixes` (every instrument when `prefixes` is empty) — the CLI's
+/// "perf:" section. One "name value" line per instrument, sorted by name.
+std::string summarizeMetrics(const MetricsSnapshot& snapshot,
+                             const std::vector<std::string>& prefixes = {});
+
+/// Write the process-wide registry as metrics JSON to the path named by the
+/// UNIQ_METRICS_OUT environment variable, if set. Returns true when a file
+/// was written. Bench binaries call this last so any run can be asked for
+/// its metrics without new flags.
+bool exportMetricsIfRequested();
+
+}  // namespace uniq::obs

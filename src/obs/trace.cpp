@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace uniq::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// What the record path stores: a plain POD with the span-name *pointer*
+/// (names are required to be static literals, so no copy is needed on the
+/// hot path — the std::string in the public SpanRecord is materialized
+/// only when a snapshot is taken).
+struct RawRecord {
+  const char* name;
+  std::uint64_t id;
+  std::uint64_t parent;
+  std::uint32_t depth;
+  std::uint32_t tid;
+  double startUs;
+  double durUs;
+};
+
+/// Spans completed on one thread. The owning thread appends under `mutex`;
+/// the lock is uncontended except while another thread drains, which keeps
+/// the record path cheap ("lock-free enough") without losing spans that
+/// finish concurrently with an export.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<RawRecord> records;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;  ///< guards `buffers` and epoch swaps
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  Clock::time_point epoch = Clock::now();
+  std::atomic<std::uint64_t> nextSpanId{1};
+  std::atomic<std::uint32_t> nextTid{1};
+  std::atomic<bool> enabled{true};
+};
+
+TraceState& state() {
+  // Leaked on purpose: spans may still complete during static destruction.
+  static TraceState* s = [] {
+    auto* t = new TraceState();
+    if (const char* env = std::getenv("UNIQ_OBSERVABILITY")) {
+      if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+          std::strcmp(env, "false") == 0) {
+        t->enabled.store(false, std::memory_order_relaxed);
+      }
+    }
+    return t;
+  }();
+  return *s;
+}
+
+/// Per-thread recording context. The buffer is shared with the global list
+/// so records survive thread exit; the open-span stack is touched only by
+/// the owning thread.
+struct ThreadContext {
+  std::shared_ptr<ThreadBuffer> buffer;
+  std::vector<std::uint64_t> openIds;
+
+  ThreadContext() : buffer(std::make_shared<ThreadBuffer>()) {
+    auto& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    buffer->tid = s.nextTid.fetch_add(1, std::memory_order_relaxed);
+    s.buffers.push_back(buffer);
+  }
+};
+
+ThreadContext& threadContext() {
+  thread_local ThreadContext ctx;
+  return ctx;
+}
+
+}  // namespace
+
+bool traceEnabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void setTraceEnabled(bool enabled) {
+  state().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+double nowUs() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   state().epoch)
+      .count();
+}
+
+void clearTrace() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> bufLock(buffer->mutex);
+    buffer->records.clear();
+  }
+  s.epoch = Clock::now();
+}
+
+std::vector<SpanRecord> collectSpans() {
+  auto& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    buffers = s.buffers;
+  }
+  std::vector<SpanRecord> all;
+  for (auto& buffer : buffers) {
+    std::lock_guard<std::mutex> bufLock(buffer->mutex);
+    all.reserve(all.size() + buffer->records.size());
+    for (const auto& raw : buffer->records) {
+      SpanRecord rec;
+      rec.name = raw.name;
+      rec.id = raw.id;
+      rec.parent = raw.parent;
+      rec.depth = raw.depth;
+      rec.tid = raw.tid;
+      rec.startUs = raw.startUs;
+      rec.durUs = raw.durUs;
+      all.push_back(std::move(rec));
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.startUs != b.startUs ? a.startUs < b.startUs
+                                            : a.id < b.id;
+            });
+  return all;
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!traceEnabled()) return;
+  auto& ctx = threadContext();
+  id_ = state().nextSpanId.fetch_add(1, std::memory_order_relaxed);
+  parent_ = ctx.openIds.empty() ? 0 : ctx.openIds.back();
+  depth_ = static_cast<std::uint32_t>(ctx.openIds.size());
+  ctx.openIds.push_back(id_);
+  active_ = true;
+  startUs_ = nowUs();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double endUs = nowUs();
+  auto& ctx = threadContext();
+  ctx.openIds.pop_back();
+  RawRecord record;
+  record.name = name_;
+  record.id = id_;
+  record.parent = parent_;
+  record.depth = depth_;
+  record.tid = ctx.buffer->tid;
+  record.startUs = startUs_;
+  record.durUs = endUs - startUs_;
+  std::lock_guard<std::mutex> lock(ctx.buffer->mutex);
+  ctx.buffer->records.push_back(record);
+}
+
+}  // namespace uniq::obs

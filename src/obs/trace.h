@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Compile-time gate for the tracing macros. The build defines
+/// UNIQ_OBSERVABILITY_ENABLED=0 when configured with
+/// -DUNIQ_OBSERVABILITY=OFF; spans then compile to nothing and the library
+/// carries zero tracing overhead. Default is ON (spans compiled in, runtime
+/// toggleable — see uniq::obs::setTraceEnabled).
+#ifndef UNIQ_OBSERVABILITY_ENABLED
+#define UNIQ_OBSERVABILITY_ENABLED 1
+#endif
+
+namespace uniq::obs {
+
+/// One completed trace span as recorded by a Span object.
+struct SpanRecord {
+  std::string name;        ///< span name, e.g. "dsf.solve"
+  std::uint64_t id = 0;    ///< process-unique span id (creation order)
+  std::uint64_t parent = 0;  ///< id of the enclosing span on the same
+                             ///< thread; 0 when the span is a root
+  std::uint32_t depth = 0;   ///< nesting depth on its thread (root = 0)
+  std::uint32_t tid = 0;     ///< small per-thread index (stable per thread)
+  double startUs = 0.0;      ///< start time, microseconds since trace epoch
+  double durUs = 0.0;        ///< wall duration in microseconds
+};
+
+/// Whether spans currently record anything. Reads a relaxed atomic; safe to
+/// call from any thread. Defaults to true unless the UNIQ_OBSERVABILITY
+/// environment variable is set to "0", "off", or "false" at first use.
+bool traceEnabled();
+
+/// Turn span recording on or off at runtime. Spans opened while disabled
+/// record nothing (their destructors are no-ops), so toggling mid-run is
+/// safe. Overrides the environment default.
+void setTraceEnabled(bool enabled);
+
+/// Discard every recorded span (all threads) and restart the trace epoch.
+/// Call between runs to keep exports scoped to one pipeline invocation.
+void clearTrace();
+
+/// Snapshot of all spans completed so far, across every thread, sorted by
+/// start time. Spans still open (their Span object is alive) are not
+/// included. Thread-safe; may be called while other threads keep tracing.
+std::vector<SpanRecord> collectSpans();
+
+/// RAII trace span: records wall time, thread id, and parent/child nesting
+/// into a per-thread buffer on destruction. Construction and destruction
+/// cost a few nanoseconds when tracing is runtime-disabled and roughly a
+/// hundred nanoseconds when enabled (one uncontended per-thread lock).
+///
+/// Use via the UNIQ_SPAN macro so the whole thing compiles out when the
+/// build disables observability:
+///
+///     void SensorFusion::solve(...) {
+///       UNIQ_SPAN("dsf.solve");
+///       ...
+///     }
+class Span {
+ public:
+  /// `name` must outlive the span (string literals always do).
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint32_t depth_ = 0;
+  double startUs_ = 0.0;
+  bool active_ = false;
+};
+
+/// Microseconds since the trace epoch (process start or the last
+/// clearTrace()). Monotonic; used by spans and exposed for exporters.
+double nowUs();
+
+}  // namespace uniq::obs
+
+#define UNIQ_OBS_CONCAT_INNER(a, b) a##b
+#define UNIQ_OBS_CONCAT(a, b) UNIQ_OBS_CONCAT_INNER(a, b)
+
+#if UNIQ_OBSERVABILITY_ENABLED
+/// Opens an RAII trace span covering the rest of the enclosing scope.
+#define UNIQ_SPAN(name) \
+  ::uniq::obs::Span UNIQ_OBS_CONCAT(uniqObsSpan_, __LINE__)(name)
+#else
+#define UNIQ_SPAN(name) ((void)0)
+#endif

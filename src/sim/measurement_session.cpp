@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "dsp/signal_generators.h"
+#include "obs/trace.h"
 
 namespace uniq::sim {
 
@@ -12,6 +13,7 @@ MeasurementSession::MeasurementSession(Options opts) : opts_(opts) {
 
 CalibrationCapture MeasurementSession::run(const head::Subject& subject,
                                            const GestureProfile& gesture) const {
+  UNIQ_SPAN("sim.session");
   Pcg32 rng(opts_.noiseSeed ^ subject.pinnaSeed);
 
   head::HrtfDatabase::Options dbOpts;
@@ -39,28 +41,41 @@ CalibrationCapture MeasurementSession::run(const head::Subject& subject,
                                           chirpSamples, opts_.sampleRate);
 
   Pcg32 hwRng = rng.fork(0x11);
-  capture.hardwareResponseEstimate =
-      hardware.estimateResponse(opts_.hardwareEstimateSnrDb, hwRng);
+  {
+    UNIQ_SPAN("sim.hardware_estimate");
+    capture.hardwareResponseEstimate =
+        hardware.estimateResponse(opts_.hardwareEstimateSnrDb, hwRng);
+  }
 
   Pcg32 gestureRng = rng.fork(0x22);
-  capture.truth.trajectory = generateTrajectory(gesture, gestureRng);
+  {
+    UNIQ_SPAN("sim.trajectory");
+    capture.truth.trajectory = generateTrajectory(gesture, gestureRng);
+  }
   capture.truth.subject = subject;
 
   Pcg32 imuRng = rng.fork(0x33);
-  const auto gyro =
-      simulateGyro(capture.truth.trajectory, opts_.imuModel, imuRng);
-  // The estimator integrates from the *instructed* start angle.
-  const auto imuAngles = anglesAtStops(gyro, gesture.angleStartDeg,
-                                       capture.truth.trajectory);
+  std::vector<double> imuAngles;
+  {
+    UNIQ_SPAN("sim.imu");
+    const auto gyro =
+        simulateGyro(capture.truth.trajectory, opts_.imuModel, imuRng);
+    // The estimator integrates from the *instructed* start angle.
+    imuAngles = anglesAtStops(gyro, gesture.angleStartDeg,
+                              capture.truth.trajectory);
+  }
 
   Pcg32 recRng = rng.fork(0x44);
-  capture.stops.reserve(capture.truth.trajectory.size());
-  for (std::size_t i = 0; i < capture.truth.trajectory.size(); ++i) {
-    CalibrationStop stop;
-    stop.imuAngleDeg = imuAngles[i];
-    stop.recording = recorder.recordNearField(
-        capture.truth.trajectory[i].position, capture.sourceSignal, recRng);
-    capture.stops.push_back(std::move(stop));
+  {
+    UNIQ_SPAN("sim.record_stops");
+    capture.stops.reserve(capture.truth.trajectory.size());
+    for (std::size_t i = 0; i < capture.truth.trajectory.size(); ++i) {
+      CalibrationStop stop;
+      stop.imuAngleDeg = imuAngles[i];
+      stop.recording = recorder.recordNearField(
+          capture.truth.trajectory[i].position, capture.sourceSignal, recRng);
+      capture.stops.push_back(std::move(stop));
+    }
   }
   return capture;
 }

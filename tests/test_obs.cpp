@@ -1,0 +1,326 @@
+// Tests for the observability layer (src/obs): trace spans, the metrics
+// registry, the exporters, and the pipeline RunReport integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "head/subject.h"
+#include "obs/export.h"
+#include "obs/json_check.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "sim/measurement_session.h"
+
+namespace uniq {
+namespace {
+
+const obs::SpanRecord* findSpan(const std::vector<obs::SpanRecord>& spans,
+                                const std::string& name) {
+  for (const auto& s : spans)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+TEST(ObsTrace, RecordsNestingParentAndDepth) {
+  obs::setTraceEnabled(true);
+  obs::clearTrace();
+  {
+    UNIQ_SPAN("outer");
+    {
+      UNIQ_SPAN("middle");
+      { UNIQ_SPAN("inner"); }
+    }
+    { UNIQ_SPAN("sibling"); }
+  }
+  const auto spans = obs::collectSpans();
+  ASSERT_EQ(spans.size(), 4u);
+
+  const auto* outer = findSpan(spans, "outer");
+  const auto* middle = findSpan(spans, "middle");
+  const auto* inner = findSpan(spans, "inner");
+  const auto* sibling = findSpan(spans, "sibling");
+  ASSERT_TRUE(outer && middle && inner && sibling);
+
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(middle->parent, outer->id);
+  EXPECT_EQ(middle->depth, 1u);
+  EXPECT_EQ(inner->parent, middle->id);
+  EXPECT_EQ(inner->depth, 2u);
+  EXPECT_EQ(sibling->parent, outer->id);
+  EXPECT_EQ(sibling->depth, 1u);
+
+  // Children are contained in the parent's interval, with tolerance for
+  // clock granularity.
+  EXPECT_GE(middle->startUs + 1e-3, outer->startUs);
+  EXPECT_LE(middle->startUs + middle->durUs,
+            outer->startUs + outer->durUs + 1e-3);
+  // collectSpans() sorts by start time.
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_LE(spans[i - 1].startUs, spans[i].startUs);
+}
+
+TEST(ObsTrace, RuntimeDisableRecordsNothing) {
+  obs::setTraceEnabled(true);
+  obs::clearTrace();
+  obs::setTraceEnabled(false);
+  { UNIQ_SPAN("invisible"); }
+  EXPECT_TRUE(obs::collectSpans().empty());
+  obs::setTraceEnabled(true);
+  { UNIQ_SPAN("visible"); }
+  EXPECT_EQ(obs::collectSpans().size(), 1u);
+}
+
+TEST(ObsTrace, SpansFromPoolThreadsCarryTheirOwnTid) {
+  obs::setTraceEnabled(true);
+  obs::clearTrace();
+  common::ThreadPool pool(2);
+  pool.parallelFor(0, 8, [](std::size_t) { UNIQ_SPAN("task"); });
+  const auto spans = obs::collectSpans();
+  ASSERT_EQ(spans.size(), 8u);
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.name, "task");
+    // Pool-thread spans are roots of their own threads.
+    EXPECT_EQ(s.parent, 0u);
+    EXPECT_EQ(s.depth, 0u);
+  }
+}
+
+TEST(ObsMetrics, HistogramBinningEdges) {
+  // Buckets: [1,2) [2,4) [4,8) [8,16), plus underflow (<1) and
+  // overflow (>=16).
+  obs::Histogram h(obs::HistogramOptions{1.0, 2.0, 4});
+  ASSERT_EQ(h.edges().size(), 5u);
+  EXPECT_DOUBLE_EQ(h.edges().front(), 1.0);
+  EXPECT_DOUBLE_EQ(h.edges().back(), 16.0);
+
+  h.observe(0.999);  // underflow
+  h.observe(0.0);    // underflow (below lo)
+  h.observe(-3.0);   // underflow
+  h.observe(1.0);    // exactly lower edge of bucket 0
+  h.observe(1.999);  // still bucket 0
+  h.observe(2.0);    // edge value lands in the bucket that starts there
+  h.observe(15.999); // last finite bucket
+  h.observe(16.0);   // overflow edge
+  h.observe(1e9);    // overflow
+  h.observe(std::nan(""));  // NaN counts as underflow, never throws
+
+  EXPECT_EQ(h.underflow(), 4u);
+  EXPECT_EQ(h.binCount(0), 2u);
+  EXPECT_EQ(h.binCount(1), 1u);
+  EXPECT_EQ(h.binCount(2), 0u);
+  EXPECT_EQ(h.binCount(3), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 10u);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.binCount(0), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsMetrics, ConcurrentCounterIncrementsFromPool) {
+  obs::Counter counter;
+  obs::Histogram hist(obs::HistogramOptions{1.0, 2.0, 8});
+  common::ThreadPool pool(4);
+  constexpr std::size_t kIters = 20000;
+  pool.parallelFor(0, kIters, [&](std::size_t i) {
+    counter.inc();
+    hist.observe(static_cast<double>(i % 100));
+  });
+  EXPECT_EQ(counter.value(), kIters);
+  EXPECT_EQ(hist.count(), kIters);
+  std::uint64_t total = hist.underflow() + hist.overflow();
+  for (std::size_t k = 0; k + 1 < hist.edges().size(); ++k)
+    total += hist.binCount(k);
+  EXPECT_EQ(total, kIters);
+}
+
+TEST(ObsMetrics, GaugeSetMaxIsAHighWaterMark) {
+  obs::Gauge g;
+  g.setMax(3.0);
+  g.setMax(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.setMax(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(ObsMetrics, RegistryFindsOrCreatesAndSnapshots) {
+  obs::Registry reg;
+  reg.counter("b.count").inc(2);
+  reg.counter("a.count").inc(1);
+  EXPECT_EQ(&reg.counter("a.count"), &reg.counter("a.count"));
+  reg.gauge("g").set(4.5);
+  reg.histogram("h", obs::HistogramOptions{1.0, 2.0, 4}).observe(3.0);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  // Snapshot entries are sorted by name.
+  EXPECT_EQ(snap.counters[0].name, "a.count");
+  EXPECT_EQ(snap.counters[1].name, "b.count");
+  EXPECT_EQ(snap.counter("b.count"), 2u);
+  EXPECT_DOUBLE_EQ(snap.gauge("g"), 4.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+
+  reg.resetAll();
+  const auto zeroed = reg.snapshot();
+  EXPECT_EQ(zeroed.counter("b.count"), 0u);
+  EXPECT_DOUBLE_EQ(zeroed.gauge("g"), 0.0);
+  EXPECT_EQ(zeroed.histograms[0].count, 0u);
+}
+
+TEST(ObsExport, TraceAndMetricsJsonAreWellFormed) {
+  obs::setTraceEnabled(true);
+  obs::clearTrace();
+  {
+    UNIQ_SPAN("json.outer");
+    UNIQ_SPAN("json \"quoted\" \\ name\nnewline");
+  }
+  const auto traceJson = obs::traceEventJson(obs::collectSpans());
+  std::string error;
+  EXPECT_TRUE(obs::validateJson(traceJson, &error)) << error;
+  EXPECT_NE(traceJson.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(traceJson.find("json.outer"), std::string::npos);
+
+  obs::Registry reg;
+  reg.counter("weird \"name\"\t").inc();
+  reg.gauge("inf.gauge").set(std::numeric_limits<double>::infinity());
+  reg.histogram("h", obs::HistogramOptions{0.5, 4.0, 3}).observe(2.0);
+  const auto metricsJson = obs::metricsJson(reg.snapshot());
+  EXPECT_TRUE(obs::validateJson(metricsJson, &error)) << error;
+  EXPECT_NE(metricsJson.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metricsJson.find("\"histograms\""), std::string::npos);
+
+  // Empty inputs still serialize to valid documents.
+  EXPECT_TRUE(obs::validateJson(obs::traceEventJson({}), &error)) << error;
+  EXPECT_TRUE(obs::validateJson(obs::metricsJson(obs::MetricsSnapshot{}),
+                                &error))
+      << error;
+}
+
+TEST(ObsExport, ValidatorRejectsMalformedJson) {
+  std::string error;
+  EXPECT_FALSE(obs::validateJson("", &error));
+  EXPECT_FALSE(obs::validateJson("{", &error));
+  EXPECT_FALSE(obs::validateJson("{\"a\":1,}", &error));
+  EXPECT_FALSE(obs::validateJson("[1 2]", &error));
+  EXPECT_FALSE(obs::validateJson("{\"a\":01}", &error));
+  EXPECT_FALSE(obs::validateJson("\"unterminated", &error));
+  EXPECT_FALSE(obs::validateJson("nul", &error));
+  EXPECT_FALSE(obs::validateJson("[1] trailing", &error));
+  EXPECT_TRUE(obs::validateJson("[1,2,{\"k\":null},true,-1.5e3]", &error))
+      << error;
+}
+
+TEST(ObsReport, StageTimerIsANoOpWithoutAReport) {
+  obs::StageTimer timer(nullptr, "ignored");
+  EXPECT_EQ(timer.stage(), nullptr);
+  timer.stop();  // must not crash
+}
+
+TEST(ObsReport, SummaryTableListsStagesInOrder) {
+  obs::RunReport report;
+  report.stage("alpha").wallMs = 1.25;
+  report.stage("alpha").set("k", 3.0);
+  report.stage("beta").wallMs = 0.5;
+  EXPECT_EQ(report.stageNames(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  const auto table = report.summaryTable();
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("k=3"), std::string::npos);
+  EXPECT_LT(table.find("alpha"), table.find("beta"));
+  EXPECT_EQ(report.find("gamma"), nullptr);
+}
+
+TEST(ObsReport, SummarizeMetricsFiltersByPrefix) {
+  obs::Registry reg;
+  reg.counter("fft.plan.hits").inc(3);
+  reg.counter("other.count").inc(9);
+  reg.gauge("pool.threads").set(2.0);
+  const auto all = obs::summarizeMetrics(reg.snapshot());
+  EXPECT_NE(all.find("other.count"), std::string::npos);
+  const auto filtered =
+      obs::summarizeMetrics(reg.snapshot(), {"fft.", "pool."});
+  EXPECT_NE(filtered.find("fft.plan.hits 3"), std::string::npos);
+  EXPECT_NE(filtered.find("pool.threads 2"), std::string::npos);
+  EXPECT_EQ(filtered.find("other.count"), std::string::npos);
+}
+
+// End-to-end: a small calibrate run reports every pipeline stage, and the
+// trace contains the stage spans the docs promise.
+TEST(ObsPipelineIntegration, CalibrateRunReportsAllStages) {
+  obs::setTraceEnabled(true);
+  obs::clearTrace();
+
+  const auto subject = head::makePopulation(1, 7)[0];
+  sim::GestureProfile gesture = sim::defaultGesture();
+  gesture.stops = 10;
+  const sim::MeasurementSession session;
+  const auto capture = session.run(subject, gesture);
+
+  const core::CalibrationPipeline pipeline;
+  obs::RunReport report;
+  const auto personal = pipeline.run(capture, &report);
+
+  EXPECT_EQ(report.stageNames(),
+            (std::vector<std::string>{"extract", "fusion", "nearfield",
+                                      "nearfar", "gesture"}));
+  for (const auto& stage : report.stages) EXPECT_GE(stage.wallMs, 0.0);
+
+  const auto* extract = report.find("extract");
+  ASSERT_NE(extract, nullptr);
+  EXPECT_DOUBLE_EQ(extract->value("stops"), 10.0);
+  EXPECT_GE(extract->value("tapsDetected"), 6.0);
+
+  const auto* fusion = report.find("fusion");
+  ASSERT_NE(fusion, nullptr);
+  EXPECT_GE(fusion->value("iterations"), 1.0);
+  EXPECT_GE(fusion->value("restarts"), 1.0);
+  EXPECT_TRUE(fusion->has("objectiveDeg2"));
+  EXPECT_GE(fusion->value("residualRmsDeg"), 0.0);
+
+  const auto* nearfield = report.find("nearfield");
+  ASSERT_NE(nearfield, nullptr);
+  EXPECT_GE(nearfield->value("usableStops"), 4.0);
+  EXPECT_GT(nearfield->value("medianRadiusM"), 0.0);
+  EXPECT_GE(nearfield->value("tapAlignRmsUs"), 0.0);
+
+  const auto* nearfar = report.find("nearfar");
+  ASSERT_NE(nearfar, nullptr);
+  EXPECT_DOUBLE_EQ(nearfar->value("entries"), 181.0);
+
+  // Instrumented result must equal the plain run (same capture, same
+  // deterministic pipeline).
+  const auto plain = pipeline.run(capture);
+  EXPECT_EQ(plain.fusion.iterations, personal.fusion.iterations);
+  EXPECT_DOUBLE_EQ(plain.headParams.a, personal.headParams.a);
+
+  const auto spans = obs::collectSpans();
+  for (const char* name :
+       {"pipeline.run", "pipeline.extract_channels", "dsf.solve",
+        "dsf.restart", "nearfield.build", "nearfar.convert"}) {
+    EXPECT_NE(findSpan(spans, name), nullptr) << "missing span: " << name;
+  }
+  const auto* run = findSpan(spans, "pipeline.run");
+  const auto* solve = findSpan(spans, "dsf.solve");
+  ASSERT_TRUE(run && solve);
+  EXPECT_GT(run->durUs, 0.0);
+
+  // The span set exports as valid Chrome trace JSON.
+  std::string error;
+  EXPECT_TRUE(obs::validateJson(obs::traceEventJson(spans), &error)) << error;
+}
+
+}  // namespace
+}  // namespace uniq
