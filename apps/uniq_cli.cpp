@@ -32,6 +32,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "sim/fault_injector.h"
 #include "sim/measurement_session.h"
 #include "spatial3d/elevation_renderer.h"
 
@@ -96,6 +97,7 @@ int cmdCalibrate(const Args& args) {
       static_cast<std::uint64_t>(std::stoull(optional(args, "seed", "42")));
   const bool constrained = args.count("constrained") > 0;
   const bool wantReport = args.count("report") > 0;
+  const bool failOnDegraded = args.count("fail-on-degraded") > 0;
   const auto traceOut = optional(args, "trace-out", "");
   const auto metricsOut = optional(args, "metrics-out", "");
 
@@ -108,13 +110,39 @@ int cmdCalibrate(const Args& args) {
     gesture.stops = static_cast<std::size_t>(
         std::stoull(require(args, "stops")));
   }
-  const auto capture = session.run(subject, gesture);
+  auto capture = session.run(subject, gesture);
+
+  // Optional fault injection: corrupt the clean capture the way a named
+  // real-world defect would, to exercise the degraded paths end to end.
+  if (args.count("fault") > 0) {
+    const auto kind = sim::faultKindFromName(require(args, "fault"));
+    const double severity =
+        std::stod(optional(args, "fault-severity", "0.5"));
+    sim::FaultInjector injector(seed);
+    injector.add(kind, severity);
+    sim::FaultInjectionLog log;
+    capture = injector.apply(capture, &log);
+    std::cout << "injected fault " << sim::faultKindName(kind)
+              << " (severity " << severity << ") corrupting "
+              << log.corruptedStops().size() << " stop(s)\n";
+  }
+
+  core::CalibrationPipelineOptions pipeOpts;
+  if (args.count("min-stops") > 0) {
+    pipeOpts.minUsableStops = static_cast<std::size_t>(
+        std::stoull(require(args, "min-stops")));
+  }
 
   std::cout << "running the UNIQ pipeline on " << capture.stops.size()
             << " stops...\n";
-  const core::CalibrationPipeline pipeline;
+  const core::CalibrationPipeline pipeline(pipeOpts);
   obs::RunReport report;
   const auto personal = pipeline.run(capture, &report);
+
+  std::cout << "status: " << core::pipelineStatusName(personal.status)
+            << "\n";
+  if (!personal.diagnostics.empty())
+    std::cout << "diagnostics:\n" << report.diagnosticsText();
   if (!personal.gestureReport.ok) {
     std::cout << "gesture check FLAGGED:\n";
     for (const auto& issue : personal.gestureReport.issues)
@@ -126,7 +154,11 @@ int cmdCalibrate(const Args& args) {
             << std::sqrt(personal.fusion.meanSquaredResidualDeg2)
             << " deg\n";
   core::saveHrtfTable(outPath, personal.table);
-  std::cout << "saved personalized HRTF table to " << outPath << "\n";
+  std::cout << "saved "
+            << (personal.status == core::PipelineStatus::kFailed
+                    ? "population-average fallback"
+                    : "personalized")
+            << " HRTF table to " << outPath << "\n";
 
   if (wantReport) {
     std::cout << "\nrun report\n" << report.summaryTable() << "\n";
@@ -152,6 +184,13 @@ int cmdCalibrate(const Args& args) {
         metricsOut, obs::metricsJson(obs::registry().snapshot()), "metrics");
     if (rc != 0) return rc;
   }
+
+  // Exit-code contract (documented in docs/ROBUSTNESS.md): ok -> 0,
+  // degraded -> 0 (or 3 under --fail-on-degraded), failed -> 4. Flag errors
+  // and I/O problems keep exiting 1 via the main() catch.
+  if (personal.status == core::PipelineStatus::kFailed) return 4;
+  if (personal.status == core::PipelineStatus::kDegraded && failOnDegraded)
+    return 3;
   return 0;
 }
 
@@ -221,7 +260,11 @@ void usage() {
       "usage: uniq <command> [flags]\n"
       "  calibrate  --out table.uniq [--seed N] [--constrained] [--stops N]\n"
       "             [--report] [--trace-out trace.json]\n"
-      "             [--metrics-out metrics.json]\n"
+      "             [--metrics-out metrics.json] [--min-stops N]\n"
+      "             [--fail-on-degraded] [--fault KIND]\n"
+      "             [--fault-severity X]\n"
+      "             exit codes: 0 ok/degraded, 3 degraded with\n"
+      "             --fail-on-degraded, 4 failed (fallback table saved)\n"
       "  inspect    --table table.uniq\n"
       "  render     --table table.uniq --in mono.wav --out out.wav\n"
       "             --angle DEG [--elevation DEG]\n"

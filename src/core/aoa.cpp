@@ -43,6 +43,9 @@ AoaEstimate pickBest(const std::vector<double>& angles,
   best.scoreMargin = std::isfinite(best.runnerUpScore)
                          ? best.runnerUpScore - best.score
                          : 0.0;
+  // Soft-saturating margin->confidence map: 0 margin -> 0, margin == 0.2
+  // (a solid win on either objective's scale) -> 0.5, large margins -> 1.
+  best.confidence = best.scoreMargin / (best.scoreMargin + 0.2);
   obs::registry()
       .histogram(marginMetric, obs::HistogramOptions{1e-4, 2.0, 24})
       .observe(best.scoreMargin);
@@ -125,7 +128,19 @@ AoaEstimate AoaEstimator::estimateKnown(
   const auto chR = extractChannel(rightRecording, source, fs,
                                   opts_.relativeRegularization,
                                   opts_.headWindowSec);
-  UNIQ_CHECK(chL.valid && chR.valid, "could not detect first taps");
+  if (!chL.valid || !chR.valid) {
+    // No usable first taps (dropout, dead channel, buried chirp): the Eq. 9
+    // objective has nothing to anchor on. Degrade to the unknown-source
+    // path, which needs only the raw recordings, rather than throwing —
+    // a localization consumer prefers a low-confidence estimate to none.
+    static obs::Counter& fallbacks =
+        obs::registry().counter("aoa.known.fallbacks");
+    fallbacks.inc();
+    AoaEstimate est = estimateUnknown(leftRecording, rightRecording);
+    est.degraded = true;
+    est.confidence *= 0.5;
+    return est;
+  }
   const double t0 = chL.tapSec - chR.tapSec;
 
   // Pre-align each measured channel to the template anchor so the shape

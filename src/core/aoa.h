@@ -20,6 +20,14 @@ struct AoaEstimate {
   /// one distinct angle was scanned. Also observed into the
   /// "aoa.known.margin" / "aoa.unknown.margin" metric histograms.
   double scoreMargin = 0.0;
+  /// Margin-derived confidence in [0, 1): margin / (margin + 0.2), halved
+  /// when the estimator had to fall back to a degraded path. A caller that
+  /// needs hard estimates should gate on this rather than trusting every
+  /// return equally.
+  double confidence = 0.0;
+  /// True when the primary estimation path failed (e.g. no detectable first
+  /// taps with a known source) and the estimate came from a fallback.
+  bool degraded = false;
 };
 
 struct AoaEstimatorOptions {
@@ -64,6 +72,9 @@ class AoaEstimator {
   /// Known-source estimation (paper Eq. 9): extract the two ear channels by
   /// deconvolution and minimize
   ///   T(theta) = lambda*|t0 - t(theta)| + (1-cL(theta)) + (1-cR(theta)).
+  /// When no first tap is detectable in either ear (degraded capture), falls
+  /// back to the unknown-source path instead of throwing; the estimate comes
+  /// back with degraded = true and halved confidence.
   AoaEstimate estimateKnown(const std::vector<double>& leftRecording,
                             const std::vector<double>& rightRecording,
                             const std::vector<double>& source) const;

@@ -12,6 +12,40 @@
 
 namespace uniq::core {
 
+namespace {
+
+/// Fraction of samples flat at the waveform peak (within 0.5%): the
+/// signature a limiter or ADC overdrive leaves. Clean noisy audio touches
+/// its peak only a handful of times.
+double clipFraction(const std::vector<double>& x) {
+  double peak = 0.0;
+  for (double v : x) peak = std::max(peak, std::fabs(v));
+  if (peak <= 0.0) return 1.0;  // dead channel: worst case
+  std::size_t flat = 0;
+  for (double v : x)
+    if (std::fabs(v) >= 0.995 * peak) ++flat;
+  return static_cast<double>(flat) / static_cast<double>(x.size());
+}
+
+/// Peak-to-floor ratio (dB) of a deconvolved channel: the peak magnitude
+/// over the median absolute sample. Must run before room-reflection
+/// windowing zeroes the floor.
+double tapSnrDb(const std::vector<double>& h) {
+  if (h.empty()) return 0.0;
+  double peak = 0.0;
+  std::vector<double> mags(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    mags[i] = std::fabs(h[i]);
+    peak = std::max(peak, mags[i]);
+  }
+  std::nth_element(mags.begin(), mags.begin() + mags.size() / 2, mags.end());
+  const double floor = mags[mags.size() / 2];
+  if (peak <= 0.0) return 0.0;
+  return 20.0 * std::log10(peak / std::max(floor, peak * 1e-9));
+}
+
+}  // namespace
+
 ChannelExtractor::ChannelExtractor(
     std::vector<dsp::Complex> hardwareResponseEstimate, double sampleRate,
     Options opts)
@@ -74,6 +108,16 @@ BinauralChannel ChannelExtractor::extract(
   out.left = extractEar(leftRecording, source);
   out.right = extractEar(rightRecording, source);
 
+  out.quality.clipFractionLeft = clipFraction(leftRecording);
+  out.quality.clipFractionRight = clipFraction(rightRecording);
+  out.quality.tapSnrLeftDb = tapSnrDb(out.left);
+  out.quality.tapSnrRightDb = tapSnrDb(out.right);
+  out.quality.clipped =
+      out.quality.clipFractionLeft > opts_.maxClipFraction ||
+      out.quality.clipFractionRight > opts_.maxClipFraction;
+  out.quality.lowSnr = out.quality.tapSnrLeftDb < opts_.minTapSnrDb ||
+                       out.quality.tapSnrRightDb < opts_.minTapSnrDb;
+
   dsp::FirstTapOptions tapOpts;
   tapOpts.relativeThreshold = opts_.firstTapRelativeThreshold;
   const double preGuard = opts_.preGuardSec * sampleRate_;
@@ -97,6 +141,8 @@ BinauralChannel ChannelExtractor::extract(
       if (i < lo || i > hi) channel[static_cast<std::size_t>(i)] = 0.0;
     }
   }
+  out.quality.tapsDetected =
+      out.firstTapLeftSec.has_value() && out.firstTapRightSec.has_value();
   return out;
 }
 

@@ -7,6 +7,28 @@
 
 namespace uniq::core {
 
+/// Per-stop capture-quality evidence, computed during extraction. The
+/// pipeline's quality gate uses it to exclude corrupted stops from fusion
+/// instead of letting one clipped recording poison the head estimate
+/// (in-the-wild HRTF capture lives or dies on rejecting bad measurements).
+struct StopQuality {
+  /// Fraction of raw recording samples sitting at the waveform peak
+  /// (flat-topped). Clean recordings touch their peak a handful of times;
+  /// a clipped one plateaus there.
+  double clipFractionLeft = 0.0;
+  double clipFractionRight = 0.0;
+  /// Peak-to-floor ratio of the deconvolved channel (dB): channel peak over
+  /// the median absolute sample. Sparse clean channels score high; burst
+  /// noise, dropouts, and failed mics crush it.
+  double tapSnrLeftDb = 0.0;
+  double tapSnrRightDb = 0.0;
+  bool tapsDetected = false;  ///< both ears produced a first tap
+  bool clipped = false;       ///< either ear's clip fraction beyond threshold
+  bool lowSnr = false;        ///< either ear's tap SNR below threshold
+  /// True when the stop should not feed sensor fusion.
+  bool gated() const { return clipped || lowSnr || !tapsDetected; }
+};
+
 /// A per-stop binaural acoustic channel estimate with absolute timing
 /// preserved (the phone and earbuds are synchronized, so tap positions are
 /// true propagation delays).
@@ -18,6 +40,8 @@ struct BinauralChannel {
   /// cleared the detection threshold in that ear.
   std::optional<double> firstTapLeftSec;
   std::optional<double> firstTapRightSec;
+  /// Capture-quality evidence for this stop (see StopQuality).
+  StopQuality quality;
 };
 
 struct ChannelExtractorOptions {
@@ -36,6 +60,12 @@ struct ChannelExtractorOptions {
   double firstTapRelativeThreshold = 0.35;
   /// Compensate the speaker-mic frequency response (Section 4.6).
   bool compensateHardware = true;
+  /// Quality gate: a stop whose raw recording spends more than this
+  /// fraction of samples flat at the waveform peak is marked clipped.
+  double maxClipFraction = 5e-3;
+  /// Quality gate: minimum deconvolved-channel peak-to-floor ratio (dB)
+  /// before the stop's taps are considered trustworthy.
+  double minTapSnrDb = 14.0;
 };
 
 /// Estimates binaural channels from raw earbud recordings of the known

@@ -59,4 +59,83 @@ GestureReport GestureValidator::validate(
   return report;
 }
 
+GestureReport GestureValidator::validateImuLog(
+    const std::vector<double>& timesSec,
+    const std::vector<double>& anglesDeg) const {
+  GestureReport report;
+  if (timesSec.size() != anglesDeg.size()) {
+    report.issues.push_back(
+        "IMU log is internally inconsistent (timestamp/angle count "
+        "mismatch)");
+    report.ok = false;
+    return report;
+  }
+  if (anglesDeg.empty()) {
+    report.issues.push_back("IMU log is empty — no sweep was recorded");
+    report.ok = false;
+    return report;
+  }
+  if (anglesDeg.size() < opts_.minImuSamples) {
+    std::ostringstream os;
+    os << "IMU log has only " << anglesDeg.size()
+       << " sample(s) — too short to describe a sweep";
+    report.issues.push_back(os.str());
+  }
+
+  // Frozen or backwards clock: integration over such timestamps is
+  // meaningless, so flag once and skip the kinematic checks that depend on
+  // ordering.
+  bool monotonic = true;
+  for (std::size_t i = 1; i < timesSec.size(); ++i) {
+    if (timesSec[i] <= timesSec[i - 1]) {
+      std::ostringstream os;
+      os << "IMU timestamps are not strictly increasing (sample " << i
+         << ") — clock glitch or duplicated samples";
+      report.issues.push_back(os.str());
+      monotonic = false;
+      break;
+    }
+  }
+
+  if (anglesDeg.size() >= 2) {
+    double lo = anglesDeg[0], hi = anglesDeg[0];
+    for (double a : anglesDeg) {
+      lo = std::min(lo, a);
+      hi = std::max(hi, a);
+    }
+    if (hi - lo < opts_.minSweepSpanDeg) {
+      std::ostringstream os;
+      os << "sweep covers only " << (hi - lo)
+         << " deg — move the phone across the full ear-to-ear arc";
+      report.issues.push_back(os.str());
+    }
+
+    if (monotonic) {
+      // Mid-arc direction reversal: track the running extreme in the
+      // dominant sweep direction and measure the deepest backtrack from it.
+      const bool increasing = anglesDeg.back() >= anglesDeg.front();
+      double extreme = anglesDeg[0];
+      double worstBacktrack = 0.0;
+      for (double a : anglesDeg) {
+        if (increasing) {
+          extreme = std::max(extreme, a);
+          worstBacktrack = std::max(worstBacktrack, extreme - a);
+        } else {
+          extreme = std::min(extreme, a);
+          worstBacktrack = std::max(worstBacktrack, a - extreme);
+        }
+      }
+      if (worstBacktrack > opts_.maxReversalDeg) {
+        std::ostringstream os;
+        os << "sweep reversed direction mid-arc by " << worstBacktrack
+           << " deg — keep the motion one-way and redo";
+        report.issues.push_back(os.str());
+      }
+    }
+  }
+
+  report.ok = report.issues.empty();
+  return report;
+}
+
 }  // namespace uniq::core

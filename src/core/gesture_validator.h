@@ -26,6 +26,15 @@ struct GestureValidatorOptions {
   double maxRmsResidualDeg = 8.0;
   /// Minimum fraction of stops the localizer must place.
   double minLocalizedFraction = 0.7;
+  /// IMU-log checks (validateImuLog): minimum total angular span (deg) a
+  /// sweep must cover to be worth calibrating from.
+  double minSweepSpanDeg = 120.0;
+  /// Largest tolerated mid-arc backtrack (deg): the sweep should be
+  /// monotonic ear-to-ear; a reversal beyond this means the user swung the
+  /// phone back.
+  double maxReversalDeg = 15.0;
+  /// Minimum number of IMU samples for a usable log.
+  std::size_t minImuSamples = 4;
 };
 
 /// Validates a fusion result against the gesture-quality rules.
@@ -36,6 +45,15 @@ class GestureValidator {
   explicit GestureValidator(Options opts = {});
 
   GestureReport validate(const SensorFusionResult& fusion) const;
+
+  /// Validates the raw gyro-integrated log BEFORE any acoustic processing,
+  /// so an obviously broken sweep (empty log, frozen clock, mid-arc
+  /// reversal) can be caught and redone without paying for a full pipeline
+  /// run. `timesSec` and `anglesDeg` are parallel arrays of integration
+  /// timestamps and unwrapped sweep angles. Never throws: a defective log
+  /// comes back as ok = false with one issue per defect.
+  GestureReport validateImuLog(const std::vector<double>& timesSec,
+                               const std::vector<double>& anglesDeg) const;
 
  private:
   Options opts_;

@@ -189,4 +189,42 @@ FarFieldTable farTableFromDatabase(const head::HrtfDatabase& db,
   return far;
 }
 
+NearFieldTable nearTableFromDatabase(const head::HrtfDatabase& db,
+                                     double radiusM, double alignSample,
+                                     std::size_t outputLength) {
+  UNIQ_REQUIRE(radiusM > 0.0, "radius must be positive");
+  const auto& boundary = db.boundary();
+  const double fs = db.options().sampleRate;
+  NearFieldTable table;
+  table.sampleRate = fs;
+  table.headParams = db.subject().headParams;
+  table.medianRadiusM = radiusM;
+  table.byDegree.resize(181);
+  table.tapLeftSamples.resize(181);
+  table.tapRightSamples.resize(181);
+  for (int deg = 0; deg <= 180; ++deg) {
+    const double theta = static_cast<double>(deg);
+    const geo::Vec2 p = geo::pointFromPolarDeg(theta, radiusM);
+    const auto pathL = geo::nearFieldPath(boundary, p, geo::Ear::kLeft);
+    const auto pathR = geo::nearFieldPath(boundary, p, geo::Ear::kRight);
+    const double dMin = std::min(pathL.length, pathR.length);
+    auto hrir = db.nearField(theta, radiusM);
+    // The database's time origin is the source emission instant; move the
+    // earlier ear's tap to alignSample, preserving the interaural delay.
+    const double shift = alignSample - dMin / kSpeedOfSound * fs;
+    hrir.left = dsp::fractionalShift(hrir.left, shift);
+    hrir.right = dsp::fractionalShift(hrir.right, shift);
+    hrir.left.resize(outputLength, 0.0);
+    hrir.right.resize(outputLength, 0.0);
+    table.tapLeftSamples[deg] =
+        alignSample + (pathL.length - dMin) / kSpeedOfSound * fs;
+    table.tapRightSamples[deg] =
+        alignSample + (pathR.length - dMin) / kSpeedOfSound * fs;
+    table.byDegree[deg] = std::move(hrir);
+    // Synthesized at every degree: full coverage, no interpolation gaps.
+    table.sourceAnglesDeg.push_back(theta);
+  }
+  return table;
+}
+
 }  // namespace uniq::core

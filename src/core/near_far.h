@@ -59,4 +59,14 @@ FarFieldTable farTableFromDatabase(const head::HrtfDatabase& db,
                                    double alignSample = 32.0,
                                    std::size_t outputLength = 192);
 
+/// Build a near-field table directly from a ground-truth database at radius
+/// `radiusM`. Besides upper-bound comparisons, this is the pipeline's
+/// population-average fallback: when a capture is too corrupted to
+/// personalize, the listener still gets a working (generic) table instead
+/// of an exception.
+NearFieldTable nearTableFromDatabase(const head::HrtfDatabase& db,
+                                     double radiusM,
+                                     double alignSample = 24.0,
+                                     std::size_t outputLength = 192);
+
 }  // namespace uniq::core

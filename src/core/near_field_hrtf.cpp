@@ -99,6 +99,7 @@ NearFieldTable NearFieldHrtfBuilder::build(
   table.sampleRate = sampleRate;
   table.headParams = headParams;
   table.medianRadiusM = medianRadius;
+  for (const auto& a : usable) table.sourceAnglesDeg.push_back(a.angleDeg);
   table.byDegree.resize(181);
   table.tapLeftSamples.resize(181);
   table.tapRightSamples.resize(181);

@@ -21,6 +21,10 @@ struct NearFieldTable {
   double sampleRate = 0.0;
   head::HeadParameters headParams;
   double medianRadiusM = 0.0;
+  /// Angles (deg, ascending) of the usable stops the table was interpolated
+  /// from. Lets callers audit coverage: a wide gap between consecutive
+  /// entries means the degrees in between are long-range extrapolations.
+  std::vector<double> sourceAnglesDeg;
 
   const head::Hrir& at(double thetaDeg) const;
 };

@@ -1,6 +1,8 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/constants.h"
 #include "common/error.h"
@@ -9,6 +11,8 @@
 #include "geometry/diffraction.h"
 #include "geometry/head_boundary.h"
 #include "geometry/polar.h"
+#include "head/hrtf_database.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace uniq::core {
@@ -43,7 +47,39 @@ double tapAlignmentRmsUs(const std::vector<FusedStop>& stops,
   return n > 0 ? std::sqrt(sumSq / static_cast<double>(n)) : 0.0;
 }
 
+PipelineStatus statusFromDiagnostics(
+    const std::vector<obs::Diagnostic>& diagnostics) {
+  PipelineStatus status = PipelineStatus::kOk;
+  for (const auto& d : diagnostics) {
+    if (d.severity == obs::Severity::kError) return PipelineStatus::kFailed;
+    if (d.severity == obs::Severity::kWarning)
+      status = PipelineStatus::kDegraded;
+  }
+  return status;
+}
+
+void publish(obs::RunReport* report,
+             const std::vector<obs::Diagnostic>& diagnostics,
+             PipelineStatus status) {
+  if (!report) return;
+  report->diagnostics.insert(report->diagnostics.end(), diagnostics.begin(),
+                             diagnostics.end());
+  report->status = pipelineStatusName(status);
+}
+
 }  // namespace
+
+const char* pipelineStatusName(PipelineStatus status) {
+  switch (status) {
+    case PipelineStatus::kOk:
+      return "ok";
+    case PipelineStatus::kDegraded:
+      return "degraded";
+    case PipelineStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 CalibrationPipeline::CalibrationPipeline(Options opts)
     : opts_(std::move(opts)) {}
@@ -95,92 +131,280 @@ PersonalHrtf CalibrationPipeline::run(
 PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
                                       obs::RunReport* report) const {
   UNIQ_SPAN("pipeline.run");
+  UNIQ_REQUIRE(!capture.stops.empty(), "capture has no stops");
 
-  obs::StageTimer extractTimer(report, "extract");
-  const auto channels = extractChannels(capture);
-  const auto measurements = toFusionMeasurements(capture, channels);
-  if (auto* stage = extractTimer.stage()) {
-    stage->set("stops", static_cast<double>(capture.stops.size()));
-    stage->set("tapsDetected", static_cast<double>(measurements.size()));
-  }
-  extractTimer.stop();
+  std::vector<obs::Diagnostic> diagnostics;
+  const auto diagnose = [&](const char* stage, obs::Severity severity,
+                            std::string message,
+                            std::vector<std::size_t> stops =
+                                std::vector<std::size_t>{}) {
+    diagnostics.push_back(obs::Diagnostic{stage, severity, std::move(message),
+                                          std::move(stops)});
+  };
 
-  // The pipeline-level thread knob flows into stages that did not set
-  // their own.
-  SensorFusionOptions fusionOpts = opts_.fusion;
-  if (fusionOpts.numThreads == 0) fusionOpts.numThreads = opts_.numThreads;
-  NearFieldBuilderOptions nearFieldOpts = opts_.nearField;
-  if (nearFieldOpts.numThreads == 0) nearFieldOpts.numThreads = opts_.numThreads;
+  try {
+    obs::StageTimer extractTimer(report, "extract");
+    const auto channels = extractChannels(capture);
+    auto measurements = toFusionMeasurements(capture, channels);
+    const std::size_t tapsDetected = measurements.size();
 
-  obs::StageTimer fusionTimer(report, "fusion");
-  const SensorFusion fusion(fusionOpts);
-  auto fusionResult = fusion.solve(measurements);
-  if (auto* stage = fusionTimer.stage()) {
-    stage->set("iterations", static_cast<double>(fusionResult.iterations));
-    stage->set("restarts", static_cast<double>(fusionResult.restartsUsed));
-    stage->set("converged", fusionResult.converged ? 1.0 : 0.0);
-    stage->set("localized", static_cast<double>(fusionResult.localizedCount));
-    stage->set("objectiveDeg2", fusionResult.finalObjectiveDeg2);
-    stage->set("residualRmsDeg",
-               std::sqrt(fusionResult.meanSquaredResidualDeg2));
-  }
-  fusionTimer.stop();
-
-  // Re-expand fused stops to align with the full stop list (stops whose
-  // taps were undetectable are marked un-localized so the near-field
-  // builder skips them).
-  std::vector<FusedStop> fullStops;
-  fullStops.reserve(channels.size());
-  std::size_t fusedIdx = 0;
-  for (std::size_t i = 0; i < channels.size(); ++i) {
-    const auto& ch = channels[i];
-    if (ch.firstTapLeftSec && ch.firstTapRightSec) {
-      fullStops.push_back(fusionResult.stops[fusedIdx++]);
-    } else {
-      FusedStop skip;
-      skip.localized = false;
-      skip.imuAngleDeg = capture.stops[i].imuAngleDeg;
-      skip.sourceIndex = i;
-      fullStops.push_back(skip);
+    // Quality gate: stops whose capture evidence says "don't trust me" are
+    // excluded from fusion rather than allowed to poison the head estimate.
+    std::vector<std::size_t> noTap, clippedStops, lowSnrStops;
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      const auto& q = channels[i].quality;
+      if (!q.tapsDetected) noTap.push_back(i);
+      if (q.clipped)
+        clippedStops.push_back(i);
+      else if (q.lowSnr)
+        lowSnrStops.push_back(i);
     }
-  }
+    measurements.erase(
+        std::remove_if(measurements.begin(), measurements.end(),
+                       [&](const FusionMeasurement& m) {
+                         return channels[m.sourceIndex].quality.gated();
+                       }),
+        measurements.end());
 
-  obs::StageTimer nearTimer(report, "nearfield");
-  const NearFieldHrtfBuilder nearBuilder(nearFieldOpts);
+    if (auto* stage = extractTimer.stage()) {
+      stage->set("stops", static_cast<double>(capture.stops.size()));
+      stage->set("tapsDetected", static_cast<double>(tapsDetected));
+      stage->set("gatedStops",
+                 static_cast<double>(tapsDetected - measurements.size()));
+    }
+    extractTimer.stop();
+
+    if (!noTap.empty()) {
+      // A couple of undetectable stops is normal in the wild; losing more
+      // than 10% of the sweep means something is genuinely wrong.
+      const auto severity = noTap.size() * 10 > capture.stops.size()
+                                ? obs::Severity::kWarning
+                                : obs::Severity::kInfo;
+      std::ostringstream os;
+      os << noTap.size() << " stop(s) had no detectable first taps; "
+         << "excluded from fusion";
+      diagnose("extract", severity, os.str(), noTap);
+    }
+    if (!clippedStops.empty()) {
+      std::ostringstream os;
+      os << clippedStops.size()
+         << " stop(s) show audio clipping; excluded from fusion";
+      diagnose("extract", obs::Severity::kWarning, os.str(), clippedStops);
+    }
+    if (!lowSnrStops.empty()) {
+      std::ostringstream os;
+      os << lowSnrStops.size()
+         << " stop(s) have low tap SNR; excluded from fusion";
+      diagnose("extract", obs::Severity::kWarning, os.str(), lowSnrStops);
+    }
+
+    const std::size_t minUsable = std::max<std::size_t>(opts_.minUsableStops, 4);
+    if (measurements.size() < minUsable) {
+      std::ostringstream os;
+      os << "only " << measurements.size()
+         << " usable stop(s) after quality gating (need >= " << minUsable
+         << ") — cannot personalize";
+      diagnose("fusion", obs::Severity::kError, os.str());
+      return fallbackResult(capture, std::move(diagnostics), report);
+    }
+
+    // The pipeline-level thread knob flows into stages that did not set
+    // their own.
+    SensorFusionOptions fusionOpts = opts_.fusion;
+    if (fusionOpts.numThreads == 0) fusionOpts.numThreads = opts_.numThreads;
+    fusionOpts.minMeasurements =
+        std::max(std::size_t{4}, std::min(fusionOpts.minMeasurements,
+                                          opts_.minUsableStops));
+    NearFieldBuilderOptions nearFieldOpts = opts_.nearField;
+    if (nearFieldOpts.numThreads == 0)
+      nearFieldOpts.numThreads = opts_.numThreads;
+
+    obs::StageTimer fusionTimer(report, "fusion");
+    const SensorFusion fusion(fusionOpts);
+    auto fusionResult = fusion.solveRobust(measurements);
+    if (auto* stage = fusionTimer.stage()) {
+      stage->set("iterations", static_cast<double>(fusionResult.iterations));
+      stage->set("restarts", static_cast<double>(fusionResult.restartsUsed));
+      stage->set("converged", fusionResult.converged ? 1.0 : 0.0);
+      stage->set("localized",
+                 static_cast<double>(fusionResult.localizedCount));
+      stage->set("objectiveDeg2", fusionResult.finalObjectiveDeg2);
+      stage->set("residualRmsDeg",
+                 std::sqrt(fusionResult.meanSquaredResidualDeg2));
+      stage->set("rejected",
+                 static_cast<double>(
+                     fusionResult.rejectedSourceIndices.size()));
+      stage->set("widened", fusionResult.widened ? 1.0 : 0.0);
+    }
+    fusionTimer.stop();
+
+    if (!fusionResult.usable) {
+      diagnose("fusion", obs::Severity::kError,
+               "sensor fusion could not produce a usable solve");
+      return fallbackResult(capture, std::move(diagnostics), report);
+    }
+    if (!fusionResult.rejectedSourceIndices.empty()) {
+      // Trimming a stop or two is a robust estimator doing its job (clean
+      // captures shed the occasional IMU-jitter outlier); shedding more
+      // than 10% of the sweep means the capture itself is degraded.
+      const auto severity =
+          fusionResult.rejectedSourceIndices.size() * 10 >
+                  measurements.size()
+              ? obs::Severity::kWarning
+              : obs::Severity::kInfo;
+      std::ostringstream os;
+      os << "rejected " << fusionResult.rejectedSourceIndices.size()
+         << " outlier stop(s) (IMU-vs-acoustic disagreement) in "
+         << fusionResult.rejectRounds << " round(s)";
+      diagnose("fusion", severity, os.str(),
+               fusionResult.rejectedSourceIndices);
+    }
+    if (!fusionResult.converged) {
+      diagnose("fusion", obs::Severity::kWarning,
+               fusionResult.widened
+                   ? "optimizer did not converge even with widened restarts"
+                   : "optimizer did not converge");
+    } else if (fusionResult.widened) {
+      diagnose("fusion", obs::Severity::kInfo,
+               "converged via widened-restart fallback");
+    }
+
+    // Re-expand fused stops to the full capture stop list by source index.
+    // Gated and rejected stops come back un-localized so the near-field
+    // builder skips them but the report can still account for every stop.
+    std::vector<FusedStop> fullStops(capture.stops.size());
+    for (std::size_t i = 0; i < fullStops.size(); ++i) {
+      fullStops[i].localized = false;
+      fullStops[i].imuAngleDeg = capture.stops[i].imuAngleDeg;
+      fullStops[i].angleDeg = capture.stops[i].imuAngleDeg;
+      fullStops[i].sourceIndex = i;
+    }
+    for (const auto& s : fusionResult.stops)
+      if (s.sourceIndex < fullStops.size()) fullStops[s.sourceIndex] = s;
+
+    std::size_t usableForNear = 0;
+    for (std::size_t i = 0; i < fullStops.size(); ++i) {
+      if (fullStops[i].localized && channels[i].firstTapLeftSec &&
+          channels[i].firstTapRightSec)
+        ++usableForNear;
+    }
+    if (usableForNear < 4) {
+      std::ostringstream os;
+      os << "only " << usableForNear
+         << " localized stop(s) with taps (need >= 4 for interpolation)";
+      diagnose("nearfield", obs::Severity::kError, os.str());
+      return fallbackResult(capture, std::move(diagnostics), report);
+    }
+
+    obs::StageTimer nearTimer(report, "nearfield");
+    const NearFieldHrtfBuilder nearBuilder(nearFieldOpts);
+    auto nearTable =
+        nearBuilder.build(fullStops, channels, fusionResult.headParams);
+    if (auto* stage = nearTimer.stage()) {
+      stage->set("usableStops", static_cast<double>(usableForNear));
+      stage->set("medianRadiusM", nearTable.medianRadiusM);
+      stage->set("tapAlignRmsUs",
+                 tapAlignmentRmsUs(fullStops, channels,
+                                   fusionResult.headParams));
+    }
+    nearTimer.stop();
+
+    // Coverage audit: interpolation happily spans any gap, but the degrees
+    // inside a wide one are long-range extrapolations worth flagging.
+    if (!nearTable.sourceAnglesDeg.empty()) {
+      double worstGap = 0.0, gapLo = 0.0, gapHi = 0.0;
+      const auto& angles = nearTable.sourceAnglesDeg;
+      const auto consider = [&](double lo, double hi) {
+        if (hi - lo > worstGap) {
+          worstGap = hi - lo;
+          gapLo = lo;
+          gapHi = hi;
+        }
+      };
+      consider(0.0, angles.front());
+      for (std::size_t i = 1; i < angles.size(); ++i)
+        consider(angles[i - 1], angles[i]);
+      consider(angles.back(), 180.0);
+      if (worstGap > opts_.gapWarnDeg) {
+        std::ostringstream os;
+        os << "near-field interpolation spans a "
+           << static_cast<int>(std::lround(worstGap))
+           << " deg coverage gap (" << static_cast<int>(std::lround(gapLo))
+           << ".." << static_cast<int>(std::lround(gapHi)) << " deg)";
+        diagnose("nearfield", obs::Severity::kWarning, os.str());
+      }
+    }
+
+    obs::StageTimer farTimer(report, "nearfar");
+    const NearFarConverter converter(opts_.nearFar);
+    auto farTable = converter.convert(nearTable);
+    if (auto* stage = farTimer.stage()) {
+      stage->set("entries", static_cast<double>(farTable.byDegree.size()));
+    }
+    farTimer.stop();
+
+    obs::StageTimer gestureTimer(report, "gesture");
+    const GestureValidator validator(opts_.gesture);
+    auto gestureReport = validator.validate(fusionResult);
+    if (auto* stage = gestureTimer.stage()) {
+      stage->set("ok", gestureReport.ok ? 1.0 : 0.0);
+      stage->set("issues", static_cast<double>(gestureReport.issues.size()));
+    }
+    gestureTimer.stop();
+    for (const auto& issue : gestureReport.issues)
+      diagnose("gesture", obs::Severity::kWarning, issue);
+
+    PersonalHrtf out{HrtfTable(std::move(nearTable), std::move(farTable)),
+                     fusionResult.headParams, std::move(fusionResult),
+                     std::move(gestureReport)};
+    out.diagnostics = std::move(diagnostics);
+    out.status = statusFromDiagnostics(out.diagnostics);
+    publish(report, out.diagnostics, out.status);
+    return out;
+  } catch (const Error& e) {
+    // Belt and braces: a stage that still throws on degenerate data turns
+    // into a failed-but-alive run, not an escaped exception.
+    diagnose("pipeline", obs::Severity::kError,
+             std::string("stage failed: ") + e.what());
+    return fallbackResult(capture, std::move(diagnostics), report);
+  }
+}
+
+PersonalHrtf CalibrationPipeline::fallbackResult(
+    const sim::CalibrationCapture& capture,
+    std::vector<obs::Diagnostic> diagnostics, obs::RunReport* report) const {
+  UNIQ_SPAN("pipeline.fallback");
+  static obs::Counter& fallbacks =
+      obs::registry().counter("pipeline.fallbacks");
+  fallbacks.inc();
+
+  // Population-average template at the capture's sample rate: the listener
+  // keeps a working (generic) spatializer while the app asks for a redo.
+  head::HrtfDatabaseOptions dbOpts;
+  if (capture.sampleRate > 8000.0) dbOpts.sampleRate = capture.sampleRate;
+  const head::HrtfDatabase db(head::globalTemplateSubject(), dbOpts);
   auto nearTable =
-      nearBuilder.build(fullStops, channels, fusionResult.headParams);
-  if (auto* stage = nearTimer.stage()) {
-    std::size_t usable = 0;
-    for (const auto& stop : fullStops)
-      if (stop.localized) ++usable;
-    stage->set("usableStops", static_cast<double>(usable));
-    stage->set("medianRadiusM", nearTable.medianRadiusM);
-    stage->set("tapAlignRmsUs",
-               tapAlignmentRmsUs(fullStops, channels,
-                                 fusionResult.headParams));
-  }
-  nearTimer.stop();
+      nearTableFromDatabase(db, dbOpts.referenceDistance,
+                            opts_.nearField.alignSample,
+                            opts_.nearField.outputLength);
+  auto farTable = farTableFromDatabase(db, opts_.nearFar.alignSample,
+                                       opts_.nearFar.outputLength);
 
-  obs::StageTimer farTimer(report, "nearfar");
-  const NearFarConverter converter(opts_.nearFar);
-  auto farTable = converter.convert(nearTable);
-  if (auto* stage = farTimer.stage()) {
-    stage->set("entries", static_cast<double>(farTable.byDegree.size()));
-  }
-  farTimer.stop();
+  SensorFusionResult fusion;
+  fusion.usable = false;
+  fusion.converged = false;
+  fusion.headParams = db.subject().headParams;
+  GestureReport gesture;
+  gesture.ok = false;
+  gesture.issues.push_back(
+      "calibration failed — population-average HRTF in use; redo the sweep");
 
-  obs::StageTimer gestureTimer(report, "gesture");
-  const GestureValidator validator(opts_.gesture);
-  auto gestureReport = validator.validate(fusionResult);
-  if (auto* stage = gestureTimer.stage()) {
-    stage->set("ok", gestureReport.ok ? 1.0 : 0.0);
-    stage->set("issues", static_cast<double>(gestureReport.issues.size()));
-  }
-  gestureTimer.stop();
-
-  return PersonalHrtf{HrtfTable(std::move(nearTable), std::move(farTable)),
-                      fusionResult.headParams, std::move(fusionResult),
-                      std::move(gestureReport)};
+  PersonalHrtf out{HrtfTable(std::move(nearTable), std::move(farTable)),
+                   fusion.headParams, std::move(fusion), std::move(gesture)};
+  out.status = PipelineStatus::kFailed;
+  out.diagnostics = std::move(diagnostics);
+  publish(report, out.diagnostics, out.status);
+  return out;
 }
 
 }  // namespace uniq::core

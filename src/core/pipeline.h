@@ -13,12 +13,31 @@
 
 namespace uniq::core {
 
+/// Terminal state of one calibration run. The pipeline degrades instead of
+/// dying: a capture with some corrupted stops still produces a personalized
+/// table (kDegraded), and even an unusable capture produces the
+/// population-average table (kFailed) rather than an exception — a
+/// calibration service cannot 500 because the user's earbud fell out.
+enum class PipelineStatus {
+  kOk,        ///< clean run; every quality gate passed
+  kDegraded,  ///< usable result, but stops were rejected or coverage is thin
+  kFailed,    ///< could not personalize; fallback population-average table
+};
+
+/// Stable lower-case name ("ok", "degraded", "failed").
+const char* pipelineStatusName(PipelineStatus status);
+
 /// Everything UNIQ produces from one calibration sweep.
 struct PersonalHrtf {
   HrtfTable table;
   head::HeadParameters headParams;
   SensorFusionResult fusion;
   GestureReport gestureReport;
+  PipelineStatus status = PipelineStatus::kOk;
+  /// Structured trail of everything that went wrong (or was tolerated):
+  /// stage, severity, message, affected stop indices. Mirrored into the
+  /// RunReport when one is attached.
+  std::vector<obs::Diagnostic> diagnostics;
 };
 
 struct CalibrationPipelineOptions {
@@ -34,6 +53,12 @@ struct CalibrationPipelineOptions {
   /// values in `fusion`/`nearField` win when set. Every stage is
   /// deterministic, so this knob trades latency only.
   std::size_t numThreads = 0;
+  /// Fewest quality-gated stops the pipeline will attempt to personalize
+  /// from; below this the run fails over to the population-average table.
+  std::size_t minUsableStops = 6;
+  /// Angular span (deg) between consecutive usable stops beyond which the
+  /// near-field interpolation is flagged as spanning a coverage gap.
+  double gapWarnDeg = 25.0;
 };
 
 /// End-to-end UNIQ pipeline (paper Figure 6): channel extraction ->
@@ -46,6 +71,10 @@ class CalibrationPipeline {
 
   explicit CalibrationPipeline(Options opts = {});
 
+  /// Runs the full pipeline. Throws InvalidArgument only for a structurally
+  /// empty capture (no stops at all); every data-quality failure —
+  /// clipping, dropouts, too few usable stops, non-converging fusion — is
+  /// absorbed into the returned status/diagnostics instead of an exception.
   PersonalHrtf run(const sim::CalibrationCapture& capture) const;
 
   /// Instrumented run: identical output to run(capture), but additionally
@@ -81,6 +110,12 @@ class CalibrationPipeline {
       const std::vector<BinauralChannel>& channels);
 
  private:
+  /// Terminal fallback: population-average table, status kFailed. Used when
+  /// the capture cannot support personalization at all.
+  PersonalHrtf fallbackResult(const sim::CalibrationCapture& capture,
+                              std::vector<obs::Diagnostic> diagnostics,
+                              obs::RunReport* report) const;
+
   Options opts_;
 };
 

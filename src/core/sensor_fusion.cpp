@@ -1,6 +1,9 @@
 #include "core/sensor_fusion.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <utility>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -38,6 +41,13 @@ std::vector<double> encode(const head::HeadParameters& e) {
       unsquash(e.a, head::HeadParameters::kMinA, head::HeadParameters::kMaxA),
       unsquash(e.b, head::HeadParameters::kMinB, head::HeadParameters::kMaxB),
       unsquash(e.c, head::HeadParameters::kMinC, head::HeadParameters::kMaxC)};
+}
+
+double medianOf(std::vector<double> v) {
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  return v[mid];
 }
 
 }  // namespace
@@ -107,7 +117,12 @@ SensorFusionResult SensorFusion::solve(
   UNIQ_REQUIRE(measurements.size() >= 6,
                "sensor fusion needs at least 6 usable stops");
   UNIQ_REQUIRE(opts_.restarts >= 1, "sensor fusion needs >= 1 restart");
+  return solveWith(measurements, opts_.restarts);
+}
 
+SensorFusionResult SensorFusion::solveWith(
+    const std::vector<FusionMeasurement>& measurements,
+    std::size_t restarts) const {
   const auto f = [&](const std::vector<double>& x) {
     return objective(decode(x), measurements);
   };
@@ -122,7 +137,7 @@ SensorFusionResult SensorFusion::solve(
   static obs::Histogram& iterHist = obs::registry().histogram(
       "dsf.restart.iterations", obs::HistogramOptions{1.0, 2.0, 10});
   optim::MinimizeResult best;
-  for (std::size_t r = 0; r < opts_.restarts; ++r) {
+  for (std::size_t r = 0; r < restarts; ++r) {
     UNIQ_SPAN("dsf.restart");
     auto start = encode(head::HeadParameters::average());
     // Restart 0 is the canonical average start; later restarts probe the
@@ -137,7 +152,7 @@ SensorFusionResult SensorFusion::solve(
     result.iterations += min.iterations;
     if (r == 0 || min.fValue < best.fValue) best = std::move(min);
   }
-  result.restartsUsed = opts_.restarts;
+  result.restartsUsed = restarts;
   result.headParams = decode(best.x);
   result.converged = best.converged;
   result.finalObjectiveDeg2 = best.fValue;
@@ -172,6 +187,110 @@ SensorFusionResult SensorFusion::solve(
       result.localizedCount > 0
           ? residual / static_cast<double>(result.localizedCount)
           : opts_.unlocalizedPenalty;
+  return result;
+}
+
+SensorFusionResult SensorFusion::solveRobust(
+    const std::vector<FusionMeasurement>& measurements) const {
+  UNIQ_SPAN("dsf.solve_robust");
+  static obs::Counter& rejectedCounter =
+      obs::registry().counter("dsf.rejected_stops");
+
+  SensorFusionResult result;
+  if (measurements.size() < opts_.minMeasurements || opts_.restarts < 1) {
+    result.usable = false;
+    result.converged = false;
+    return result;
+  }
+
+  std::vector<FusionMeasurement> kept = measurements;
+  result = solveWith(kept, opts_.restarts);
+  std::vector<std::size_t> rejected;
+
+  for (std::size_t round = 0; round < opts_.maxRejectRounds; ++round) {
+    if (kept.size() <= opts_.minMeasurements) break;
+
+    // Absolute IMU-vs-acoustic residual per localized stop. A corrupted
+    // stop (clock drift, swapped ears that still localize, IMU glitch)
+    // shows up as a gross disagreement the healthy stops never reach.
+    std::vector<double> residuals;
+    for (const auto& s : result.stops)
+      if (s.localized)
+        residuals.push_back(std::fabs(s.imuAngleDeg - s.acousticAngleDeg));
+    if (residuals.size() < 3) break;
+
+    const double med = medianOf(residuals);
+    std::vector<double> deviations;
+    deviations.reserve(residuals.size());
+    for (double r : residuals) deviations.push_back(std::fabs(r - med));
+    const double mad = medianOf(deviations);
+    const double threshold =
+        std::max(opts_.rejectMadMultiplier * 1.4826 * mad,
+                 opts_.rejectMinResidualDeg);
+
+    // Worst offenders first, capped so the survivor count never dips below
+    // the minimum the solver needs.
+    std::vector<std::pair<double, std::size_t>> outliers;
+    for (const auto& s : result.stops) {
+      if (!s.localized) continue;
+      const double r = std::fabs(s.imuAngleDeg - s.acousticAngleDeg);
+      if (r > threshold) outliers.emplace_back(r, s.sourceIndex);
+    }
+    if (outliers.empty()) break;
+    std::sort(outliers.rbegin(), outliers.rend());
+    const std::size_t budget = kept.size() - opts_.minMeasurements;
+    if (outliers.size() > budget) outliers.resize(budget);
+    if (outliers.empty()) break;
+
+    for (const auto& [r, src] : outliers) {
+      rejected.push_back(src);
+      kept.erase(std::remove_if(kept.begin(), kept.end(),
+                                [src = src](const FusionMeasurement& m) {
+                                  return m.sourceIndex == src;
+                                }),
+                 kept.end());
+    }
+    result = solveWith(kept, opts_.restarts);
+    result.rejectRounds = round + 1;
+  }
+
+  // Non-convergence fallback: re-solve from widened deterministic starts
+  // and keep whichever attempt scored the better objective. Degraded, not
+  // dead.
+  if (!result.converged && opts_.widenedRestarts > opts_.restarts) {
+    const std::size_t rounds = result.rejectRounds;
+    auto widenedResult = solveWith(kept, opts_.widenedRestarts);
+    if (widenedResult.converged ||
+        widenedResult.finalObjectiveDeg2 < result.finalObjectiveDeg2) {
+      result = std::move(widenedResult);
+      result.rejectRounds = rounds;
+    }
+    result.widened = true;
+  }
+
+  std::sort(rejected.begin(), rejected.end());
+  if (!rejected.empty()) rejectedCounter.inc(rejected.size());
+  // Surface rejected stops as unlocalized entries so downstream stages see
+  // every source index exactly once.
+  for (std::size_t src : rejected) {
+    const auto it =
+        std::find_if(measurements.begin(), measurements.end(),
+                     [src](const FusionMeasurement& m) {
+                       return m.sourceIndex == src;
+                     });
+    if (it == measurements.end()) continue;
+    FusedStop stop;
+    stop.sourceIndex = src;
+    stop.imuAngleDeg = it->imuAngleDeg;
+    stop.angleDeg = it->imuAngleDeg;
+    stop.localized = false;
+    result.stops.push_back(stop);
+  }
+  std::sort(result.stops.begin(), result.stops.end(),
+            [](const FusedStop& a, const FusedStop& b) {
+              return a.sourceIndex < b.sourceIndex;
+            });
+  result.rejectedSourceIndices = std::move(rejected);
   return result;
 }
 

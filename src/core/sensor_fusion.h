@@ -46,6 +46,15 @@ struct SensorFusionResult {
   /// Number of optimizer restarts run (== SensorFusionOptions::restarts).
   std::size_t restartsUsed = 0;
   bool converged = false;
+  /// solveRobust bookkeeping. `usable` is false when too few measurements
+  /// survived to attempt a solve at all (strict solve() throws instead).
+  bool usable = true;
+  /// Source indices of stops dropped by the MAD outlier gate, ascending.
+  std::vector<std::size_t> rejectedSourceIndices;
+  /// Reject-and-retry rounds that actually removed a stop.
+  std::size_t rejectRounds = 0;
+  /// True when the widened-restart fallback ran after a non-converged solve.
+  bool widened = false;
 };
 
 struct SensorFusionOptions {
@@ -71,6 +80,25 @@ struct SensorFusionOptions {
   /// and are reduced in measurement order.
   std::size_t numThreads = 0;
   LocalizerOptions localizer{};
+
+  // --- solveRobust (degraded-capture) knobs ---
+  /// Fewest measurements worth solving with; below this solveRobust returns
+  /// usable = false (and strict solve() throws).
+  std::size_t minMeasurements = 6;
+  /// Reject-and-retry rounds: after each solve, stops whose IMU-vs-acoustic
+  /// residual is a MAD outlier are dropped and E is re-solved, at most this
+  /// many times.
+  std::size_t maxRejectRounds = 2;
+  /// A localized stop is an outlier when its absolute residual exceeds
+  /// rejectMadMultiplier * 1.4826 * MAD of all residuals...
+  double rejectMadMultiplier = 3.5;
+  /// ...and also exceeds this absolute floor (deg). Clean captures have
+  /// tightly clustered residuals, so a pure MAD rule would reject healthy
+  /// stops; a corrupted stop disagrees by tens of degrees.
+  double rejectMinResidualDeg = 10.0;
+  /// Restart count used by the widened re-solve that solveRobust runs when
+  /// the primary solve fails to converge.
+  std::size_t widenedRestarts = 8;
 };
 
 /// Diffraction-aware sensor fusion (paper Section 4.1): jointly estimates
@@ -87,12 +115,30 @@ class SensorFusion {
   SensorFusionResult solve(
       const std::vector<FusionMeasurement>& measurements) const;
 
+  /// Degradation-tolerant solve: never throws on bad data. Returns
+  /// usable = false when fewer than Options::minMeasurements stops are
+  /// available; otherwise solves, drops MAD-outlier stops (bounded rounds,
+  /// never below minMeasurements), and re-solves with widened restarts when
+  /// the optimizer fails to converge, keeping whichever result scores the
+  /// better objective. Rejected stops still appear in `stops` (localized =
+  /// false) so callers can report them; their source indices are listed in
+  /// rejectedSourceIndices.
+  SensorFusionResult solveRobust(
+      const std::vector<FusionMeasurement>& measurements) const;
+
   /// The Eq. 2 objective for a specific head-parameter candidate; exposed
   /// for tests and ablation benches.
   double objective(const head::HeadParameters& candidate,
                    const std::vector<FusionMeasurement>& measurements) const;
 
  private:
+  /// Shared solve core: optimize E over `measurements` with `restarts`
+  /// independent starts, then fuse. Assumes a non-empty measurement set;
+  /// public entry points enforce their own minimums.
+  SensorFusionResult solveWith(
+      const std::vector<FusionMeasurement>& measurements,
+      std::size_t restarts) const;
+
   /// A candidate head geometry with its localizer, built once per distinct
   /// (a, b, c) and reused. Nelder-Mead re-evaluates simplex vertices
   /// (shrinks, the accepted-point bookkeeping, and the final solve pass),

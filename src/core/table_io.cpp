@@ -1,8 +1,10 @@
 #include "core/table_io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "common/error.h"
 
@@ -27,24 +29,6 @@ void writeVector(std::ostream& os, const std::vector<double>& v) {
   writeBytes(os, v.data(), v.size() * sizeof(double));
 }
 
-template <typename T>
-T readPod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  UNIQ_REQUIRE(is.good(), "unexpected end of file");
-  return v;
-}
-
-std::vector<double> readVector(std::istream& is, std::size_t maxLen) {
-  const auto n = readPod<std::uint64_t>(is);
-  UNIQ_REQUIRE(n <= maxLen, "vector length in file exceeds sane bounds");
-  std::vector<double> v(n);
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(double)));
-  UNIQ_REQUIRE(is.good(), "unexpected end of file");
-  return v;
-}
-
 void writeHrirs(std::ostream& os, const std::vector<head::Hrir>& hrirs) {
   writePod<std::uint64_t>(os, hrirs.size());
   for (const auto& hrir : hrirs) {
@@ -54,16 +38,87 @@ void writeHrirs(std::ostream& os, const std::vector<head::Hrir>& hrirs) {
   }
 }
 
-std::vector<head::Hrir> readHrirs(std::istream& is) {
-  const auto count = readPod<std::uint64_t>(is);
-  UNIQ_REQUIRE(count == 181, "table must contain 181 per-degree entries");
+/// Byte-offset-tracking reader: every validation failure says WHERE the
+/// file went bad, so a truncated download is distinguishable from a
+/// flipped bit in the middle ("at byte 524371" vs "at byte 16").
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  std::size_t offset() const { return offset_; }
+
+  [[noreturn]] void fail(const std::string& what, std::size_t at) const {
+    throw InvalidArgument("corrupt HRTF table: " + what + " at byte offset " +
+                          std::to_string(at));
+  }
+
+  void bytes(void* data, std::size_t n, const char* what) {
+    is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (!is_.good()) fail(std::string("unexpected end of file in ") + what,
+                          offset_);
+    offset_ += n;
+  }
+
+  template <typename T>
+  T pod(const char* what) {
+    T v{};
+    bytes(&v, sizeof(T), what);
+    return v;
+  }
+
+  /// Length-prefixed vector of doubles; rejects absurd lengths and any
+  /// non-finite payload (NaN/inf samples render as silence at best and
+  /// full-scale noise at worst — never let them into a playback path).
+  std::vector<double> vec(std::size_t maxLen, const char* what) {
+    const std::size_t at = offset_;
+    const auto n = pod<std::uint64_t>(what);
+    if (n > maxLen)
+      fail(std::string(what) + " length " + std::to_string(n) +
+               " exceeds sane bounds",
+           at);
+    std::vector<double> v(static_cast<std::size_t>(n));
+    if (n > 0) bytes(v.data(), v.size() * sizeof(double), what);
+    for (double x : v)
+      if (!std::isfinite(x))
+        fail(std::string("non-finite sample in ") + what, at);
+    return v;
+  }
+
+ private:
+  std::istream& is_;
+  std::size_t offset_ = 0;
+};
+
+std::vector<head::Hrir> readHrirs(Reader& r, const char* what,
+                                  double expectedSampleRate) {
+  const std::size_t at = r.offset();
+  const auto count = r.pod<std::uint64_t>(what);
+  if (count != 181)
+    r.fail(std::string(what) + " must contain 181 per-degree entries, found " +
+               std::to_string(count),
+           at);
   std::vector<head::Hrir> hrirs(count);
   for (auto& hrir : hrirs) {
-    hrir.sampleRate = readPod<double>(is);
-    hrir.left = readVector(is, 1 << 20);
-    hrir.right = readVector(is, 1 << 20);
+    const std::size_t entryAt = r.offset();
+    hrir.sampleRate = r.pod<double>(what);
+    if (hrir.sampleRate != expectedSampleRate)
+      r.fail(std::string("per-entry sample rate disagrees with header in ") +
+                 what,
+             entryAt);
+    hrir.left = r.vec(1 << 20, what);
+    hrir.right = r.vec(1 << 20, what);
   }
   return hrirs;
+}
+
+std::vector<double> readTaps(Reader& r, const char* what) {
+  const std::size_t at = r.offset();
+  auto taps = r.vec(1024, what);
+  if (taps.size() != 181)
+    r.fail(std::string(what) + " must have 181 entries, found " +
+               std::to_string(taps.size()),
+           at);
+  return taps;
 }
 
 }  // namespace
@@ -94,37 +149,50 @@ void saveHrtfTable(const std::string& path, const HrtfTable& table) {
 HrtfTable loadHrtfTable(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   UNIQ_REQUIRE(is.good(), "cannot open input file: " + path);
+  Reader r(is);
+
   char magic[8];
-  is.read(magic, sizeof(magic));
-  UNIQ_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-               "not a UNIQ HRTF table file");
-  const auto version = readPod<std::uint32_t>(is);
-  UNIQ_REQUIRE(version == kVersion, "unsupported table version");
+  r.bytes(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw InvalidArgument("not a UNIQ HRTF table file: " + path);
+  const auto version = r.pod<std::uint32_t>("version");
+  if (version != kVersion)
+    throw InvalidArgument("unsupported table version " +
+                          std::to_string(version) + " in " + path);
 
   NearFieldTable nearTable;
-  nearTable.headParams.a = readPod<double>(is);
-  nearTable.headParams.b = readPod<double>(is);
-  nearTable.headParams.c = readPod<double>(is);
-  nearTable.medianRadiusM = readPod<double>(is);
-  nearTable.sampleRate = readPod<double>(is);
-  UNIQ_REQUIRE(nearTable.sampleRate > 0, "corrupt sample rate");
+  const std::size_t headAt = r.offset();
+  nearTable.headParams.a = r.pod<double>("head parameter a");
+  nearTable.headParams.b = r.pod<double>("head parameter b");
+  nearTable.headParams.c = r.pod<double>("head parameter c");
+  if (!std::isfinite(nearTable.headParams.a) ||
+      !std::isfinite(nearTable.headParams.b) ||
+      !std::isfinite(nearTable.headParams.c) ||
+      !nearTable.headParams.isPlausible())
+    r.fail("head parameters outside anthropometric bounds", headAt);
 
-  nearTable.byDegree = readHrirs(is);
-  nearTable.tapLeftSamples = readVector(is, 1024);
-  nearTable.tapRightSamples = readVector(is, 1024);
-  UNIQ_REQUIRE(nearTable.tapLeftSamples.size() == 181 &&
-                   nearTable.tapRightSamples.size() == 181,
-               "corrupt tap arrays");
+  const std::size_t radiusAt = r.offset();
+  nearTable.medianRadiusM = r.pod<double>("median radius");
+  if (!std::isfinite(nearTable.medianRadiusM) ||
+      nearTable.medianRadiusM <= 0.0 || nearTable.medianRadiusM > 10.0)
+    r.fail("implausible median radius", radiusAt);
+
+  const std::size_t rateAt = r.offset();
+  nearTable.sampleRate = r.pod<double>("sample rate");
+  if (!std::isfinite(nearTable.sampleRate) ||
+      nearTable.sampleRate <= 8000.0 || nearTable.sampleRate > 1e6)
+    r.fail("implausible sample rate", rateAt);
+
+  nearTable.byDegree = readHrirs(r, "near-field HRIRs", nearTable.sampleRate);
+  nearTable.tapLeftSamples = readTaps(r, "near-field left taps");
+  nearTable.tapRightSamples = readTaps(r, "near-field right taps");
 
   FarFieldTable farTable;
   farTable.headParams = nearTable.headParams;
   farTable.sampleRate = nearTable.sampleRate;
-  farTable.byDegree = readHrirs(is);
-  farTable.tapLeftSamples = readVector(is, 1024);
-  farTable.tapRightSamples = readVector(is, 1024);
-  UNIQ_REQUIRE(farTable.tapLeftSamples.size() == 181 &&
-                   farTable.tapRightSamples.size() == 181,
-               "corrupt tap arrays");
+  farTable.byDegree = readHrirs(r, "far-field HRIRs", nearTable.sampleRate);
+  farTable.tapLeftSamples = readTaps(r, "far-field left taps");
+  farTable.tapRightSamples = readTaps(r, "far-field right taps");
 
   return HrtfTable(std::move(nearTable), std::move(farTable));
 }

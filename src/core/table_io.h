@@ -19,8 +19,10 @@ namespace uniq::core {
 void saveHrtfTable(const std::string& path, const HrtfTable& table);
 
 /// Read a table previously written by saveHrtfTable. Validates the magic,
-/// version, and structural invariants; throws InvalidArgument on anything
-/// malformed.
+/// version, row counts, sample-rate consistency, anthropometric plausibility
+/// of the head parameters, and that every sample is finite (no NaN/inf ever
+/// reaches a playback path); throws InvalidArgument naming the byte offset
+/// of anything malformed.
 HrtfTable loadHrtfTable(const std::string& path);
 
 }  // namespace uniq::core

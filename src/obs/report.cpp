@@ -28,6 +28,47 @@ std::string formatValue(double v) {
 
 }  // namespace
 
+const char* severityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+void RunReport::diagnose(std::string stage, Severity severity,
+                         std::string message, std::vector<std::size_t> stops) {
+  diagnostics.push_back(Diagnostic{std::move(stage), severity,
+                                   std::move(message), std::move(stops)});
+}
+
+Severity RunReport::worstSeverity() const {
+  Severity worst = Severity::kInfo;
+  for (const auto& d : diagnostics)
+    if (static_cast<int>(d.severity) > static_cast<int>(worst))
+      worst = d.severity;
+  return worst;
+}
+
+std::string RunReport::diagnosticsText() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics) {
+    os << "  [" << severityName(d.severity) << "] " << d.stage << ": "
+       << d.message;
+    if (!d.stops.empty()) {
+      os << " (stops ";
+      for (std::size_t i = 0; i < d.stops.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << d.stops[i];
+      }
+      os << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 void StageReport::set(const std::string& key, double v) {
   for (auto& kv : values) {
     if (kv.first == key) {
@@ -108,6 +149,7 @@ std::string RunReport::summaryTable() const {
   }
   os << "  " << std::string(nameWidth - 5, ' ') << "total  "
      << std::string(timeWidth - totalStr.size(), ' ') << totalStr << "\n";
+  if (!status.empty()) os << "  status: " << status << "\n";
   return os.str();
 }
 

@@ -7,6 +7,25 @@
 
 namespace uniq::obs {
 
+/// Severity of a pipeline diagnostic. The worst severity across a run maps
+/// onto the pipeline status: no warnings -> Ok, any warning -> Degraded,
+/// any error -> Failed (see docs/ROBUSTNESS.md for the full contract).
+enum class Severity { kInfo, kWarning, kError };
+
+/// Lower-case severity label ("info" / "warning" / "error").
+const char* severityName(Severity severity);
+
+/// One structured pipeline diagnostic: which stage noticed a problem, how
+/// bad it is, and which capture stops it affects. Diagnostics are the
+/// machine-readable counterpart of the old abort-on-first-error throws —
+/// a degraded capture produces a list of these instead of an exception.
+struct Diagnostic {
+  std::string stage;                ///< reporting stage, e.g. "fusion"
+  Severity severity = Severity::kInfo;
+  std::string message;              ///< human-readable description
+  std::vector<std::size_t> stops;   ///< affected capture stop indices (may be empty)
+};
+
 /// Structured record of one pipeline stage: wall time plus named numeric
 /// results (iteration counts, residuals, sizes). Values keep insertion
 /// order so the summary table reads the way the stage reported them.
@@ -31,6 +50,25 @@ struct StageReport {
 /// stage data directly instead of parsing logs.
 struct RunReport {
   std::vector<StageReport> stages;
+
+  /// Structured diagnostics accumulated across the run, in emission order.
+  std::vector<Diagnostic> diagnostics;
+
+  /// Final pipeline status label ("ok" / "degraded" / "failed"); empty when
+  /// the producer predates the resilience layer or did not set it.
+  std::string status;
+
+  /// Append a diagnostic.
+  void diagnose(std::string stage, Severity severity, std::string message,
+                std::vector<std::size_t> stops = {});
+
+  /// Worst severity across all diagnostics (kInfo when there are none).
+  Severity worstSeverity() const;
+
+  /// Human-readable diagnostics listing, one "  [severity] stage: message
+  /// (stops i, j, ...)" line per diagnostic; empty string when there are
+  /// none. Printed by `uniq calibrate` after the stage table.
+  std::string diagnosticsText() const;
 
   /// Stage named `name`, appended (with zero wall time) on first use.
   StageReport& stage(const std::string& name);

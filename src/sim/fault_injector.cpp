@@ -1,0 +1,268 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "dsp/fractional_delay.h"
+
+namespace uniq::sim {
+
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kDroppedImuSamples, "dropped_imu"},
+    {FaultKind::kDuplicatedImuSamples, "duplicated_imu"},
+    {FaultKind::kGyroBias, "gyro_bias"},
+    {FaultKind::kClockDrift, "clock_drift"},
+    {FaultKind::kAudioClipping, "audio_clipping"},
+    {FaultKind::kBurstNoise, "burst_noise"},
+    {FaultKind::kAudioDropout, "audio_dropout"},
+    {FaultKind::kSwappedEars, "swapped_ears"},
+    {FaultKind::kFailedChannel, "failed_channel"},
+    {FaultKind::kMissingStops, "missing_stops"},
+};
+
+double peakAbs(const std::vector<double>& x) {
+  double peak = 0.0;
+  for (double v : x) peak = std::max(peak, std::fabs(v));
+  return peak;
+}
+
+/// Pick `count` distinct stop indices (deterministic draw order).
+std::vector<std::size_t> pickStops(std::size_t total, std::size_t count,
+                                   Pcg32& rng) {
+  count = std::min(count, total);
+  std::set<std::size_t> chosen;
+  while (chosen.size() < count)
+    chosen.insert(rng.nextBounded(static_cast<std::uint32_t>(total)));
+  return {chosen.begin(), chosen.end()};
+}
+
+void clipRecording(std::vector<double>& x, double level) {
+  for (double& v : x) v = std::clamp(v, -level, level);
+}
+
+void addBurst(std::vector<double>& x, double amplitude, std::size_t start,
+              std::size_t length, Pcg32& rng) {
+  const std::size_t end = std::min(x.size(), start + length);
+  for (std::size_t i = start; i < end; ++i)
+    x[i] += amplitude * (2.0 * rng.nextDouble() - 1.0);
+}
+
+void zeroChunk(std::vector<double>& x, std::size_t start, std::size_t length) {
+  const std::size_t end = std::min(x.size(), start + length);
+  std::fill(x.begin() + static_cast<std::ptrdiff_t>(start),
+            x.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
+}
+
+}  // namespace
+
+const char* faultKindName(FaultKind kind) {
+  for (const auto& kn : kKindNames)
+    if (kn.kind == kind) return kn.name;
+  return "unknown";
+}
+
+FaultKind faultKindFromName(const std::string& name) {
+  for (const auto& kn : kKindNames)
+    if (name == kn.name) return kn.kind;
+  std::string valid;
+  for (const auto& kn : kKindNames) {
+    if (!valid.empty()) valid += ", ";
+    valid += kn.name;
+  }
+  throw InvalidArgument("unknown fault kind '" + name + "' (valid: " + valid +
+                        ")");
+}
+
+std::vector<FaultKind> allFaultKinds() {
+  std::vector<FaultKind> kinds;
+  for (const auto& kn : kKindNames) kinds.push_back(kn.kind);
+  return kinds;
+}
+
+std::vector<std::size_t> FaultInjectionLog::corruptedStops() const {
+  std::set<std::size_t> all;
+  for (const auto& f : faults) all.insert(f.stops.begin(), f.stops.end());
+  return {all.begin(), all.end()};
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+FaultInjector& FaultInjector::add(FaultSpec spec) {
+  UNIQ_REQUIRE(spec.severity >= 0.0 && spec.severity <= 1.0,
+               "fault severity must be in [0, 1]");
+  UNIQ_REQUIRE(spec.stopFraction <= 1.0, "stopFraction must be <= 1");
+  specs_.push_back(spec);
+  return *this;
+}
+
+CalibrationCapture FaultInjector::apply(const CalibrationCapture& clean,
+                                        FaultInjectionLog* log) const {
+  CalibrationCapture capture = clean;
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    const FaultSpec& spec = specs_[s];
+    // Decoupled stream per queued spec: adding or reordering one fault
+    // never changes the draws another sees.
+    Pcg32 rng = Pcg32(seed_).fork(0xFA00 + s);
+    const std::size_t n = capture.stops.size();
+    if (n == 0) break;
+
+    // Default hit fraction: severity 0.5 corrupts 20% of stops, matching
+    // the "moderate severity" contract in docs/ROBUSTNESS.md.
+    const double fraction =
+        spec.stopFraction >= 0.0 ? spec.stopFraction : 0.4 * spec.severity;
+    const auto count = static_cast<std::size_t>(
+        std::lround(fraction * static_cast<double>(n)));
+
+    InjectedFault injected;
+    injected.kind = spec.kind;
+    injected.severity = spec.severity;
+
+    switch (spec.kind) {
+      case FaultKind::kDroppedImuSamples: {
+        // The gyro stream gapped while the hand kept moving: the integrated
+        // angle freezes at the previous stop's value.
+        injected.stops = pickStops(n, count, rng);
+        for (std::size_t i : injected.stops) {
+          if (i == 0) continue;
+          capture.stops[i].imuAngleDeg = capture.stops[i - 1].imuAngleDeg;
+        }
+        break;
+      }
+      case FaultKind::kDuplicatedImuSamples: {
+        // Samples delivered twice double-count the angle increment.
+        injected.stops = pickStops(n, count, rng);
+        for (std::size_t i : injected.stops) {
+          if (i == 0) continue;
+          const double step = capture.stops[i].imuAngleDeg -
+                              capture.stops[i - 1].imuAngleDeg;
+          capture.stops[i].imuAngleDeg += step;
+        }
+        break;
+      }
+      case FaultKind::kGyroBias: {
+        // Uncompensated bias integrates into drift; it dominates the sweep
+        // tail, so corrupt the last `fraction` of stops with a linearly
+        // growing offset (max ~12 deg at full severity).
+        const std::size_t start = n - std::min(n, count);
+        const double maxDriftDeg =
+            12.0 * spec.severity * (rng.nextDouble() < 0.5 ? -1.0 : 1.0);
+        for (std::size_t i = start; i < n; ++i) {
+          const double t = count > 0
+                               ? static_cast<double>(i - start + 1) /
+                                     static_cast<double>(count)
+                               : 0.0;
+          capture.stops[i].imuAngleDeg += maxDriftDeg * t;
+          injected.stops.push_back(i);
+        }
+        break;
+      }
+      case FaultKind::kClockDrift: {
+        // Phone/earbud clocks diverge: absolute tap times shift by a drift
+        // that grows over the sweep tail (max ~0.5 ms at full severity,
+        // i.e. ~17 cm of apparent path length).
+        const std::size_t start = n - std::min(n, count);
+        const double maxDriftSec = 5e-4 * spec.severity;
+        for (std::size_t i = start; i < n; ++i) {
+          const double t = count > 0
+                               ? static_cast<double>(i - start + 1) /
+                                     static_cast<double>(count)
+                               : 0.0;
+          const double shiftSamples =
+              maxDriftSec * t * capture.sampleRate;
+          auto& rec = capture.stops[i].recording;
+          rec.left = dsp::fractionalShift(rec.left, shiftSamples);
+          rec.right = dsp::fractionalShift(rec.right, shiftSamples);
+          injected.stops.push_back(i);
+        }
+        break;
+      }
+      case FaultKind::kAudioClipping: {
+        injected.stops = pickStops(n, count, rng);
+        for (std::size_t i : injected.stops) {
+          auto& rec = capture.stops[i].recording;
+          // Clip at a fraction of the stop's own peak (severity 1 clamps
+          // at 15% of peak — a badly overdriven mic).
+          const double keep = 1.0 - 0.85 * spec.severity;
+          clipRecording(rec.left, keep * peakAbs(rec.left));
+          clipRecording(rec.right, keep * peakAbs(rec.right));
+        }
+        break;
+      }
+      case FaultKind::kBurstNoise: {
+        injected.stops = pickStops(n, count, rng);
+        for (std::size_t i : injected.stops) {
+          auto& rec = capture.stops[i].recording;
+          const std::size_t len = rec.left.size();
+          if (len == 0) continue;
+          const auto burstLen = static_cast<std::size_t>(
+              0.01 * capture.sampleRate * (1.0 + 2.0 * rng.nextDouble()));
+          const std::size_t at =
+              rng.nextBounded(static_cast<std::uint32_t>(len));
+          const double amp =
+              (0.5 + 4.0 * spec.severity) *
+              std::max(peakAbs(rec.left), peakAbs(rec.right));
+          addBurst(rec.left, amp, at, burstLen, rng);
+          addBurst(rec.right, amp, at, burstLen, rng);
+        }
+        break;
+      }
+      case FaultKind::kAudioDropout: {
+        injected.stops = pickStops(n, count, rng);
+        for (std::size_t i : injected.stops) {
+          auto& rec = capture.stops[i].recording;
+          const std::size_t len = rec.left.size();
+          if (len == 0) continue;
+          const auto chunk = static_cast<std::size_t>(
+              (0.1 + 0.5 * spec.severity) * static_cast<double>(len));
+          const std::size_t at =
+              rng.nextBounded(static_cast<std::uint32_t>(len));
+          zeroChunk(rec.left, at, chunk);
+          zeroChunk(rec.right, at, chunk);
+        }
+        break;
+      }
+      case FaultKind::kSwappedEars: {
+        injected.stops = pickStops(n, count, rng);
+        for (std::size_t i : injected.stops)
+          std::swap(capture.stops[i].recording.left,
+                    capture.stops[i].recording.right);
+        break;
+      }
+      case FaultKind::kFailedChannel: {
+        injected.stops = pickStops(n, count, rng);
+        for (std::size_t i : injected.stops) {
+          auto& rec = capture.stops[i].recording;
+          auto& dead = rng.nextDouble() < 0.5 ? rec.left : rec.right;
+          std::fill(dead.begin(), dead.end(), 0.0);
+        }
+        break;
+      }
+      case FaultKind::kMissingStops: {
+        // Remove whole stops. Note: this shifts stop indices relative to
+        // the ground-truth trajectory, so per-stop truth alignment no
+        // longer holds downstream (head-parameter and HRTF-level metrics
+        // remain valid).
+        injected.stops = pickStops(n, count, rng);
+        for (auto it = injected.stops.rbegin(); it != injected.stops.rend();
+             ++it) {
+          capture.stops.erase(capture.stops.begin() +
+                              static_cast<std::ptrdiff_t>(*it));
+        }
+        break;
+      }
+    }
+    if (log) log->faults.push_back(std::move(injected));
+  }
+  return capture;
+}
+
+}  // namespace uniq::sim

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/measurement_session.h"
+
+namespace uniq::sim {
+
+/// Fault classes observed in uncontrolled home captures (hand-swept phone,
+/// reverberant rooms, consumer IMUs). Each corrupts a clean
+/// CalibrationCapture the way the corresponding real-world defect would.
+enum class FaultKind {
+  kDroppedImuSamples,    ///< gyro gap: stop inherits the previous stop's angle
+  kDuplicatedImuSamples, ///< double-integrated samples: stop angle overshoots
+  kGyroBias,             ///< accumulating angle drift over the sweep tail
+  kClockDrift,           ///< phone/earbud clocks diverge: taps shift in time
+  kAudioClipping,        ///< recording clamped at a fraction of its peak
+  kBurstNoise,           ///< loud transient (door slam, speech) mid-recording
+  kAudioDropout,         ///< Bluetooth dropout: a zeroed chunk of recording
+  kSwappedEars,          ///< left/right channels exchanged at some stops
+  kFailedChannel,        ///< one ear silent (earbud fell out / mic died)
+  kMissingStops,         ///< stops absent entirely (user paused / app skipped)
+};
+
+/// Stable lower-snake name for a fault kind ("audio_clipping", ...).
+const char* faultKindName(FaultKind kind);
+
+/// Parse a faultKindName back to the kind; throws InvalidArgument on an
+/// unknown name (the CLI surfaces the valid list).
+FaultKind faultKindFromName(const std::string& name);
+
+/// Every fault kind, in declaration order (for sweeps and smoke tests).
+std::vector<FaultKind> allFaultKinds();
+
+/// One parameterized fault. `severity` in [0, 1] scales both how many stops
+/// are hit and how strongly; `stopFraction` overrides the hit fraction when
+/// >= 0 (severity 0.5 with the default derivation corrupts ~20% of stops).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kAudioClipping;
+  double severity = 0.5;
+  double stopFraction = -1.0;
+};
+
+/// What one applied fault actually touched (for asserting that quality
+/// gating rejects the right stops).
+struct InjectedFault {
+  FaultKind kind = FaultKind::kAudioClipping;
+  double severity = 0.0;
+  std::vector<std::size_t> stops;  ///< corrupted stop indices, ascending
+};
+
+struct FaultInjectionLog {
+  std::vector<InjectedFault> faults;
+  /// Union of all corrupted stop indices, ascending, deduplicated.
+  std::vector<std::size_t> corruptedStops() const;
+};
+
+/// Composable, seeded capture corruptor: queue any number of FaultSpecs,
+/// then apply them (in order) to a copy of a clean capture. All randomness
+/// derives from the constructor seed and the spec's position in the queue,
+/// so a given (seed, specs) pair corrupts identically on every run and
+/// platform — every robustness claim stays reproducible.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0x5eedf417);
+
+  FaultInjector& add(FaultSpec spec);
+  FaultInjector& add(FaultKind kind, double severity = 0.5) {
+    return add(FaultSpec{kind, severity, -1.0});
+  }
+
+  /// Apply every queued fault to a copy of `clean`. `log`, when non-null,
+  /// receives one InjectedFault per spec.
+  CalibrationCapture apply(const CalibrationCapture& clean,
+                           FaultInjectionLog* log = nullptr) const;
+
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace uniq::sim

@@ -1,0 +1,106 @@
+// End-to-end degraded-capture smoke test (ctest `robustness_smoke`): for
+// every fault class at moderate severity, the calibration pipeline must
+//   1. complete without throwing,
+//   2. report status ok or degraded (never failed at this corruption level),
+//   3. keep the head-parameter error within 2x the clean-capture error
+//      (plus a small absolute floor for near-zero clean errors), and
+//   4. list every fusion-rejected stop in the diagnostics.
+// A plain main() (not gtest) so the binary doubles as a manual probe:
+// `robustness_smoke` prints one line per fault class.
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/pipeline.h"
+#include "head/subject.h"
+#include "obs/report.h"
+#include "sim/fault_injector.h"
+#include "sim/measurement_session.h"
+#include "sim/trajectory.h"
+
+using namespace uniq;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    ++failures;
+    std::cout << "FAIL: " << what << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto subject = head::makePopulation(1, 4242)[0];
+  const sim::MeasurementSession session;
+  auto gesture = sim::defaultGesture();
+  const auto clean = session.run(subject, gesture);
+  const core::CalibrationPipeline pipeline;
+
+  const auto cleanRun = pipeline.run(clean);
+  const double cleanErr =
+      head::maxAxisError(cleanRun.headParams, subject.headParams);
+  std::cout << "clean: status " << core::pipelineStatusName(cleanRun.status)
+            << ", head error " << cleanErr * 1e3 << " mm\n";
+  check(cleanRun.status == core::PipelineStatus::kOk,
+        "clean capture must run with status ok");
+
+  // 2x the clean error, floored: a clean solve can land sub-millimeter,
+  // and moderate corruption legitimately costs a few millimeters.
+  const double errBound = std::max(2.0 * cleanErr, 5e-3);
+
+  for (const auto kind : sim::allFaultKinds()) {
+    const char* name = sim::faultKindName(kind);
+    sim::FaultInjector injector(0xD15EA5E);
+    injector.add(kind, 0.5);  // moderate: ~20% of stops corrupted
+    sim::FaultInjectionLog log;
+    const auto corrupted = injector.apply(clean, &log);
+
+    obs::RunReport report;
+    try {
+      const auto run = pipeline.run(corrupted, &report);
+      const double err =
+          head::maxAxisError(run.headParams, subject.headParams);
+      std::ostringstream line;
+      line << name << ": status "
+           << core::pipelineStatusName(run.status) << ", head error "
+           << err * 1e3 << " mm, rejected "
+           << run.fusion.rejectedSourceIndices.size() << " stop(s), "
+           << run.diagnostics.size() << " diagnostic(s)";
+      std::cout << line.str() << "\n";
+
+      check(run.status != core::PipelineStatus::kFailed,
+            std::string(name) + ": moderate corruption must not fail over");
+      check(err <= errBound,
+            std::string(name) + ": head error " + std::to_string(err) +
+                " m exceeds bound " + std::to_string(errBound) + " m");
+
+      // Every fusion-rejected stop must be accounted for in a diagnostic.
+      for (std::size_t rejectedStop : run.fusion.rejectedSourceIndices) {
+        bool listed = false;
+        for (const auto& d : run.diagnostics)
+          for (std::size_t s : d.stops) listed = listed || s == rejectedStop;
+        check(listed, std::string(name) + ": rejected stop " +
+                          std::to_string(rejectedStop) +
+                          " missing from diagnostics");
+      }
+      check(report.status == core::pipelineStatusName(run.status),
+            std::string(name) + ": report status mirrors pipeline status");
+    } catch (const Error& e) {
+      check(false, std::string(name) + ": pipeline threw: " + e.what());
+    }
+  }
+
+  if (failures == 0) {
+    std::cout << "robustness smoke: all fault classes OK\n";
+    return 0;
+  }
+  std::cout << "robustness smoke: " << failures << " failure(s)\n";
+  return 1;
+}

@@ -157,6 +157,33 @@ TEST_F(AoaTest, TrainLambdaReturnsGridMember) {
   EXPECT_TRUE(lambda == 500.0 || lambda == 3000.0 || lambda == 10000.0);
 }
 
+TEST_F(AoaTest, KnownSourceDegradesGracefullyOnDeadChannel) {
+  // A dead left channel means no detectable first tap: the Eq. 9 path has
+  // nothing to anchor on. The estimator must fall back instead of throwing
+  // and mark the result as degraded with reduced confidence.
+  const auto chirp = dsp::linearChirp(100.0, 20000.0, 4800, kFs);
+  const auto rec = record(60.0, chirp, true, 25.0, 17);
+  const std::vector<double> dead(rec.left.size(), 0.0);
+  const AoaEstimator est(*table_);
+  AoaEstimate result;
+  EXPECT_NO_THROW(result = est.estimateKnown(dead, rec.right, chirp));
+  EXPECT_TRUE(result.degraded);
+  EXPECT_LE(result.confidence, 0.5);
+  EXPECT_GE(result.angleDeg, 0.0);
+  EXPECT_LE(result.angleDeg, 180.0);
+}
+
+TEST_F(AoaTest, HealthyEstimateCarriesConfidence) {
+  const auto chirp = dsp::linearChirp(100.0, 20000.0, 4800, kFs);
+  const auto rec = record(90.0, chirp, true, 25.0, 23);
+  const AoaEstimator est(*table_);
+  const auto result = est.estimateKnown(rec.left, rec.right, chirp);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_GE(result.scoreMargin, 0.0);
+  EXPECT_GT(result.confidence, 0.0);
+  EXPECT_LT(result.confidence, 1.0);
+}
+
 TEST_F(AoaTest, EstimatorRejectsBadTable) {
   FarFieldTable bad = *table_;
   bad.byDegree.resize(10);

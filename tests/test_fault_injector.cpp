@@ -1,0 +1,151 @@
+// FaultInjector unit tests: determinism, per-kind corruption signatures,
+// and injection-log bookkeeping. The injector is the ground truth the
+// robustness suite measures against, so it has to be exactly reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "head/subject.h"
+#include "sim/fault_injector.h"
+#include "sim/measurement_session.h"
+#include "sim/trajectory.h"
+
+namespace uniq {
+namespace {
+
+sim::CalibrationCapture makeCapture(std::size_t stops = 24) {
+  head::Subject subject;
+  subject.name = "fault-probe";
+  subject.headParams = head::HeadParameters::average();
+  subject.pinnaSeed = 99;
+  const sim::MeasurementSession session;
+  auto gesture = sim::defaultGesture();
+  gesture.stops = stops;
+  return session.run(subject, gesture);
+}
+
+double peakAbs(const std::vector<double>& x) {
+  double peak = 0.0;
+  for (double v : x) peak = std::max(peak, std::fabs(v));
+  return peak;
+}
+
+TEST(FaultInjector, SameSeedSameCorruption) {
+  const auto clean = makeCapture();
+  sim::FaultInjector a(77), b(77);
+  a.add(sim::FaultKind::kBurstNoise, 0.7);
+  b.add(sim::FaultKind::kBurstNoise, 0.7);
+  const auto ca = a.apply(clean);
+  const auto cb = b.apply(clean);
+  ASSERT_EQ(ca.stops.size(), cb.stops.size());
+  for (std::size_t i = 0; i < ca.stops.size(); ++i) {
+    ASSERT_EQ(ca.stops[i].recording.left.size(),
+              cb.stops[i].recording.left.size());
+    for (std::size_t s = 0; s < ca.stops[i].recording.left.size(); ++s)
+      ASSERT_DOUBLE_EQ(ca.stops[i].recording.left[s],
+                       cb.stops[i].recording.left[s]);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedDifferentStops) {
+  const auto clean = makeCapture();
+  sim::FaultInjectionLog logA, logB;
+  sim::FaultInjector(1).add(sim::FaultKind::kAudioDropout, 0.5).apply(clean,
+                                                                      &logA);
+  sim::FaultInjector(2).add(sim::FaultKind::kAudioDropout, 0.5).apply(clean,
+                                                                      &logB);
+  // Both corrupt the same number of stops but (with overwhelming
+  // probability) not the same set.
+  ASSERT_EQ(logA.faults.size(), 1u);
+  ASSERT_EQ(logB.faults.size(), 1u);
+  EXPECT_EQ(logA.faults[0].stops.size(), logB.faults[0].stops.size());
+}
+
+TEST(FaultInjector, CleanCaptureUntouched) {
+  const auto clean = makeCapture(12);
+  const sim::FaultInjector injector(5);  // no specs queued
+  const auto out = injector.apply(clean);
+  ASSERT_EQ(out.stops.size(), clean.stops.size());
+  for (std::size_t i = 0; i < out.stops.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.stops[i].imuAngleDeg, clean.stops[i].imuAngleDeg);
+    for (std::size_t s = 0; s < out.stops[i].recording.left.size(); ++s)
+      ASSERT_DOUBLE_EQ(out.stops[i].recording.left[s],
+                       clean.stops[i].recording.left[s]);
+  }
+}
+
+TEST(FaultInjector, ClippingFlattensPeaks) {
+  const auto clean = makeCapture(12);
+  sim::FaultInjectionLog log;
+  sim::FaultInjector injector(9);
+  injector.add(sim::FaultSpec{sim::FaultKind::kAudioClipping, 0.8, 0.5});
+  const auto out = injector.apply(clean, &log);
+  ASSERT_EQ(log.faults.size(), 1u);
+  EXPECT_EQ(log.faults[0].stops.size(), 6u);  // 50% of 12
+  for (std::size_t i : log.faults[0].stops) {
+    // Clamp level is (1 - 0.85*0.8) = 32% of the clean peak.
+    EXPECT_LT(peakAbs(out.stops[i].recording.left),
+              0.5 * peakAbs(clean.stops[i].recording.left));
+  }
+}
+
+TEST(FaultInjector, MissingStopsShrinkTheCapture) {
+  const auto clean = makeCapture(20);
+  sim::FaultInjectionLog log;
+  sim::FaultInjector injector(3);
+  injector.add(sim::FaultSpec{sim::FaultKind::kMissingStops, 1.0, 0.25});
+  const auto out = injector.apply(clean, &log);
+  EXPECT_EQ(out.stops.size(), 15u);
+  EXPECT_EQ(log.corruptedStops().size(), 5u);
+}
+
+TEST(FaultInjector, SwappedEarsIsAnExactExchange) {
+  const auto clean = makeCapture(10);
+  sim::FaultInjectionLog log;
+  sim::FaultInjector injector(11);
+  injector.add(sim::FaultSpec{sim::FaultKind::kSwappedEars, 0.5, 0.3});
+  const auto out = injector.apply(clean, &log);
+  for (std::size_t i : log.faults[0].stops) {
+    ASSERT_EQ(out.stops[i].recording.left.size(),
+              clean.stops[i].recording.right.size());
+    for (std::size_t s = 0; s < out.stops[i].recording.left.size(); ++s) {
+      ASSERT_DOUBLE_EQ(out.stops[i].recording.left[s],
+                       clean.stops[i].recording.right[s]);
+      ASSERT_DOUBLE_EQ(out.stops[i].recording.right[s],
+                       clean.stops[i].recording.left[s]);
+    }
+  }
+}
+
+TEST(FaultInjector, FailedChannelSilencesExactlyOneEar) {
+  const auto clean = makeCapture(10);
+  sim::FaultInjectionLog log;
+  sim::FaultInjector injector(13);
+  injector.add(sim::FaultSpec{sim::FaultKind::kFailedChannel, 0.5, 0.3});
+  const auto out = injector.apply(clean, &log);
+  ASSERT_FALSE(log.faults[0].stops.empty());
+  for (std::size_t i : log.faults[0].stops) {
+    const double l = peakAbs(out.stops[i].recording.left);
+    const double r = peakAbs(out.stops[i].recording.right);
+    EXPECT_TRUE((l == 0.0) != (r == 0.0))
+        << "stop " << i << ": exactly one ear must be dead";
+  }
+}
+
+TEST(FaultInjector, NameRoundTripAndUnknownNameThrows) {
+  for (const auto kind : sim::allFaultKinds())
+    EXPECT_EQ(sim::faultKindFromName(sim::faultKindName(kind)), kind);
+  EXPECT_THROW(sim::faultKindFromName("sharknado"), InvalidArgument);
+}
+
+TEST(FaultInjector, SeverityOutOfRangeThrows) {
+  sim::FaultInjector injector(1);
+  EXPECT_THROW(injector.add(sim::FaultKind::kGyroBias, 1.5), InvalidArgument);
+  EXPECT_THROW(injector.add(sim::FaultKind::kGyroBias, -0.1),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace uniq

@@ -259,6 +259,48 @@ TEST(ObsReport, SummarizeMetricsFiltersByPrefix) {
 
 // End-to-end: a small calibrate run reports every pipeline stage, and the
 // trace contains the stage spans the docs promise.
+TEST(ObsReport, SeverityNamesAreLowercaseLabels) {
+  EXPECT_STREQ(obs::severityName(obs::Severity::kInfo), "info");
+  EXPECT_STREQ(obs::severityName(obs::Severity::kWarning), "warning");
+  EXPECT_STREQ(obs::severityName(obs::Severity::kError), "error");
+}
+
+TEST(ObsReport, DiagnosticsWorstSeverityAndText) {
+  obs::RunReport report;
+  EXPECT_EQ(report.worstSeverity(), obs::Severity::kInfo);
+  EXPECT_TRUE(report.diagnosticsText().empty());
+
+  report.diagnose("fusion", obs::Severity::kInfo, "rejected 1 outlier stop",
+                  {30});
+  EXPECT_EQ(report.worstSeverity(), obs::Severity::kInfo);
+  report.diagnose("extract", obs::Severity::kWarning, "2 stops clipped",
+                  {3, 7});
+  EXPECT_EQ(report.worstSeverity(), obs::Severity::kWarning);
+  report.diagnose("pipeline", obs::Severity::kError, "stage failed");
+  EXPECT_EQ(report.worstSeverity(), obs::Severity::kError);
+
+  const auto text = report.diagnosticsText();
+  EXPECT_NE(
+      text.find("[info] fusion: rejected 1 outlier stop (stops 30)"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[warning] extract: 2 stops clipped (stops 3, 7)"),
+            std::string::npos)
+      << text;
+  // No "(stops ...)" suffix when a diagnostic names no stops.
+  EXPECT_NE(text.find("[error] pipeline: stage failed\n"), std::string::npos)
+      << text;
+}
+
+TEST(ObsReport, SummaryTableCarriesStatusLine) {
+  obs::RunReport report;
+  report.stage("fusion").set("stops", 30.0);
+  EXPECT_EQ(report.summaryTable().find("status:"), std::string::npos);
+  report.status = "degraded";
+  EXPECT_NE(report.summaryTable().find("status: degraded"),
+            std::string::npos);
+}
+
 TEST(ObsPipelineIntegration, CalibrateRunReportsAllStages) {
   obs::setTraceEnabled(true);
   obs::clearTrace();
@@ -308,12 +350,12 @@ TEST(ObsPipelineIntegration, CalibrateRunReportsAllStages) {
 
   const auto spans = obs::collectSpans();
   for (const char* name :
-       {"pipeline.run", "pipeline.extract_channels", "dsf.solve",
+       {"pipeline.run", "pipeline.extract_channels", "dsf.solve_robust",
         "dsf.restart", "nearfield.build", "nearfar.convert"}) {
     EXPECT_NE(findSpan(spans, name), nullptr) << "missing span: " << name;
   }
   const auto* run = findSpan(spans, "pipeline.run");
-  const auto* solve = findSpan(spans, "dsf.solve");
+  const auto* solve = findSpan(spans, "dsf.solve_robust");
   ASSERT_TRUE(run && solve);
   EXPECT_GT(run->durUs, 0.0);
 

@@ -82,9 +82,19 @@ TEST(Robustness, FewStopsRejectedCleanly) {
   const auto population = eval::makeStudyPopulation(config);
   eval::Volunteer sparse = population[0];
   sparse.gesture.stops = 4;
-  // Either the fusion refuses (too few measurements) or the near-field
-  // builder does; it must be a typed error, not a crash or silent garbage.
-  EXPECT_THROW(eval::calibrate(sparse, config), Error);
+  // Too few stops to personalize: the pipeline must not throw or produce
+  // silent garbage — it fails over to the population-average table and says
+  // so in the diagnostics.
+  const auto run = eval::calibrate(sparse, config);
+  EXPECT_EQ(run.personal.status, core::PipelineStatus::kFailed);
+  EXPECT_FALSE(run.personal.diagnostics.empty());
+  bool sawError = false;
+  for (const auto& d : run.personal.diagnostics)
+    sawError = sawError || d.severity == obs::Severity::kError;
+  EXPECT_TRUE(sawError);
+  // The fallback table is still a complete, renderable table.
+  EXPECT_EQ(run.personal.table.farTable().byDegree.size(), 181u);
+  EXPECT_FALSE(run.personal.gestureReport.ok);
 }
 
 TEST(Robustness, DeterministicEndToEnd) {

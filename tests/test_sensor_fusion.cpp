@@ -32,6 +32,7 @@ std::vector<FusionMeasurement> makeMeasurements(
         geo::nearFieldPath(head, pos, geo::Ear::kRight).length /
         kSpeedOfSound;
     m.imuAngleDeg = theta + rng.gaussian(0.0, imuNoiseDeg);
+    m.sourceIndex = i;
     out.push_back(m);
   }
   return out;
@@ -132,6 +133,52 @@ TEST(SensorFusion, RejectsTooFewMeasurements) {
   const SensorFusion fusion;
   std::vector<FusionMeasurement> few(3);
   EXPECT_THROW(fusion.solve(few), InvalidArgument);
+}
+
+TEST(SensorFusion, SolveRobustUnusableInsteadOfThrowingOnTooFew) {
+  const SensorFusion fusion;
+  std::vector<FusionMeasurement> few(4);
+  SensorFusionResult result;
+  EXPECT_NO_THROW(result = fusion.solveRobust(few));
+  EXPECT_FALSE(result.usable);
+  EXPECT_TRUE(result.rejectedSourceIndices.empty());
+}
+
+TEST(SensorFusion, SolveRobustRejectsPlantedOutlier) {
+  const head::HeadParameters truth{0.072, 0.104, 0.089};
+  Pcg32 rng(7);
+  auto measurements = makeMeasurements(truth, 1.0, rng, 24);
+  // One stop's gyro integration went wild: IMU disagrees with the acoustic
+  // angle by ~55 deg, far beyond both the MAD gate and the 10-deg floor.
+  measurements[9].imuAngleDeg += 55.0;
+  const SensorFusion fusion;
+  const auto result = fusion.solveRobust(measurements);
+  EXPECT_TRUE(result.usable);
+  ASSERT_EQ(result.rejectedSourceIndices.size(), 1u);
+  EXPECT_EQ(result.rejectedSourceIndices[0], 9u);
+  EXPECT_GE(result.rejectRounds, 1u);
+  // The rejected stop stays visible downstream, just unlocalized.
+  ASSERT_EQ(result.stops.size(), measurements.size());
+  EXPECT_FALSE(result.stops[9].localized);
+  EXPECT_EQ(result.stops[9].sourceIndex, 9u);
+  // With the outlier trimmed the head estimate stays sane.
+  EXPECT_TRUE(result.headParams.isPlausible());
+  EXPECT_NEAR(result.headParams.a, truth.a, 0.008);
+}
+
+TEST(SensorFusion, SolveRobustKeepsEveryCleanStop) {
+  const head::HeadParameters truth{0.070, 0.102, 0.091};
+  Pcg32 rng(8);
+  const auto measurements = makeMeasurements(truth, 0.5, rng, 20);
+  const SensorFusion fusion;
+  const auto result = fusion.solveRobust(measurements);
+  EXPECT_TRUE(result.usable);
+  EXPECT_TRUE(result.rejectedSourceIndices.empty());
+  EXPECT_EQ(result.rejectRounds, 0u);
+  EXPECT_EQ(result.localizedCount, measurements.size());
+  // Stops come back sorted by their originating capture index.
+  for (std::size_t i = 0; i < result.stops.size(); ++i)
+    EXPECT_EQ(result.stops[i].sourceIndex, i);
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 
 #include "common/error.h"
 #include "core/near_field_hrtf.h"
@@ -112,6 +114,64 @@ TEST(TableIo, RejectsTruncatedFile) {
     os.write(contents.data(), 1024);
   }
   EXPECT_THROW(loadHrtfTable(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(TableIo, CorruptPayloadReportsByteOffset) {
+  const auto table = makeTable();
+  const auto path = tempPath("corrupt_payload.uniq");
+  saveHrtfTable(path, table);
+  std::string contents;
+  {
+    std::ifstream is(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(contents.size(), 4096u);
+  // Stomp 64 bytes mid-file: depending on alignment this lands in HRIR
+  // samples (all-ones doubles are NaN) or a length prefix (absurd length).
+  // Either way the loader must refuse with a pinpointed byte offset.
+  for (std::size_t i = 0; i < 64; ++i)
+    contents[contents.size() / 2 + i] = '\xFF';
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  }
+  try {
+    loadHrtfTable(path);
+    FAIL() << "corrupted table must not load";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos)
+        << "message should locate the corruption: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIo, RejectsNaNSample) {
+  const auto table = makeTable();
+  const auto path = tempPath("nan_sample.uniq");
+  saveHrtfTable(path, table);
+  std::string contents;
+  {
+    std::ifstream is(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>());
+  }
+  // Rewrite one known payload double as a quiet NaN: makeTable stores 24.0
+  // in every near-field left tap, so the byte pattern of 24.0 marks a real
+  // IEEE-double slot in the file.
+  const double marker = 24.0;
+  std::string needle(sizeof marker, '\0');
+  std::memcpy(needle.data(), &marker, sizeof marker);
+  const std::size_t slot = contents.find(needle);
+  ASSERT_NE(slot, std::string::npos);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(&contents[slot], &nan, sizeof nan);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  }
+  EXPECT_THROW(loadHrtfTable(path), InvalidArgument);
   std::remove(path.c_str());
 }
 
