@@ -15,13 +15,29 @@
 //       Render a mono WAV through the personalized HRTF.
 //   demo-render --table table.uniq --out binaural.wav --angle DEG
 //       Same as render with a built-in test signal (no input file needed).
+//   serve-batch --users N [--workers W] [--queue Q] [--stops N] [--seed N]
+//               [--deadline-ms D] [--cancel C] [--cache-capacity K]
+//               [--table-dir DIR] [--aoa-queries M] [--compare-serial]
+//               [--fault KIND [--fault-severity X] [--fault-every K]]
+//               [--metrics-out m.json]
+//       Drive the concurrent calibration service end to end with N
+//       simulated users: submit every capture as a job, drain, run a
+//       batched AoA pass against the cached per-user tables, and print
+//       per-job states plus aggregate throughput/cache statistics.
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "audio/wav.h"
 #include "common/error.h"
+#include "common/math_util.h"
 #include "core/pipeline.h"
 #include "core/table_io.h"
 #include "dsp/resample.h"
@@ -32,6 +48,9 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "serve/batch_aoa.h"
+#include "serve/calibration_service.h"
+#include "serve/table_cache.h"
 #include "sim/fault_injector.h"
 #include "sim/measurement_session.h"
 #include "spatial3d/elevation_renderer.h"
@@ -255,6 +274,191 @@ int cmdRender(const Args& args, bool demo) {
   return 0;
 }
 
+int cmdServeBatch(const Args& args) {
+  const auto users =
+      static_cast<std::size_t>(std::stoull(optional(args, "users", "32")));
+  const auto stops =
+      static_cast<std::size_t>(std::stoull(optional(args, "stops", "12")));
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(optional(args, "seed", "42")));
+  const auto cancelCount =
+      static_cast<std::size_t>(std::stoull(optional(args, "cancel", "0")));
+  const auto aoaQueries = static_cast<std::size_t>(std::stoull(
+      optional(args, "aoa-queries", std::to_string(std::min<std::size_t>(
+                                        2 * users, 64)))));
+  const double deadlineMs = std::stod(optional(args, "deadline-ms", "0"));
+  const bool compareSerial = args.count("compare-serial") > 0;
+  const auto metricsOut = optional(args, "metrics-out", "");
+
+  serve::CalibrationServiceOptions serveOpts;
+  serveOpts.workers =
+      static_cast<std::size_t>(std::stoull(optional(args, "workers", "0")));
+  serveOpts.maxQueued = static_cast<std::size_t>(
+      std::stoull(optional(args, "queue", std::to_string(2 * users))));
+  serveOpts.cacheCapacity = static_cast<std::size_t>(std::stoull(
+      optional(args, "cache-capacity", std::to_string(users))));
+  serveOpts.persistDir = optional(args, "table-dir", "");
+  if (args.count("min-stops") > 0) {
+    serveOpts.pipeline.minUsableStops =
+        static_cast<std::size_t>(std::stoull(require(args, "min-stops")));
+  }
+
+  UNIQ_REQUIRE(users >= 1, "--users must be >= 1");
+
+  // --- Simulate the fleet: one subject + capture per user. -------------
+  std::cout << "simulating " << users << " users (seed " << seed << ", "
+            << stops << " stops each)...\n";
+  const auto subjects = head::makePopulation(users, seed);
+  const sim::MeasurementSession session;
+  auto gesture = sim::defaultGesture();
+  gesture.stops = stops;
+  const auto faultEvery = static_cast<std::size_t>(
+      std::stoull(optional(args, "fault-every", "4")));
+  std::vector<std::shared_ptr<const sim::CalibrationCapture>> captures(users);
+  std::vector<std::string> userIds(users);
+  for (std::size_t i = 0; i < users; ++i) {
+    std::ostringstream name;
+    name << "user" << std::setfill('0') << std::setw(4) << i;
+    userIds[i] = name.str();
+    auto capture = session.run(subjects[i], gesture);
+    if (args.count("fault") > 0 && faultEvery > 0 && i % faultEvery == 0) {
+      const auto kind = sim::faultKindFromName(require(args, "fault"));
+      const double severity =
+          std::stod(optional(args, "fault-severity", "0.5"));
+      sim::FaultInjector injector(seed + i);
+      injector.add(kind, severity);
+      capture = injector.apply(capture);
+    }
+    captures[i] =
+        std::make_shared<const sim::CalibrationCapture>(std::move(capture));
+  }
+
+  // --- Optional serial baseline: the pre-service one-at-a-time loop. ---
+  double serialSec = 0.0;
+  if (compareSerial) {
+    std::cout << "running serial baseline...\n";
+    const core::CalibrationPipeline pipeline(serveOpts.pipeline);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < users; ++i) {
+      const auto personal = pipeline.run(*captures[i]);
+      (void)personal;
+    }
+    serialSec = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    std::cout << "serial loop: " << serialSec << " s ("
+              << static_cast<double>(users) / serialSec << " jobs/s)\n";
+  }
+
+  // --- The service run. ------------------------------------------------
+  serve::CalibrationService service(serveOpts);
+  std::cout << "service: " << service.workerCount() << " worker(s), queue "
+            << serveOpts.maxQueued << ", cache " << serveOpts.cacheCapacity
+            << (serveOpts.persistDir.empty()
+                    ? std::string()
+                    : ", persist dir " + serveOpts.persistDir)
+            << "\n";
+  serve::JobOptions jobOpts;
+  jobOpts.deadlineMs = deadlineMs;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> ids(users, serve::kInvalidJobId);
+  std::size_t backpressureRetries = 0;
+  for (std::size_t i = 0; i < users; ++i) {
+    // Backpressure loop: a rejected submit waits for the queue to drain a
+    // little and retries — what a real ingress would do.
+    for (;;) {
+      ids[i] = service.submit(userIds[i], captures[i], jobOpts);
+      if (ids[i] != serve::kInvalidJobId) break;
+      ++backpressureRetries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  for (std::size_t c = 0; c < cancelCount && c < users; ++c)
+    service.cancel(ids[users - 1 - c]);
+  const auto results = service.drain();
+  const double serviceSec = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+  std::map<std::string, std::size_t> tally;
+  for (const auto& r : results) {
+    std::string label = serve::jobStateName(r.state);
+    if (r.state == serve::JobState::kDone)
+      label += std::string("/") + core::pipelineStatusName(r.status);
+    ++tally[label];
+    std::cout << "  " << r.userId << "  " << label << "  queue "
+              << std::lround(r.queueMs) << " ms, run "
+              << std::lround(r.runMs) << " ms"
+              << (r.error.empty() ? "" : ("  [" + r.error + "]")) << "\n";
+  }
+  std::cout << "service run: " << serviceSec << " s ("
+            << static_cast<double>(users) / serviceSec << " jobs/s, "
+            << backpressureRetries << " backpressure retr"
+            << (backpressureRetries == 1 ? "y" : "ies") << ")\n";
+  for (const auto& [label, count] : tally)
+    std::cout << "  " << label << ": " << count << "\n";
+  if (compareSerial && serviceSec > 0.0)
+    std::cout << "speedup vs serial loop: " << serialSec / serviceSec
+              << "x\n";
+
+  // --- Batched AoA against the cached tables. --------------------------
+  if (aoaQueries > 0) {
+    std::cout << "running " << aoaQueries
+              << " batched AoA queries against the table cache...\n";
+    const double fs = session.options().sampleRate;
+    const auto chirp = dsp::linearChirp(
+        200.0, 16000.0, static_cast<std::size_t>(0.05 * fs), fs);
+    Pcg32 rng(seed ^ 0x5eedu);
+    auto music = dsp::musicLike(static_cast<std::size_t>(0.4 * fs), fs, rng);
+    std::vector<serve::AoaQuery> queries(aoaQueries);
+    std::vector<double> trueAngles(aoaQueries);
+    for (std::size_t j = 0; j < aoaQueries; ++j) {
+      const std::size_t u = j % users;
+      const double angle = 20.0 + static_cast<double>((j * 37) % 140);
+      trueAngles[j] = angle;
+      const auto table = service.cache().getOrFallback(userIds[u], fs);
+      const bool known = j % 2 == 0;
+      const auto& mono = known ? chirp : music;
+      const auto rendered = table->renderFar(angle, mono);
+      queries[j].userId = userIds[u];
+      queries[j].left = rendered.left;
+      queries[j].right = rendered.right;
+      if (known) queries[j].source = chirp;
+    }
+    const serve::BatchAoaEngine engine(service.cache());
+    const auto a0 = std::chrono::steady_clock::now();
+    const auto answers = engine.run(queries);
+    const double aoaSec = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - a0)
+                              .count();
+    double sumErr = 0.0;
+    std::size_t personalized = 0;
+    for (std::size_t j = 0; j < answers.size(); ++j) {
+      sumErr += angularDistanceDeg(answers[j].estimate.angleDeg,
+                                   trueAngles[j]);
+      if (answers[j].personalized) ++personalized;
+    }
+    std::cout << "aoa batch: " << aoaSec << " s ("
+              << static_cast<double>(aoaQueries) / aoaSec
+              << " queries/s), mean abs error "
+              << sumErr / static_cast<double>(aoaQueries) << " deg, "
+              << personalized << "/" << aoaQueries
+              << " answered from personalized tables\n";
+  }
+
+  std::cout << "serve metrics:\n"
+            << obs::summarizeMetrics(obs::registry().snapshot(), {"serve."});
+  if (!metricsOut.empty()) {
+    const int rc = writeValidatedJson(
+        metricsOut, obs::metricsJson(obs::registry().snapshot()), "metrics");
+    if (rc != 0) return rc;
+  }
+
+  // Every submitted job must have reached a terminal state; anything else
+  // is a service bug worth a hard exit code.
+  return results.size() == users ? 0 : 1;
+}
+
 void usage() {
   std::cout <<
       "usage: uniq <command> [flags]\n"
@@ -269,7 +473,15 @@ void usage() {
       "  render     --table table.uniq --in mono.wav --out out.wav\n"
       "             --angle DEG [--elevation DEG]\n"
       "  demo-render --table table.uniq --out out.wav --angle DEG\n"
-      "              [--elevation DEG]\n";
+      "              [--elevation DEG]\n"
+      "  serve-batch [--users N] [--workers N] [--queue N] [--stops N]\n"
+      "              [--seed N] [--deadline-ms X] [--cancel N]\n"
+      "              [--cache-capacity N] [--table-dir DIR]\n"
+      "              [--aoa-queries N] [--compare-serial] [--min-stops N]\n"
+      "              [--fault KIND] [--fault-severity X] [--fault-every N]\n"
+      "              [--metrics-out metrics.json]\n"
+      "              drives N simulated users through the calibration\n"
+      "              service and a batched AoA pass against the cache\n";
 }
 
 }  // namespace
@@ -286,6 +498,7 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmdInspect(args);
     if (cmd == "render") return cmdRender(args, false);
     if (cmd == "demo-render") return cmdRender(args, true);
+    if (cmd == "serve-batch") return cmdServeBatch(args);
     usage();
     return 2;
   } catch (const Error& e) {

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON reports and fail on perf regressions.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Benchmarks are matched by name; only names present in BOTH reports are
+compared (new benchmarks can land without a baseline, removed ones do not
+block). A benchmark regresses when its cpu_time grows by more than
+`threshold` (default 25%) relative to the baseline. real_time is reported
+for context but never gates: wall clock on shared CI runners is too noisy,
+while cpu_time is stable enough to catch real algorithmic regressions.
+
+Exit codes: 0 ok, 1 at least one regression, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Return {name: entry} for the aggregate-free benchmark entries."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for entry in report.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) from --benchmark_repetitions.
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name")
+        if name and "cpu_time" in entry:
+            out[name] = entry
+    if not out:
+        print(f"error: no benchmark entries in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional cpu_time growth (default 0.25 = +25%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        print("error: baseline and current share no benchmark names",
+              file=sys.stderr)
+        sys.exit(2)
+
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+    if only_baseline:
+        print(f"note: {len(only_baseline)} benchmark(s) only in baseline "
+              f"(skipped): {', '.join(only_baseline[:5])}...")
+    if only_current:
+        print(f"note: {len(only_current)} new benchmark(s) without a "
+              f"baseline (skipped): {', '.join(only_current[:5])}...")
+
+    regressions = []
+    print(f"comparing {len(common)} benchmark(s), threshold "
+          f"+{args.threshold:.0%} cpu_time")
+    for name in common:
+        base_cpu = baseline[name]["cpu_time"]
+        cur_cpu = current[name]["cpu_time"]
+        if base_cpu <= 0:
+            continue
+        ratio = cur_cpu / base_cpu
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            flag = "  << REGRESSION"
+        print(f"  {name}: {base_cpu:.1f} -> {cur_cpu:.1f} "
+              f"{baseline[name].get('time_unit', 'ns')} "
+              f"({ratio:.2f}x baseline){flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline cpu_time",
+                  file=sys.stderr)
+        sys.exit(1)
+    print("OK: no benchmark regressed beyond the threshold")
+
+
+if __name__ == "__main__":
+    main()

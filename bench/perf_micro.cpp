@@ -19,6 +19,10 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "serve/batch_aoa.h"
+#include "serve/calibration_service.h"
+#include "serve/table_cache.h"
+#include "sim/measurement_session.h"
 
 using namespace uniq;
 
@@ -265,6 +269,110 @@ void BM_ObsHistogramObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsHistogramObserve);
+
+// --- Serving layer ------------------------------------------------------
+
+/// Shared fixture state for the serve benchmarks: a small fleet of distinct
+/// captures, simulated once. 8 stops keeps one calibration around a second
+/// so the throughput benchmarks finish in sane time while still running the
+/// full pipeline.
+const std::vector<std::shared_ptr<const sim::CalibrationCapture>>&
+serveCaptures() {
+  static const auto captures = [] {
+    std::vector<std::shared_ptr<const sim::CalibrationCapture>> out;
+    const sim::MeasurementSession session;
+    auto gesture = sim::defaultGesture();
+    gesture.stops = 8;
+    const auto subjects = head::makePopulation(4, 1234);
+    for (const auto& subject : subjects)
+      out.push_back(std::make_shared<const sim::CalibrationCapture>(
+          session.run(subject, gesture)));
+    return out;
+  }();
+  return captures;
+}
+
+// Calibration throughput through the concurrent service (submit + drain).
+// Compare against BM_ServeSerialCalibration: on an N-core host the ratio is
+// the service's speedup; on a single core it measures scheduling overhead.
+void BM_ServeBatchCalibration(benchmark::State& state) {
+  const auto& captures = serveCaptures();
+  const auto users = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    serve::CalibrationServiceOptions opts;
+    opts.maxQueued = users;
+    opts.cacheCapacity = users;
+    serve::CalibrationService service(opts);
+    for (std::size_t i = 0; i < users; ++i)
+      service.submit("user" + std::to_string(i), captures[i % captures.size()]);
+    auto results = service.drain();
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(users));
+}
+BENCHMARK(BM_ServeBatchCalibration)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The pre-service baseline: the same captures, one pipeline run at a time.
+void BM_ServeSerialCalibration(benchmark::State& state) {
+  const auto& captures = serveCaptures();
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const core::CalibrationPipeline pipeline;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < users; ++i) {
+      auto personal = pipeline.run(*captures[i % captures.size()]);
+      benchmark::DoNotOptimize(personal);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(users));
+}
+BENCHMARK(BM_ServeSerialCalibration)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Batched known-source AoA against cached tables: the steady-state query
+// path (template-spectrum cache + FFT plan cache warm after iteration one).
+void BM_ServeBatchAoa(benchmark::State& state) {
+  const auto queries = static_cast<std::size_t>(state.range(0));
+  static serve::TableCache cache(4);
+  const auto table = serve::TableCache::populationAverageTable(48000.0);
+  const double fs = table->sampleRate();
+  for (std::size_t u = 0; u < 4; ++u)
+    cache.put("user" + std::to_string(u), table);
+  const auto chirp = dsp::linearChirp(
+      200.0, 16000.0, static_cast<std::size_t>(0.05 * fs), fs);
+  std::vector<serve::AoaQuery> batch(queries);
+  for (std::size_t q = 0; q < queries; ++q) {
+    const auto rendered =
+        table->renderFar(30.0 + static_cast<double>(q * 17 % 120), chirp);
+    batch[q].userId = "user" + std::to_string(q % 4);
+    batch[q].left = rendered.left;
+    batch[q].right = rendered.right;
+    batch[q].source = chirp;
+  }
+  const serve::BatchAoaEngine engine(cache);
+  for (auto _ : state) {
+    auto answers = engine.run(batch);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries));
+}
+BENCHMARK(BM_ServeBatchAoa)->Arg(16)->Unit(benchmark::kMillisecond);
+
+// Hit-path latency of the LRU table cache under a realistic key mix.
+void BM_TableCacheGet(benchmark::State& state) {
+  serve::TableCache cache(64);
+  const auto table = serve::TableCache::populationAverageTable(48000.0);
+  for (std::size_t u = 0; u < 64; ++u)
+    cache.put("user" + std::to_string(u), table);
+  std::size_t u = 0;
+  for (auto _ : state) {
+    auto hit = cache.get("user" + std::to_string(u));
+    benchmark::DoNotOptimize(hit);
+    u = (u + 7) % 64;
+  }
+}
+BENCHMARK(BM_TableCacheGet);
 
 }  // namespace
 

@@ -65,6 +65,11 @@ void ThreadPool::workerLoop() {
   }
 }
 
+std::size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   std::size_t depth;
   {

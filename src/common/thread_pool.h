@@ -42,6 +42,11 @@ class ThreadPool {
 
   std::size_t threadCount() const { return workers_.size(); }
 
+  /// Tasks currently waiting in the queue (not yet picked up by a worker).
+  /// Snapshot only — the depth can change the moment the lock is released;
+  /// use for observability, not for scheduling decisions.
+  std::size_t queueDepth() const;
+
   /// Enqueue a background task.
   void submit(std::function<void()> task);
 
@@ -59,7 +64,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -60,6 +60,37 @@ AoaEstimator::AoaEstimator(const FarFieldTable& table, Options opts)
   UNIQ_REQUIRE(opts_.lambdaPerSecond >= 0, "lambda must be >= 0");
 }
 
+std::shared_ptr<const AoaEstimator::TemplateSpectra>
+AoaEstimator::cachedTemplateSpectra(std::size_t degreeIndex,
+                                    std::size_t n) const {
+  std::lock_guard<std::mutex> lock(specMutex_);
+  if (specN_ != n) {
+    specN_ = n;
+    spec_.assign(table_.byDegree.size(), nullptr);
+  }
+  auto& slot = spec_[degreeIndex];
+  if (!slot) {
+    static obs::Counter& fills =
+        obs::registry().counter("aoa.template_cache.fills");
+    fills.inc();
+    const auto plan = dsp::fftPlan(n);
+    auto spectra = std::make_shared<TemplateSpectra>();
+    const auto& tmpl = table_.byDegree[degreeIndex];
+    std::vector<double> padded(n, 0.0);
+    std::copy(tmpl.left.begin(), tmpl.left.end(), padded.begin());
+    spectra->left = plan->rfft(padded);
+    std::fill(padded.begin(), padded.end(), 0.0);
+    std::copy(tmpl.right.begin(), tmpl.right.end(), padded.begin());
+    spectra->right = plan->rfft(padded);
+    slot = std::move(spectra);
+  } else {
+    static obs::Counter& hits =
+        obs::registry().counter("aoa.template_cache.hits");
+    hits.inc();
+  }
+  return slot;
+}
+
 double AoaEstimator::templateDelaySec(double thetaDeg) const {
   const auto idx = static_cast<std::size_t>(
       clamp(std::lround(thetaDeg), 0.0, 180.0));
@@ -273,13 +304,27 @@ AoaEstimate AoaEstimator::estimateUnknown(
       0, candidates.size(),
       [&](std::size_t c) {
         const double theta = candidates[c];
-        const auto& tmpl = table_.at(theta);
-        std::vector<double> padded(n, 0.0);
-        std::copy(tmpl.left.begin(), tmpl.left.end(), padded.begin());
-        const auto hl = plan->rfft(padded);
-        std::fill(padded.begin(), padded.end(), 0.0);
-        std::copy(tmpl.right.begin(), tmpl.right.end(), padded.begin());
-        const auto hr = plan->rfft(padded);
+        const auto idx = static_cast<std::size_t>(clamp(
+            std::lround(theta), 0.0,
+            static_cast<double>(table_.byDegree.size() - 1)));
+        // Template spectra: either from the per-estimator cache (batched
+        // serving; one rfft pair per angle per batch) or computed fresh
+        // (one-shot estimate). Same inputs, bitwise-identical spectra.
+        std::shared_ptr<const TemplateSpectra> cached;
+        std::vector<dsp::Complex> freshL, freshR;
+        if (opts_.cacheTemplateSpectra) {
+          cached = cachedTemplateSpectra(idx, n);
+        } else {
+          const auto& tmpl = table_.byDegree[idx];
+          std::vector<double> padded(n, 0.0);
+          std::copy(tmpl.left.begin(), tmpl.left.end(), padded.begin());
+          freshL = plan->rfft(padded);
+          std::fill(padded.begin(), padded.end(), 0.0);
+          std::copy(tmpl.right.begin(), tmpl.right.end(), padded.begin());
+          freshR = plan->rfft(padded);
+        }
+        const auto& hl = cached ? cached->left : freshL;
+        const auto& hr = cached ? cached->right : freshR;
         double score = 0.0;
         for (std::size_t f = 0; f < framesL.size(); ++f) {
           double num = 0.0, den = 0.0;

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/near_far.h"
+#include "dsp/fft.h"
 
 namespace uniq::core {
 
@@ -54,6 +57,14 @@ struct AoaEstimatorOptions {
   /// Threads used for the per-candidate template matching (0 = use the
   /// global pool, 1 = serial). Results are identical for any value.
   std::size_t numThreads = 0;
+  /// Cache the per-angle template half-spectra the unknown-source residual
+  /// (Eq. 11) needs, keyed by FFT size, inside the estimator. Off by
+  /// default: a one-shot estimate would pay two extra spectra per candidate
+  /// for nothing. The serving layer's BatchAoaEngine turns it on so a batch
+  /// of queries against the same personalized table computes each template
+  /// spectrum once instead of once per query. Scores are bitwise identical
+  /// either way.
+  bool cacheTemplateSpectra = false;
 };
 
 /// HRTF-aware binaural AoA estimation (paper Section 4.5). Classical array
@@ -97,8 +108,25 @@ class AoaEstimator {
                               const std::vector<double>& hRight) const;
   std::vector<double> candidateAnglesForDelay(double deltaSec) const;
 
+  /// Left/right template half-spectra for one table angle at one FFT size.
+  struct TemplateSpectra {
+    std::vector<dsp::Complex> left;
+    std::vector<dsp::Complex> right;
+  };
+  /// Spectra for table entry `degreeIndex` zero-padded to `n`, computed on
+  /// first use and shared afterwards (only when
+  /// Options::cacheTemplateSpectra is set; callers then hold a shared_ptr
+  /// so a concurrent cache reset cannot pull the data out from under a
+  /// running score). A size change drops the previous generation — batches
+  /// have one recording length, so thrash is not a concern.
+  std::shared_ptr<const TemplateSpectra> cachedTemplateSpectra(
+      std::size_t degreeIndex, std::size_t n) const;
+
   const FarFieldTable& table_;
   Options opts_;
+  mutable std::mutex specMutex_;
+  mutable std::size_t specN_ = 0;
+  mutable std::vector<std::shared_ptr<const TemplateSpectra>> spec_;
 };
 
 /// Train the Eq. 9 lambda weight on labelled far-field recordings

@@ -130,6 +130,12 @@ PersonalHrtf CalibrationPipeline::run(
 
 PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
                                       obs::RunReport* report) const {
+  return run(capture, report, nullptr);
+}
+
+PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
+                                      obs::RunReport* report,
+                                      const RunAbortToken* abort) const {
   UNIQ_SPAN("pipeline.run");
   UNIQ_REQUIRE(!capture.stops.empty(), "capture has no stops");
 
@@ -141,6 +147,29 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
     diagnostics.push_back(obs::Diagnostic{stage, severity, std::move(message),
                                           std::move(stops)});
   };
+
+  // Stage-boundary abort poll: when the token fires, stop doing work and
+  // hand back the fallback table with aborted = true. The serving layer
+  // turns that into a cancelled/expired job; callers without a token never
+  // take this path.
+  const auto abortedHere = [&](const char* boundary) -> bool {
+    if (!abort || !abort->due()) return false;
+    static obs::Counter& aborts = obs::registry().counter("pipeline.aborts");
+    aborts.inc();
+    std::ostringstream os;
+    os << "run aborted (" << (abort->cancelRequested() ? "cancelled"
+                                                       : "deadline exceeded")
+       << ") before stage " << boundary;
+    diagnose("pipeline", obs::Severity::kError, os.str());
+    return true;
+  };
+  const auto abortResult = [&]() {
+    auto out = fallbackResult(capture, std::move(diagnostics), report);
+    out.aborted = true;
+    return out;
+  };
+
+  if (abortedHere("extract")) return abortResult();
 
   try {
     obs::StageTimer extractTimer(report, "extract");
@@ -207,6 +236,8 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
       diagnose("fusion", obs::Severity::kError, os.str());
       return fallbackResult(capture, std::move(diagnostics), report);
     }
+
+    if (abortedHere("fusion")) return abortResult();
 
     // The pipeline-level thread knob flows into stages that did not set
     // their own.
@@ -296,6 +327,8 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
       return fallbackResult(capture, std::move(diagnostics), report);
     }
 
+    if (abortedHere("nearfield")) return abortResult();
+
     obs::StageTimer nearTimer(report, "nearfield");
     const NearFieldHrtfBuilder nearBuilder(nearFieldOpts);
     auto nearTable =
@@ -335,6 +368,8 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
       }
     }
 
+    if (abortedHere("nearfar")) return abortResult();
+
     obs::StageTimer farTimer(report, "nearfar");
     const NearFarConverter converter(opts_.nearFar);
     auto farTable = converter.convert(nearTable);
@@ -356,7 +391,8 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
 
     PersonalHrtf out{HrtfTable(std::move(nearTable), std::move(farTable)),
                      fusionResult.headParams, std::move(fusionResult),
-                     std::move(gestureReport)};
+                     std::move(gestureReport), PipelineStatus::kOk,
+                     {}, false};
     out.diagnostics = std::move(diagnostics);
     out.status = statusFromDiagnostics(out.diagnostics);
     publish(report, out.diagnostics, out.status);
@@ -400,7 +436,8 @@ PersonalHrtf CalibrationPipeline::fallbackResult(
       "calibration failed — population-average HRTF in use; redo the sweep");
 
   PersonalHrtf out{HrtfTable(std::move(nearTable), std::move(farTable)),
-                   fusion.headParams, std::move(fusion), std::move(gesture)};
+                   fusion.headParams, std::move(fusion), std::move(gesture),
+                   PipelineStatus::kFailed, {}, false};
   out.status = PipelineStatus::kFailed;
   out.diagnostics = std::move(diagnostics);
   publish(report, out.diagnostics, out.status);

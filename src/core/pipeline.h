@@ -1,5 +1,8 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <vector>
 
 #include "core/channel_extractor.h"
@@ -27,6 +30,42 @@ enum class PipelineStatus {
 /// Stable lower-case name ("ok", "degraded", "failed").
 const char* pipelineStatusName(PipelineStatus status);
 
+/// Cooperative cancellation / deadline token for one pipeline run. The
+/// serving layer hands the same token to CalibrationPipeline::run and to
+/// whoever may cancel the job; the pipeline polls it at stage boundaries
+/// only (never mid-stage), so an abort takes effect at the next boundary
+/// and an in-flight stage always completes or fails on its own terms.
+/// All members are safe to call from any thread.
+class RunAbortToken {
+ public:
+  /// Ask the run to stop at the next stage boundary.
+  void requestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once requestCancel() was called.
+  bool cancelRequested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Abort the run once the steady clock passes `deadline`.
+  void setDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadlineNs_.store(deadline.time_since_epoch().count(),
+                      std::memory_order_relaxed);
+  }
+
+  /// True when the run should stop: cancelled, or past the deadline.
+  bool due() const {
+    if (cancelRequested()) return true;
+    const auto ns = deadlineNs_.load(std::memory_order_relaxed);
+    return ns != 0 &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >= ns;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock deadline in clock ticks since epoch; 0 = no deadline.
+  std::atomic<std::int64_t> deadlineNs_{0};
+};
+
 /// Everything UNIQ produces from one calibration sweep.
 struct PersonalHrtf {
   HrtfTable table;
@@ -38,6 +77,11 @@ struct PersonalHrtf {
   /// stage, severity, message, affected stop indices. Mirrored into the
   /// RunReport when one is attached.
   std::vector<obs::Diagnostic> diagnostics;
+  /// True when the run stopped early because its RunAbortToken fired
+  /// (cancellation or deadline). The result then carries the fallback
+  /// table and status kFailed; the serving layer maps this flag onto its
+  /// cancelled/expired job states instead of treating it as a real failure.
+  bool aborted = false;
 };
 
 struct CalibrationPipelineOptions {
@@ -99,6 +143,15 @@ class CalibrationPipeline {
   /// even when the build compiles trace spans out.
   PersonalHrtf run(const sim::CalibrationCapture& capture,
                    obs::RunReport* report) const;
+
+  /// Abortable run: identical to run(capture, report), but additionally
+  /// polls `abort` (when non-null) at every stage boundary. Once the token
+  /// is due — cancelled or past its deadline — the pipeline stops doing
+  /// work and returns the population-average fallback with status kFailed,
+  /// aborted = true, and a diagnostic naming the abort. Null behaves
+  /// exactly like the two-argument overload.
+  PersonalHrtf run(const sim::CalibrationCapture& capture,
+                   obs::RunReport* report, const RunAbortToken* abort) const;
 
   /// Intermediate access for experiments: per-stop channels only.
   std::vector<BinauralChannel> extractChannels(

@@ -197,4 +197,14 @@ HrtfTable loadHrtfTable(const std::string& path) {
   return HrtfTable(std::move(nearTable), std::move(farTable));
 }
 
+std::optional<HrtfTable> tryLoadHrtfTable(const std::string& path,
+                                          std::string* error) {
+  try {
+    return loadHrtfTable(path);
+  } catch (const Error& e) {
+    if (error) *error = e.what();
+    return std::nullopt;
+  }
+}
+
 }  // namespace uniq::core

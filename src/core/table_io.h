@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "core/hrtf_table.h"
@@ -24,5 +25,14 @@ void saveHrtfTable(const std::string& path, const HrtfTable& table);
 /// reaches a playback path); throws InvalidArgument naming the byte offset
 /// of anything malformed.
 HrtfTable loadHrtfTable(const std::string& path);
+
+/// Non-throwing variant of loadHrtfTable for speculative reads (the serving
+/// layer's table cache probes disk on every cold miss, and a missing or
+/// corrupt file there is an expected outcome, not an error). Returns the
+/// table on success; on failure returns nullopt and, when `error` is
+/// non-null, stores the reason — same validation and messages as
+/// loadHrtfTable.
+std::optional<HrtfTable> tryLoadHrtfTable(const std::string& path,
+                                          std::string* error = nullptr);
 
 }  // namespace uniq::core

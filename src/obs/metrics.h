@@ -41,6 +41,14 @@ class Gauge {
            !value_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
     }
   }
+  /// Add `delta` (may be negative) atomically — up/down-counter semantics
+  /// for levels maintained incrementally, like a service queue depth.
+  void add(double delta) {
+    double prev = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(prev, prev + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   /// Current value.
   double value() const { return value_.load(std::memory_order_relaxed); }
   /// Reset to zero.

@@ -1,0 +1,372 @@
+#include "serve/calibration_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace uniq::serve {
+
+namespace {
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+obs::Gauge& queueDepthGauge() {
+  static obs::Gauge& g = obs::registry().gauge("serve.queue.depth");
+  return g;
+}
+obs::Gauge& queueMaxDepthGauge() {
+  static obs::Gauge& g = obs::registry().gauge("serve.queue.max_depth");
+  return g;
+}
+obs::Gauge& runningGauge() {
+  static obs::Gauge& g = obs::registry().gauge("serve.jobs.running");
+  return g;
+}
+obs::Counter& stateCounter(JobState state) {
+  static obs::Counter& submitted =
+      obs::registry().counter("serve.jobs.submitted");
+  static obs::Counter& done = obs::registry().counter("serve.jobs.done");
+  static obs::Counter& cancelled =
+      obs::registry().counter("serve.jobs.cancelled");
+  static obs::Counter& expired =
+      obs::registry().counter("serve.jobs.expired");
+  static obs::Counter& rejected =
+      obs::registry().counter("serve.jobs.rejected");
+  switch (state) {
+    case JobState::kDone:
+      return done;
+    case JobState::kCancelled:
+      return cancelled;
+    case JobState::kExpired:
+      return expired;
+    case JobState::kRejected:
+      return rejected;
+    default:
+      return submitted;
+  }
+}
+const obs::HistogramOptions kLatencyBins{0.1, 2.0, 24};
+
+std::size_t resolveWorkers(std::size_t requested) {
+  if (requested > 0) return requested;
+  // Default sizing mirrors common::globalPool(): UNIQ_NUM_THREADS when set,
+  // else hardware concurrency, clamped to [1, 16]. Unlike the global pool
+  // the service keeps the full count — its workers run whole jobs while the
+  // submitting thread waits, so there is no caller to subtract.
+  std::size_t n = 0;
+  if (const char* env = std::getenv("UNIQ_NUM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) n = static_cast<std::size_t>(parsed);
+  }
+  if (n == 0) n = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  return std::clamp<std::size_t>(n, 1, 16);
+}
+
+}  // namespace
+
+const char* jobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kExpired:
+      return "expired";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+/// Internal job record. State transitions happen under the service mutex;
+/// the abort token is the only cross-thread channel used mid-run.
+struct CalibrationService::Job {
+  std::uint64_t id = 0;
+  std::string userId;
+  std::shared_ptr<const sim::CalibrationCapture> capture;
+  JobOptions opts;
+  core::RunAbortToken token;
+
+  JobState state = JobState::kQueued;
+  core::PipelineStatus status = core::PipelineStatus::kFailed;
+  std::shared_ptr<const core::HrtfTable> table;
+  obs::RunReport report;
+  std::vector<obs::Diagnostic> diagnostics;
+  std::string error;
+
+  double submitMs = 0.0;
+  double startMs = 0.0;
+  double queueMs = 0.0;
+  double runMs = 0.0;
+
+  bool terminal() const {
+    return state != JobState::kQueued && state != JobState::kRunning;
+  }
+
+  JobResult result() const {
+    JobResult r;
+    r.id = id;
+    r.userId = userId;
+    r.state = state;
+    r.status = status;
+    r.table = table;
+    r.report = report;
+    r.diagnostics = diagnostics;
+    r.queueMs = queueMs;
+    r.runMs = runMs;
+    r.error = error;
+    return r;
+  }
+};
+
+CalibrationService::CalibrationService(Options opts)
+    : opts_(std::move(opts)),
+      cache_(std::max<std::size_t>(opts_.cacheCapacity, 1), opts_.persistDir),
+      pipeline_(opts_.pipeline),
+      pool_(resolveWorkers(opts_.workers)) {
+  obs::registry()
+      .gauge("serve.workers")
+      .set(static_cast<double>(pool_.threadCount()));
+}
+
+CalibrationService::~CalibrationService() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  // Everything still waiting is cancelled; running jobs finish on their
+  // own (their capture and token live in the shared Job record).
+  for (const auto& job : queued_) {
+    job->token.requestCancel();
+    job->state = JobState::kCancelled;
+    job->queueMs = nowMs() - job->submitMs;
+    stateCounter(JobState::kCancelled).inc();
+    queueDepthGauge().add(-1.0);
+  }
+  queued_.clear();
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return running_ == 0 && drainersInFlight_ == 0; });
+}
+
+std::uint64_t CalibrationService::submit(
+    std::string userId, std::shared_ptr<const sim::CalibrationCapture> capture,
+    JobOptions jobOpts) {
+  UNIQ_REQUIRE(capture != nullptr, "null capture");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_ || queued_.size() >= opts_.maxQueued) {
+    stateCounter(JobState::kRejected).inc();
+    return kInvalidJobId;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = nextId_++;
+  job->userId = std::move(userId);
+  job->capture = std::move(capture);
+  job->opts = jobOpts;
+  job->submitMs = nowMs();
+  if (jobOpts.deadlineMs > 0.0) {
+    job->token.setDeadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(jobOpts.deadlineMs)));
+  }
+
+  queued_.push_back(job);
+  jobs_[job->id] = job;
+  submissionOrder_.push_back(job->id);
+  stateCounter(JobState::kQueued).inc();  // serve.jobs.submitted
+  queueDepthGauge().add(1.0);
+  queueMaxDepthGauge().setMax(static_cast<double>(queued_.size()));
+  pumpLocked();
+  return job->id;
+}
+
+std::uint64_t CalibrationService::submit(std::string userId,
+                                         sim::CalibrationCapture capture,
+                                         JobOptions jobOpts) {
+  return submit(std::move(userId),
+                std::make_shared<const sim::CalibrationCapture>(
+                    std::move(capture)),
+                jobOpts);
+}
+
+void CalibrationService::pumpLocked() {
+  // One drainer task can feed one worker; spawn up to the pool width. A
+  // drainer finding the queue already empty exits immediately, so a spare
+  // one is cheap, but a missing one would strand queued work.
+  while (drainersInFlight_ < pool_.threadCount() &&
+         drainersInFlight_ < queued_.size()) {
+    ++drainersInFlight_;
+    pool_.submit([this] { drainQueue(); });
+  }
+}
+
+void CalibrationService::drainQueue() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queued_.empty()) {
+        --drainersInFlight_;
+        cv_.notify_all();
+        return;
+      }
+      job = queued_.front();
+      queued_.pop_front();
+      queueDepthGauge().add(-1.0);
+      job->queueMs = nowMs() - job->submitMs;
+      // A deadline that passed while the job waited expires it here — the
+      // caller's budget is wall time from submission, not run time.
+      if (job->token.due()) {
+        job->state = job->token.cancelRequested() ? JobState::kCancelled
+                                                  : JobState::kExpired;
+      } else {
+        job->state = JobState::kRunning;
+        ++running_;
+        job->startMs = nowMs();
+      }
+    }
+    if (job->state == JobState::kRunning) {
+      runningGauge().add(1.0);
+      executeJob(job);
+      runningGauge().add(-1.0);
+    } else {
+      finishJob(job, job->state);
+    }
+  }
+}
+
+void CalibrationService::executeJob(const std::shared_ptr<Job>& job) {
+  UNIQ_SPAN("serve.job");
+  JobState terminalState = JobState::kDone;
+  try {
+    auto personal = pipeline_.run(*job->capture, &job->report, &job->token);
+    if (personal.aborted) {
+      terminalState = job->token.cancelRequested() ? JobState::kCancelled
+                                                   : JobState::kExpired;
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->diagnostics = std::move(personal.diagnostics);
+    } else {
+      auto table = std::make_shared<const core::HrtfTable>(
+          std::move(personal.table));
+      // Only genuinely personalized tables enter the per-user cache; the
+      // kFailed population-average fallback must not masquerade as the
+      // user's own table on the next lookup.
+      if (personal.status != core::PipelineStatus::kFailed)
+        cache_.put(job->userId, table);
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->status = personal.status;
+      job->table = std::move(table);
+      job->diagnostics = std::move(personal.diagnostics);
+    }
+  } catch (const std::exception& e) {
+    // The pipeline is total over non-empty captures, so this is a last
+    // line of defense (empty capture, bad_alloc, ...): the job fails, the
+    // worker and the service live on.
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->status = core::PipelineStatus::kFailed;
+    job->error = e.what();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --running_;
+  }
+  finishJob(job, terminalState);
+}
+
+void CalibrationService::finishJob(const std::shared_ptr<Job>& job,
+                                   JobState state) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->state = state;
+    job->runMs = job->startMs > 0.0 ? nowMs() - job->startMs : 0.0;
+  }
+  stateCounter(state).inc();
+  if (state == JobState::kDone &&
+      job->status == core::PipelineStatus::kFailed) {
+    static obs::Counter& failed =
+        obs::registry().counter("serve.jobs.failed");
+    failed.inc();
+  }
+  obs::registry()
+      .histogram("serve.job.queue_ms", kLatencyBins)
+      .observe(job->queueMs);
+  obs::registry()
+      .histogram("serve.job.run_ms", kLatencyBins)
+      .observe(job->runMs);
+  cv_.notify_all();
+}
+
+bool CalibrationService::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  auto& job = it->second;
+  if (job->terminal()) return false;
+  job->token.requestCancel();
+  if (job->state == JobState::kQueued) {
+    const auto pos = std::find(queued_.begin(), queued_.end(), job);
+    if (pos != queued_.end()) {
+      queued_.erase(pos);
+      queueDepthGauge().add(-1.0);
+    }
+    job->state = JobState::kCancelled;
+    job->queueMs = nowMs() - job->submitMs;
+    stateCounter(JobState::kCancelled).inc();
+    cv_.notify_all();
+  }
+  // kRunning: the token is flagged; the pipeline aborts at its next stage
+  // boundary and the worker records the cancelled state.
+  return true;
+}
+
+JobResult CalibrationService::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  UNIQ_REQUIRE(it != jobs_.end(), "unknown job id");
+  const auto job = it->second;
+  cv_.wait(lock, [&] { return job->terminal(); });
+  return job->result();
+}
+
+std::vector<JobResult> CalibrationService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] {
+    for (const auto& [id, job] : jobs_)
+      if (!job->terminal()) return false;
+    return true;
+  });
+  std::vector<JobResult> results;
+  results.reserve(submissionOrder_.size());
+  for (const auto id : submissionOrder_) {
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) results.push_back(it->second->result());
+  }
+  jobs_.clear();
+  submissionOrder_.clear();
+  return results;
+}
+
+std::size_t CalibrationService::queuedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_.size();
+}
+
+std::size_t CalibrationService::runningCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+}  // namespace uniq::serve

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "obs/report.h"
+#include "serve/table_cache.h"
+#include "sim/measurement_session.h"
+
+namespace uniq::serve {
+
+/// Terminal (and transient) states of one calibration job. A job always
+/// reaches exactly one of the terminal states; the service never loses one.
+enum class JobState {
+  kQueued,     ///< accepted, waiting for a worker
+  kRunning,    ///< a worker is executing the pipeline
+  kDone,       ///< pipeline finished; see JobResult::status for ok/degraded/
+               ///< failed — a failed *calibration* is still a done *job*
+  kCancelled,  ///< cancel() won the race (before or during the run)
+  kExpired,    ///< the deadline passed before the job could finish
+  kRejected,   ///< admission control refused it (queue full)
+};
+
+/// Stable lower-case name ("queued", ..., "rejected").
+const char* jobStateName(JobState state);
+
+/// Per-job knobs supplied at submit time.
+struct JobOptions {
+  /// Wall-clock budget measured from submission; 0 = none. A job that is
+  /// still queued when the deadline passes is expired without running; a
+  /// job already running aborts at the pipeline's next stage boundary.
+  double deadlineMs = 0.0;
+};
+
+/// Everything the service reports about one finished (or refused) job.
+struct JobResult {
+  std::uint64_t id = 0;
+  std::string userId;
+  JobState state = JobState::kRejected;
+  /// Calibration outcome; meaningful only when state == kDone.
+  core::PipelineStatus status = core::PipelineStatus::kFailed;
+  /// The produced table (kDone only; null for cancelled/expired jobs).
+  /// Failed calibrations carry the population-average fallback here, same
+  /// as CalibrationPipeline::run, but are never written into the cache.
+  std::shared_ptr<const core::HrtfTable> table;
+  /// Per-stage pipeline report (kDone and mid-run-aborted jobs).
+  obs::RunReport report;
+  std::vector<obs::Diagnostic> diagnostics;
+  double queueMs = 0.0;  ///< submit -> worker pickup
+  double runMs = 0.0;    ///< worker pickup -> terminal state
+  /// Explanation for a job whose pipeline threw (also mapped to a failed
+  /// status); empty otherwise.
+  std::string error;
+};
+
+struct CalibrationServiceOptions {
+  /// Concurrent calibration jobs (service-owned common::ThreadPool worker
+  /// threads). 0 sizes like the global pool: total hardware threads,
+  /// clamped to [1, 16]. Each job runs its pipeline stages inline on its
+  /// worker (the pool suppresses nested fan-out), so `workers` is the whole
+  /// parallelism story — jobs scale across users, not within one user.
+  std::size_t workers = 0;
+  /// Admission control: jobs allowed to wait in the queue (excluding the
+  /// ones actively running). submit() returns kInvalidJobId once the queue
+  /// is full — backpressure the caller must handle, not a silent drop.
+  std::size_t maxQueued = 64;
+  /// In-memory entries in the per-user table cache.
+  std::size_t cacheCapacity = 32;
+  /// When non-empty, finished tables persist to `<dir>/<user>.uniq` and
+  /// cold cache misses probe the same files (see TableCache).
+  std::string persistDir;
+  /// Pipeline configuration shared by every job.
+  core::CalibrationPipelineOptions pipeline{};
+};
+
+/// Id returned by submit() when admission control rejects the job.
+inline constexpr std::uint64_t kInvalidJobId = 0;
+
+/// Multi-tenant calibration front end: accepts many named capture jobs,
+/// runs them across a bounded worker pool with admission control, per-job
+/// cancellation and deadlines, and lands every successful table in an LRU
+/// per-user cache (see docs/SERVING.md). Failure isolation is absolute by
+/// construction: the pipeline is total over non-empty captures, and the
+/// worker wraps it in a catch-all, so one poisoned capture yields one
+/// failed job — never a dead worker or a torn-down service.
+///
+/// Observability: each job runs under a "serve.job" trace span and fills
+/// its own obs::RunReport; queue depth, latency split (queue vs run), and
+/// terminal-state counters live in the registry under "serve.jobs.*" /
+/// "serve.queue.*".
+class CalibrationService {
+ public:
+  using Options = CalibrationServiceOptions;
+
+  explicit CalibrationService(Options opts = {});
+  /// Cancels everything still queued, then waits for running jobs.
+  ~CalibrationService();
+
+  CalibrationService(const CalibrationService&) = delete;
+  CalibrationService& operator=(const CalibrationService&) = delete;
+
+  /// Submit a calibration job for `userId`. Returns the job id, or
+  /// kInvalidJobId when the queue is full (the capture is not retained).
+  /// The capture is shared, not copied — callers batching one capture
+  /// across many jobs pay for it once.
+  std::uint64_t submit(std::string userId,
+                       std::shared_ptr<const sim::CalibrationCapture> capture,
+                       JobOptions jobOpts = {});
+  /// Convenience overload that takes ownership of a capture by value.
+  std::uint64_t submit(std::string userId, sim::CalibrationCapture capture,
+                       JobOptions jobOpts = {});
+
+  /// Request cancellation. True when the request can still take effect —
+  /// the job was queued (cancelled immediately) or running (flagged; the
+  /// pipeline stops at its next stage boundary). False when the job is
+  /// already terminal or unknown.
+  bool cancel(std::uint64_t id);
+
+  /// Block until the job reaches a terminal state; returns its result.
+  /// Unknown ids (including kInvalidJobId) throw InvalidArgument.
+  JobResult wait(std::uint64_t id);
+
+  /// Block until every submitted job is terminal; returns all results in
+  /// submission order and forgets them (a long-lived service must not
+  /// accumulate results forever).
+  std::vector<JobResult> drain();
+
+  /// The per-user table cache (shared with BatchAoaEngine).
+  TableCache& cache() { return cache_; }
+
+  std::size_t workerCount() const { return pool_.threadCount(); }
+  /// Jobs accepted but not yet picked up by a worker.
+  std::size_t queuedCount() const;
+  /// Jobs currently executing.
+  std::size_t runningCount() const;
+
+ private:
+  struct Job;
+
+  /// Ensure enough queue-drainer tasks are in flight for the queued work;
+  /// caller holds mutex_.
+  void pumpLocked();
+  /// Drain loop body run on a pool worker: pop and execute jobs until the
+  /// queue is empty.
+  void drainQueue();
+  void executeJob(const std::shared_ptr<Job>& job);
+  void finishJob(const std::shared_ptr<Job>& job, JobState state);
+
+  Options opts_;
+  TableCache cache_;
+  core::CalibrationPipeline pipeline_;
+  common::ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queued_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::vector<std::uint64_t> submissionOrder_;
+  std::size_t running_ = 0;
+  std::size_t drainersInFlight_ = 0;
+  std::uint64_t nextId_ = 1;
+  bool shutdown_ = false;
+};
+
+}  // namespace uniq::serve

@@ -1,0 +1,180 @@
+#include "serve/table_cache.h"
+
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+#include "core/near_far.h"
+#include "core/table_io.h"
+#include "head/hrtf_database.h"
+#include "head/subject.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace uniq::serve {
+
+namespace {
+
+obs::Counter& hitsCounter() {
+  static obs::Counter& c = obs::registry().counter("serve.cache.hits");
+  return c;
+}
+obs::Counter& missesCounter() {
+  static obs::Counter& c = obs::registry().counter("serve.cache.misses");
+  return c;
+}
+obs::Counter& diskHitsCounter() {
+  static obs::Counter& c = obs::registry().counter("serve.cache.disk_hits");
+  return c;
+}
+obs::Counter& evictionsCounter() {
+  static obs::Counter& c = obs::registry().counter("serve.cache.evictions");
+  return c;
+}
+obs::Counter& fallbacksCounter() {
+  static obs::Counter& c = obs::registry().counter("serve.cache.fallbacks");
+  return c;
+}
+obs::Gauge& sizeGauge() {
+  static obs::Gauge& g = obs::registry().gauge("serve.cache.size");
+  return g;
+}
+
+/// Flatten a user id into something safe as a single path component; ids
+/// are caller-chosen strings, not trusted filenames.
+std::string sanitizeForFilename(const std::string& userId) {
+  std::string out = userId.empty() ? std::string("_") : userId;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+TableCache::TableCache(std::size_t capacity, std::string persistDir)
+    : capacity_(capacity), persistDir_(std::move(persistDir)) {
+  UNIQ_REQUIRE(capacity_ >= 1, "cache capacity must be >= 1");
+}
+
+std::string TableCache::tablePath(const std::string& userId) const {
+  return persistDir_ + "/" + sanitizeForFilename(userId) + ".uniq";
+}
+
+std::shared_ptr<const core::HrtfTable> TableCache::get(
+    const std::string& userId) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(userId);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      hitsCounter().inc();
+      lru_.splice(lru_.begin(), lru_, it->second.pos);
+      return it->second.table;
+    }
+    ++stats_.misses;
+    missesCounter().inc();
+  }
+  if (persistDir_.empty()) return nullptr;
+
+  // Cold miss with persistence configured: probe disk outside the lock (a
+  // load takes milliseconds; concurrent hits must not wait on it). Two
+  // threads may race to load the same file — both succeed, the second
+  // insert wins, and the table contents are identical.
+  UNIQ_SPAN("serve.cache.disk_load");
+  auto loaded = core::tryLoadHrtfTable(tablePath(userId));
+  if (!loaded) return nullptr;
+  auto table =
+      std::make_shared<const core::HrtfTable>(std::move(*loaded));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.diskHits;
+  diskHitsCounter().inc();
+  insertLocked(userId, table);
+  return table;
+}
+
+std::shared_ptr<const core::HrtfTable> TableCache::getOrFallback(
+    const std::string& userId, double sampleRate) {
+  if (auto table = get(userId)) return table;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.fallbacks;
+  }
+  fallbacksCounter().inc();
+  return populationAverageTable(sampleRate);
+}
+
+void TableCache::put(const std::string& userId,
+                     std::shared_ptr<const core::HrtfTable> table) {
+  UNIQ_REQUIRE(table != nullptr, "cannot cache a null table");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    insertLocked(userId, table);
+  }
+  if (!persistDir_.empty()) {
+    UNIQ_SPAN("serve.cache.persist");
+    core::saveHrtfTable(tablePath(userId), *table);
+  }
+}
+
+void TableCache::insertLocked(const std::string& userId,
+                              std::shared_ptr<const core::HrtfTable> table) {
+  const auto it = map_.find(userId);
+  if (it != map_.end()) {
+    it->second.table = std::move(table);
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+  } else {
+    lru_.push_front(userId);
+    map_[userId] = Entry{std::move(table), lru_.begin()};
+    while (map_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      ++stats_.evictions;
+      evictionsCounter().inc();
+    }
+  }
+  sizeGauge().set(static_cast<double>(map_.size()));
+}
+
+bool TableCache::contains(const std::string& userId) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.count(userId) > 0;
+}
+
+std::size_t TableCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+TableCache::Stats TableCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::shared_ptr<const core::HrtfTable> TableCache::populationAverageTable(
+    double sampleRate) {
+  // One generic table per distinct sample rate, built on first request and
+  // shared process-wide — the same construction the pipeline's kFailed
+  // fallback uses, so "cache fallback" and "calibration fallback" sound
+  // identical to the listener.
+  static std::mutex mutex;
+  static std::map<double, std::shared_ptr<const core::HrtfTable>> byRate;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = byRate[sampleRate];
+  if (!slot) {
+    UNIQ_SPAN("serve.cache.build_fallback");
+    head::HrtfDatabaseOptions dbOpts;
+    if (sampleRate > 8000.0) dbOpts.sampleRate = sampleRate;
+    const head::HrtfDatabase db(head::globalTemplateSubject(), dbOpts);
+    auto nearTable = core::nearTableFromDatabase(db, dbOpts.referenceDistance);
+    auto farTable = core::farTableFromDatabase(db);
+    slot = std::make_shared<const core::HrtfTable>(std::move(nearTable),
+                                                   std::move(farTable));
+  }
+  return slot;
+}
+
+}  // namespace uniq::serve

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/hrtf_table.h"
+
+namespace uniq::serve {
+
+/// Thread-safe LRU cache of personalized HrtfTables keyed by user id — the
+/// serving layer's answer to "millions of users, a few hot at a time".
+/// Three tiers back a lookup:
+///
+///   1. memory — the LRU map itself (hit),
+///   2. disk   — `<persistDir>/<user>.uniq` written by put() and probed on
+///               a cold miss (disk hit; the table is promoted into memory),
+///   3. model  — the population-average template (fallback; shared across
+///               users and never counted as that user's table).
+///
+/// Tables are handed out as shared_ptr<const HrtfTable>, so an eviction
+/// never invalidates a table a concurrent AoA batch is still matching
+/// against. Counters land in the process registry under "serve.cache.*".
+class TableCache {
+ public:
+  /// Point-in-time counter values (also exported as metrics).
+  struct Stats {
+    std::uint64_t hits = 0;       ///< served from memory
+    std::uint64_t misses = 0;     ///< not in memory (disk may still hit)
+    std::uint64_t diskHits = 0;   ///< misses rescued by the persist dir
+    std::uint64_t evictions = 0;  ///< LRU entries dropped over capacity
+    std::uint64_t fallbacks = 0;  ///< lookups answered population-average
+  };
+
+  /// `capacity` bounds the in-memory entry count (>= 1). `persistDir`, when
+  /// non-empty, must be an existing writable directory; put() then mirrors
+  /// every table to disk and cold get()s probe it.
+  explicit TableCache(std::size_t capacity, std::string persistDir = "");
+
+  /// The user's table from memory or disk, or nullptr when neither has it.
+  std::shared_ptr<const core::HrtfTable> get(const std::string& userId);
+
+  /// get(), falling back to the population-average table at `sampleRate`
+  /// when the user has no personalized table anywhere. Never returns null:
+  /// an uncalibrated user gets the generic spatializer, same contract as
+  /// the pipeline's kFailed fallback.
+  std::shared_ptr<const core::HrtfTable> getOrFallback(
+      const std::string& userId, double sampleRate = 48000.0);
+
+  /// Insert or replace the user's table (and persist it when configured),
+  /// evicting least-recently-used entries beyond capacity.
+  void put(const std::string& userId,
+           std::shared_ptr<const core::HrtfTable> table);
+
+  /// Whether the user is currently in memory. Does not touch recency and
+  /// does not probe disk (tests use this to observe eviction order).
+  bool contains(const std::string& userId) const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  const std::string& persistDir() const { return persistDir_; }
+  Stats stats() const;
+
+  /// The shared population-average table at `sampleRate` (built once per
+  /// distinct rate, process-wide). Public so tests and the CLI can compare
+  /// against exactly what a fallback lookup returns.
+  static std::shared_ptr<const core::HrtfTable> populationAverageTable(
+      double sampleRate);
+
+ private:
+  /// Move `userId` to the most-recent position, inserting if absent; the
+  /// caller holds mutex_. Evicts from the cold end past capacity.
+  void insertLocked(const std::string& userId,
+                    std::shared_ptr<const core::HrtfTable> table);
+  std::string tablePath(const std::string& userId) const;
+
+  const std::size_t capacity_;
+  const std::string persistDir_;
+
+  mutable std::mutex mutex_;
+  /// Recency list, most recent first; map entries point into it.
+  std::list<std::string> lru_;
+  struct Entry {
+    std::shared_ptr<const core::HrtfTable> table;
+    std::list<std::string>::iterator pos;
+  };
+  std::unordered_map<std::string, Entry> map_;
+  Stats stats_;
+};
+
+}  // namespace uniq::serve

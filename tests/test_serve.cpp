@@ -1,0 +1,432 @@
+// Serving-layer tests: the concurrent CalibrationService (admission
+// control, cancellation, deadlines, failure isolation), the LRU TableCache
+// (eviction, hit accounting, disk tier, population fallback), and the
+// BatchAoaEngine (grouping, determinism, fallback flagging). Pipeline runs
+// here use small captures — the service's correctness must not depend on
+// job duration, only its *timing-sensitive* assertions do, and those are
+// written to hold on either side of the race.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "core/aoa.h"
+#include "core/pipeline.h"
+#include "core/table_io.h"
+#include "dsp/signal_generators.h"
+#include "head/subject.h"
+#include "obs/metrics.h"
+#include "serve/batch_aoa.h"
+#include "serve/calibration_service.h"
+#include "serve/table_cache.h"
+#include "sim/measurement_session.h"
+
+namespace uniq {
+namespace {
+
+/// A small but personalizable capture for subject `seed` (8 stops clears
+/// the pipeline's minUsableStops=6 gate, so jobs land kOk or kDegraded).
+sim::CalibrationCapture makeCapture(std::uint64_t seed,
+                                    std::size_t stops = 8) {
+  const auto subject = head::makePopulation(1, seed)[0];
+  const sim::MeasurementSession session;
+  auto gesture = sim::defaultGesture();
+  gesture.stops = stops;
+  return session.run(subject, gesture);
+}
+
+TEST(RunAbortToken, CancelAndDeadlineBothMakeItDue) {
+  core::RunAbortToken token;
+  EXPECT_FALSE(token.due());
+  token.setDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::hours(1));
+  EXPECT_FALSE(token.due());
+  token.setDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.due());
+
+  core::RunAbortToken cancelled;
+  cancelled.requestCancel();
+  EXPECT_TRUE(cancelled.cancelRequested());
+  EXPECT_TRUE(cancelled.due());
+}
+
+TEST(RunAbortToken, PreCancelledPipelineRunReturnsAbortedFallback) {
+  const auto capture = makeCapture(7);
+  core::RunAbortToken token;
+  token.requestCancel();
+  const core::CalibrationPipeline pipeline;
+  const auto out = pipeline.run(capture, nullptr, &token);
+  EXPECT_TRUE(out.aborted);
+  EXPECT_EQ(out.status, core::PipelineStatus::kFailed);
+  // The abort still yields a usable (population-average) table.
+  EXPECT_FALSE(out.table.farTable().byDegree.empty());
+  EXPECT_FALSE(out.diagnostics.empty());
+}
+
+// --- TableCache ---------------------------------------------------------
+
+TEST(TableCache, LruEvictionOrderAndStats) {
+  serve::TableCache cache(2);
+  const auto table = serve::TableCache::populationAverageTable(48000.0);
+  cache.put("a", table);
+  cache.put("b", table);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch "a" so "b" is the LRU entry, then overflow.
+  EXPECT_NE(cache.get("a"), nullptr);
+  cache.put("c", table);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+
+  EXPECT_EQ(cache.get("b"), nullptr);  // miss after eviction
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(TableCache, FallbackIsSharedAndNotCountedAsPersonalized) {
+  serve::TableCache cache(4);
+  const auto fallback = cache.getOrFallback("nobody", 48000.0);
+  ASSERT_NE(fallback, nullptr);
+  // Same process-wide instance every time — uncalibrated users share it.
+  EXPECT_EQ(fallback.get(),
+            serve::TableCache::populationAverageTable(48000.0).get());
+  EXPECT_FALSE(cache.contains("nobody"));
+  EXPECT_EQ(cache.stats().fallbacks, 1u);
+}
+
+TEST(TableCache, DiskTierSurvivesEviction) {
+  const std::string dir = ::testing::TempDir();
+  serve::TableCache cache(1, dir);
+  const auto table = serve::TableCache::populationAverageTable(48000.0);
+  cache.put("alice", table);
+  cache.put("bob", table);  // evicts alice from memory, not from disk
+  EXPECT_FALSE(cache.contains("alice"));
+
+  const auto reloaded = cache.get("alice");
+  ASSERT_NE(reloaded, nullptr);  // disk hit, promoted back into memory
+  EXPECT_TRUE(cache.contains("alice"));
+  EXPECT_GE(cache.stats().diskHits, 1u);
+  EXPECT_EQ(reloaded->sampleRate(), table->sampleRate());
+
+  // A fresh cache over the same directory is warm from disk too.
+  serve::TableCache second(4, dir);
+  EXPECT_NE(second.get("bob"), nullptr);
+  std::remove((dir + "/alice.uniq").c_str());
+  std::remove((dir + "/bob.uniq").c_str());
+}
+
+// --- CalibrationService -------------------------------------------------
+
+TEST(CalibrationService, StressConcurrentSubmissionsMatchSerial) {
+  // 8 jobs over a 2-worker pool (>= 4x pool size) cycling 4 distinct
+  // captures. Every job must land kDone with exactly the table a serial
+  // pipeline run produces for its capture — concurrency must not change
+  // results bit for bit.
+  constexpr std::size_t kWorkers = 2;
+  constexpr std::size_t kCaptures = 4;
+  constexpr std::size_t kJobs = 4 * kWorkers;
+
+  std::vector<std::shared_ptr<const sim::CalibrationCapture>> captures;
+  for (std::size_t i = 0; i < kCaptures; ++i)
+    captures.push_back(std::make_shared<const sim::CalibrationCapture>(
+        makeCapture(100 + i)));
+
+  const core::CalibrationPipeline serial;
+  std::vector<core::PersonalHrtf> expected;
+  for (const auto& c : captures) expected.push_back(serial.run(*c));
+
+  serve::CalibrationServiceOptions opts;
+  opts.workers = kWorkers;
+  opts.maxQueued = kJobs;
+  opts.cacheCapacity = kCaptures;
+  serve::CalibrationService service(opts);
+  EXPECT_EQ(service.workerCount(), kWorkers);
+
+  std::vector<std::uint64_t> ids;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    const auto id = service.submit("user" + std::to_string(j % kCaptures),
+                                   captures[j % kCaptures]);
+    ASSERT_NE(id, serve::kInvalidJobId);
+    ids.push_back(id);
+  }
+  const auto results = service.drain();
+  ASSERT_EQ(results.size(), kJobs);
+
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    const auto& r = results[j];
+    ASSERT_EQ(r.state, serve::JobState::kDone) << "job " << j;
+    EXPECT_EQ(r.id, ids[j]);  // drain() preserves submission order
+    const auto& want = expected[j % kCaptures];
+    EXPECT_EQ(r.status, want.status);
+    ASSERT_NE(r.table, nullptr);
+    const auto& got = r.table->farTable().byDegree;
+    const auto& ref = want.table.farTable().byDegree;
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t d = 0; d < ref.size(); d += 45) {
+      ASSERT_EQ(got[d].left.size(), ref[d].left.size());
+      for (std::size_t t = 0; t < ref[d].left.size(); ++t) {
+        EXPECT_EQ(got[d].left[t], ref[d].left[t])
+            << "job " << j << " deg " << d << " tap " << t;
+        EXPECT_EQ(got[d].right[t], ref[d].right[t])
+            << "job " << j << " deg " << d << " tap " << t;
+      }
+    }
+    EXPECT_GE(r.runMs, 0.0);
+    EXPECT_GE(r.queueMs, 0.0);
+  }
+  // All four users finished at least once -> personalized tables cached.
+  for (std::size_t i = 0; i < kCaptures; ++i)
+    EXPECT_TRUE(service.cache().contains("user" + std::to_string(i)));
+}
+
+TEST(CalibrationService, AdmissionControlRejectsWhenQueueFull) {
+  serve::CalibrationServiceOptions opts;
+  opts.workers = 1;
+  opts.maxQueued = 1;
+  serve::CalibrationService service(opts);
+  const auto capture = std::make_shared<const sim::CalibrationCapture>(
+      makeCapture(11));
+
+  std::vector<std::uint64_t> accepted;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto id = service.submit("u" + std::to_string(i), capture);
+    if (id == serve::kInvalidJobId)
+      ++rejected;
+    else
+      accepted.push_back(id);
+  }
+  // One job can be running and one queued; submits are microseconds while
+  // jobs are ~a second, so at least one of the six must bounce.
+  EXPECT_GE(rejected, 1u);
+  EXPECT_GE(accepted.size(), 1u);
+  EXPECT_EQ(accepted.size() + rejected, 6u);
+
+  const auto results = service.drain();
+  EXPECT_EQ(results.size(), accepted.size());
+  for (const auto& r : results) EXPECT_EQ(r.state, serve::JobState::kDone);
+}
+
+TEST(CalibrationService, CancelQueuedJobNeverRuns) {
+  serve::CalibrationServiceOptions opts;
+  opts.workers = 1;
+  opts.maxQueued = 4;
+  serve::CalibrationService service(opts);
+  const auto capture = std::make_shared<const sim::CalibrationCapture>(
+      makeCapture(12));
+
+  const auto a = service.submit("first", capture);
+  const auto b = service.submit("second", capture);
+  ASSERT_NE(a, serve::kInvalidJobId);
+  ASSERT_NE(b, serve::kInvalidJobId);
+  // The single worker is busy with `a`, so `b` is still queued; whichever
+  // side of the race we land on, a true cancel() must end in kCancelled.
+  const bool cancelable = service.cancel(b);
+  const auto rb = service.wait(b);
+  if (cancelable) {
+    EXPECT_EQ(rb.state, serve::JobState::kCancelled);
+    EXPECT_EQ(rb.table, nullptr);
+  } else {
+    EXPECT_EQ(rb.state, serve::JobState::kDone);
+  }
+  EXPECT_FALSE(service.cancel(b));  // terminal jobs refuse a second cancel
+
+  const auto ra = service.wait(a);
+  EXPECT_EQ(ra.state, serve::JobState::kDone);
+  service.drain();
+}
+
+TEST(CalibrationService, ExpiredDeadlineJobTerminatesAsExpired) {
+  serve::CalibrationServiceOptions opts;
+  opts.workers = 1;
+  serve::CalibrationService service(opts);
+  const auto capture = std::make_shared<const sim::CalibrationCapture>(
+      makeCapture(13));
+
+  serve::JobOptions job;
+  job.deadlineMs = 1e-6;  // already past by the time any worker looks
+  const auto id = service.submit("late", capture, job);
+  ASSERT_NE(id, serve::kInvalidJobId);
+  const auto r = service.wait(id);
+  EXPECT_EQ(r.state, serve::JobState::kExpired);
+  EXPECT_EQ(r.table, nullptr);
+  EXPECT_FALSE(service.cache().contains("late"));
+  service.drain();
+}
+
+TEST(CalibrationService, FailedJobIsIsolatedAndNeverCached) {
+  // A 4-stop capture is below minUsableStops=6: the pipeline fails over to
+  // the population-average table. The job must still report kDone (the
+  // *service* worked; the *calibration* failed), its fallback table must
+  // stay out of the cache, and surrounding healthy jobs must be untouched.
+  serve::CalibrationServiceOptions opts;
+  opts.workers = 2;
+  serve::CalibrationService service(opts);
+
+  const auto poisoned = std::make_shared<const sim::CalibrationCapture>(
+      makeCapture(21, /*stops=*/4));
+  const auto healthy = std::make_shared<const sim::CalibrationCapture>(
+      makeCapture(22));
+
+  const auto h1 = service.submit("healthy1", healthy);
+  const auto bad = service.submit("poisoned", poisoned);
+  const auto h2 = service.submit("healthy2", healthy);
+  ASSERT_NE(bad, serve::kInvalidJobId);
+
+  const auto rBad = service.wait(bad);
+  EXPECT_EQ(rBad.state, serve::JobState::kDone);
+  EXPECT_EQ(rBad.status, core::PipelineStatus::kFailed);
+  ASSERT_NE(rBad.table, nullptr);  // fallback handed to the caller...
+  EXPECT_FALSE(service.cache().contains("poisoned"));  // ...never cached
+
+  for (const auto id : {h1, h2}) {
+    const auto r = service.wait(id);
+    EXPECT_EQ(r.state, serve::JobState::kDone);
+    EXPECT_NE(r.status, core::PipelineStatus::kFailed);
+  }
+  EXPECT_TRUE(service.cache().contains("healthy1"));
+  service.drain();
+}
+
+TEST(CalibrationService, MetricsAccountForEveryTerminalState) {
+  const auto& before = obs::registry().snapshot();
+  auto counterValue = [](const obs::MetricsSnapshot& snap,
+                         const std::string& name) -> double {
+    for (const auto& c : snap.counters)
+      if (c.name == name) return c.value;
+    return 0.0;
+  };
+  const double doneBefore = counterValue(before, "serve.jobs.done");
+  const double submittedBefore = counterValue(before, "serve.jobs.submitted");
+
+  serve::CalibrationServiceOptions opts;
+  opts.workers = 1;
+  serve::CalibrationService service(opts);
+  const auto capture = std::make_shared<const sim::CalibrationCapture>(
+      makeCapture(31));
+  service.submit("metered", capture);
+  const auto results = service.drain();
+  ASSERT_EQ(results.size(), 1u);
+
+  const auto& after = obs::registry().snapshot();
+  EXPECT_GE(counterValue(after, "serve.jobs.submitted"),
+            submittedBefore + 1.0);
+  EXPECT_GE(counterValue(after, "serve.jobs.done"), doneBefore + 1.0);
+  bool sawQueueDepthGauge = false;
+  for (const auto& g : after.gauges)
+    if (g.name == "serve.queue.depth") sawQueueDepthGauge = true;
+  EXPECT_TRUE(sawQueueDepthGauge);
+}
+
+// --- BatchAoaEngine -----------------------------------------------------
+
+TEST(BatchAoaEngine, MatchesSingleEstimatorBitForBit) {
+  serve::TableCache cache(4);
+  const auto table = serve::TableCache::populationAverageTable(48000.0);
+  cache.put("alice", table);
+
+  const double fs = table->sampleRate();
+  const auto chirp =
+      dsp::linearChirp(200.0, 16000.0, static_cast<std::size_t>(0.05 * fs),
+                       fs);
+  const std::vector<double> angles = {40.0, 75.0, 120.0};
+  std::vector<serve::AoaQuery> queries;
+  for (const double a : angles) {
+    const auto rendered = table->renderFar(a, chirp);
+    serve::AoaQuery q;
+    q.userId = "alice";
+    q.left = rendered.left;
+    q.right = rendered.right;
+    q.source = chirp;
+    queries.push_back(std::move(q));
+  }
+
+  const serve::BatchAoaEngine engine(cache);
+  const auto batch = engine.run(queries);
+  ASSERT_EQ(batch.size(), angles.size());
+
+  const core::AoaEstimator reference(table->farTable());
+  for (std::size_t i = 0; i < angles.size(); ++i) {
+    EXPECT_TRUE(batch[i].personalized);
+    const auto want = reference.estimateKnown(queries[i].left,
+                                              queries[i].right,
+                                              queries[i].source);
+    // The template-spectrum cache must be a pure speedup.
+    EXPECT_EQ(batch[i].estimate.angleDeg, want.angleDeg) << angles[i];
+    EXPECT_LT(angularDistanceDeg(batch[i].estimate.angleDeg,
+                                         angles[i]),
+              10.0);
+  }
+}
+
+TEST(BatchAoaEngine, UncachedUserFallsBackAndIsFlagged) {
+  serve::TableCache cache(4);
+  const auto table = serve::TableCache::populationAverageTable(48000.0);
+  const double fs = table->sampleRate();
+  const auto chirp =
+      dsp::linearChirp(200.0, 16000.0, static_cast<std::size_t>(0.05 * fs),
+                       fs);
+  const auto rendered = table->renderFar(60.0, chirp);
+
+  serve::AoaQuery q;
+  q.userId = "stranger";
+  q.left = rendered.left;
+  q.right = rendered.right;
+  q.source = chirp;
+
+  const serve::BatchAoaEngine engine(cache);
+  const auto batch = engine.run({q});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(batch[0].personalized);
+  // Fallback *is* the table the signal was rendered with here, so the
+  // answer should still be close.
+  EXPECT_LT(angularDistanceDeg(batch[0].estimate.angleDeg, 60.0),
+            10.0);
+}
+
+TEST(BatchAoaEngine, UnknownSourceQueriesAreGroupedPerUser) {
+  serve::TableCache cache(4);
+  const auto table = serve::TableCache::populationAverageTable(48000.0);
+  cache.put("a", table);
+  cache.put("b", table);
+
+  const double fs = table->sampleRate();
+  Pcg32 rng(99);
+  const auto music =
+      dsp::musicLike(static_cast<std::size_t>(0.4 * fs), fs, rng);
+
+  std::vector<serve::AoaQuery> queries;
+  for (const auto* user : {"a", "b", "a", "b"}) {
+    const double angle = queries.size() * 25.0 + 40.0;
+    const auto rendered = table->renderFar(angle, music);
+    serve::AoaQuery q;
+    q.userId = user;
+    q.left = rendered.left;
+    q.right = rendered.right;  // no source -> unknown-source path
+    queries.push_back(std::move(q));
+  }
+  const serve::BatchAoaEngine engine(cache);
+  const auto batch = engine.run(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(batch[i].personalized);
+    const double want = i * 25.0 + 40.0;
+    EXPECT_LT(angularDistanceDeg(batch[i].estimate.angleDeg, want),
+              25.0)
+        << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace uniq
