@@ -1,0 +1,10 @@
+#include "common/aligned.h"
+
+namespace uniq::common {
+
+ScratchArena& simdScratch() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace uniq::common

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace uniq::common {
+
+/// Cache-line / AVX-friendly allocation alignment. 64 bytes covers both the
+/// 32-byte AVX2 vector width and the 64-byte cache line, so SIMD kernels
+/// never split a load across lines and adjacent buffers never false-share.
+inline constexpr std::size_t kSimdAlignment = 64;
+
+/// Round `n` elements of `elem` bytes up to a whole number of alignment
+/// units, in elements. Used to pad SoA lanes so vector loops never need a
+/// scalar tail on the write side.
+inline constexpr std::size_t alignedCount(std::size_t n, std::size_t elem) {
+  const std::size_t bytes = n * elem;
+  const std::size_t padded =
+      (bytes + kSimdAlignment - 1) / kSimdAlignment * kSimdAlignment;
+  return padded / elem;
+}
+
+/// Move-only owning buffer of uninitialized T with kSimdAlignment-aligned
+/// storage. Unlike std::vector it never value-initializes (FFT scratch is
+/// always fully overwritten) and its data pointer is guaranteed aligned, so
+/// kernels can use aligned vector loads unconditionally.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) { resizeDiscard(n); }
+  ~AlignedBuffer() { release(); }
+
+  AlignedBuffer(AlignedBuffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)),
+        capacity_(std::exchange(o.capacity_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+      capacity_ = std::exchange(o.capacity_, 0);
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Resize without preserving contents (existing data is discarded; the
+  /// new contents are uninitialized). Never shrinks the allocation.
+  void resizeDiscard(std::size_t n) {
+    if (n > capacity_) {
+      release();
+      const std::size_t bytes =
+          alignedCount(n, sizeof(T)) * sizeof(T);
+      data_ = static_cast<T*>(
+          ::operator new(bytes, std::align_val_t{kSimdAlignment}));
+      capacity_ = n;
+    }
+    size_ = n;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void release() {
+    if (data_) {
+      ::operator delete(data_, std::align_val_t{kSimdAlignment});
+      data_ = nullptr;
+    }
+    size_ = capacity_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+/// Growable bump allocator for transient SIMD scratch (FFT split re/im
+/// lanes, batched-transform workspaces). Allocations are kSimdAlignment-
+/// aligned and live until the enclosing ArenaScope unwinds; the backing
+/// block is reused across calls so steady-state transforms do zero heap
+/// traffic.
+///
+/// Not thread-safe by design: use the thread_local instance from
+/// simdScratch(). Reentrancy (an FFT calling a sub-plan's FFT) is handled
+/// by nested ArenaScopes.
+class ScratchArena {
+ public:
+  double* allocDoubles(std::size_t n) {
+    const std::size_t need = alignedCount(n, sizeof(double));
+    if (offset_ + need > block_.size()) grow(offset_ + need);
+    double* p = block_.data() + offset_;
+    offset_ += need;
+    return p;
+  }
+
+  std::size_t offset() const { return offset_; }
+  void rewind(std::size_t offset) {
+    offset_ = offset;
+    // Blocks retired by grow() can only be dropped once no scope holds
+    // pointers into them, i.e. when the arena is fully unwound.
+    if (offset_ == 0 && !retired_.empty()) retired_.clear();
+  }
+
+ private:
+  void grow(std::size_t need) {
+    // Geometric growth. The old block is RETIRED, not freed: allocations
+    // made before the grow (in this or an enclosing scope) still point into
+    // it and stay valid until the arena unwinds to zero. Only allocations
+    // made after the grow land in the new block.
+    std::size_t cap = block_.size() < 1024 ? 1024 : block_.size();
+    while (cap < need) cap *= 2;
+    AlignedBuffer<double> bigger(cap);
+    if (block_.size() > 0) retired_.push_back(std::move(block_));
+    block_ = std::move(bigger);
+    offset_ = 0;
+  }
+
+  AlignedBuffer<double> block_;
+  std::size_t offset_ = 0;
+  std::vector<AlignedBuffer<double>> retired_;
+};
+
+/// RAII scope: everything allocated from the arena after construction is
+/// released (offset rewound) on destruction.
+class ArenaScope {
+ public:
+  explicit ArenaScope(ScratchArena& arena)
+      : arena_(arena), saved_(arena.offset()) {}
+  ~ArenaScope() { arena_.rewind(saved_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  ScratchArena& arena_;
+  std::size_t saved_;
+};
+
+/// The per-thread scratch arena shared by the SIMD kernel layer.
+ScratchArena& simdScratch();
+
+}  // namespace uniq::common

@@ -91,6 +91,43 @@ AoaEstimator::cachedTemplateSpectra(std::size_t degreeIndex,
   return slot;
 }
 
+void AoaEstimator::prefillTemplateSpectra(
+    const std::vector<std::size_t>& degreeIndices, std::size_t n) const {
+  if (!opts_.cacheTemplateSpectra) return;
+  std::lock_guard<std::mutex> lock(specMutex_);
+  if (specN_ != n) {
+    specN_ = n;
+    spec_.assign(table_.byDegree.size(), nullptr);
+  }
+  std::vector<std::size_t> missing;
+  for (std::size_t idx : degreeIndices)
+    if (!spec_[idx]) missing.push_back(idx);
+  if (missing.empty()) return;
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+
+  // One batched pass over every missing left/right template pair.
+  std::vector<std::vector<double>> padded(
+      2 * missing.size(), std::vector<double>(n, 0.0));
+  for (std::size_t m = 0; m < missing.size(); ++m) {
+    const auto& tmpl = table_.byDegree[missing[m]];
+    std::copy(tmpl.left.begin(), tmpl.left.end(), padded[2 * m].begin());
+    std::copy(tmpl.right.begin(), tmpl.right.end(),
+              padded[2 * m + 1].begin());
+  }
+  const auto plan = dsp::fftPlan(n);
+  auto spectra = plan->rfftBatch(padded);
+  static obs::Counter& fills =
+      obs::registry().counter("aoa.template_cache.fills");
+  fills.inc(missing.size());
+  for (std::size_t m = 0; m < missing.size(); ++m) {
+    auto entry = std::make_shared<TemplateSpectra>();
+    entry->left = std::move(spectra[2 * m]);
+    entry->right = std::move(spectra[2 * m + 1]);
+    spec_[missing[m]] = std::move(entry);
+  }
+}
+
 double AoaEstimator::templateDelaySec(double thetaDeg) const {
   const auto idx = static_cast<std::size_t>(
       clamp(std::lround(thetaDeg), 0.0, 180.0));
@@ -281,20 +318,36 @@ AoaEstimate AoaEstimator::estimateUnknown(
       std::min(dsp::frequencyToBin(opts_.bandHiHz, n, fs), n / 2);
 
   // Per-frame half spectra of both ears (real signals; bins above n/2 are
-  // redundant and the Eq. 11 band never reaches them).
+  // redundant and the Eq. 11 band never reaches them). All frames of both
+  // ears go through one batched-FFT pass.
   const auto plan = dsp::fftPlan(n);
-  std::vector<std::vector<dsp::Complex>> framesL, framesR;
-  std::vector<double> scratch(n);
-  for (std::size_t start : frameStarts) {
+  std::vector<std::vector<double>> frames(2 * frameStarts.size(),
+                                          std::vector<double>(n, 0.0));
+  for (std::size_t f = 0; f < frameStarts.size(); ++f) {
+    const std::size_t start = frameStarts[f];
     const std::size_t len = std::min(frameLen, total - start);
-    std::fill(scratch.begin(), scratch.end(), 0.0);
-    for (std::size_t i = 0; i < len; ++i)
-      scratch[i] = leftRecording[start + i];
-    framesL.push_back(plan->rfft(scratch));
-    std::fill(scratch.begin(), scratch.end(), 0.0);
-    for (std::size_t i = 0; i < len; ++i)
-      scratch[i] = rightRecording[start + i];
-    framesR.push_back(plan->rfft(scratch));
+    for (std::size_t i = 0; i < len; ++i) {
+      frames[2 * f][i] = leftRecording[start + i];
+      frames[2 * f + 1][i] = rightRecording[start + i];
+    }
+  }
+  auto frameSpectra = plan->rfftBatch(frames);
+  std::vector<std::vector<dsp::Complex>> framesL, framesR;
+  for (std::size_t f = 0; f < frameStarts.size(); ++f) {
+    framesL.push_back(std::move(frameSpectra[2 * f]));
+    framesR.push_back(std::move(frameSpectra[2 * f + 1]));
+  }
+
+  // Batched serving: compute every candidate's template spectra in one
+  // batched pass up front, so the scoring loop below is all cache hits.
+  if (opts_.cacheTemplateSpectra) {
+    std::vector<std::size_t> indices;
+    indices.reserve(candidates.size());
+    for (double theta : candidates)
+      indices.push_back(static_cast<std::size_t>(clamp(
+          std::lround(theta), 0.0,
+          static_cast<double>(table_.byDegree.size() - 1))));
+    prefillTemplateSpectra(indices, n);
   }
 
   // Score every candidate independently across the pool, then argmin in

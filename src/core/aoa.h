@@ -121,6 +121,14 @@ class AoaEstimator {
   /// have one recording length, so thrash is not a concern.
   std::shared_ptr<const TemplateSpectra> cachedTemplateSpectra(
       std::size_t degreeIndex, std::size_t n) const;
+  /// Batch-fill the template-spectrum cache for every listed degree index
+  /// not yet cached at size `n`, using one batched-FFT pass over all the
+  /// missing left/right templates. The batched cascade applies the same
+  /// operation sequence per member as a single transform, so the cached
+  /// spectra stay bitwise identical to cachedTemplateSpectra's. No-op when
+  /// Options::cacheTemplateSpectra is off.
+  void prefillTemplateSpectra(const std::vector<std::size_t>& degreeIndices,
+                              std::size_t n) const;
 
   const FarFieldTable& table_;
   Options opts_;

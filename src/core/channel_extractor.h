@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "dsp/fft.h"
@@ -90,6 +91,14 @@ class ChannelExtractor {
  private:
   std::vector<double> extractEar(const std::vector<double>& recording,
                                  const std::vector<double>& source) const;
+  /// Both ears in one pass when the recordings have equal length (the
+  /// normal capture case): the two forward transforms run through the
+  /// batched FFT and the source spectrum (plus its hardware compensation)
+  /// is computed once and shared.
+  std::pair<std::vector<double>, std::vector<double>> extractEars(
+      const std::vector<double>& leftRecording,
+      const std::vector<double>& rightRecording,
+      const std::vector<double>& source) const;
 
   std::vector<dsp::Complex> hardwareEstimate_;
   double sampleRate_;

@@ -28,28 +28,48 @@ Localizer::Localizer(const geo::HeadBoundary& head, Options opts)
   UNIQ_REQUIRE(opts_.maxRadiusM > opts_.minRadiusM, "bad radius range");
 }
 
-std::optional<double> Localizer::radiusForLeftPath(double angleDeg,
-                                                   double targetLen) const {
+std::optional<double> Localizer::radiusForLeftPath(
+    geo::Vec2 dir, double targetLen, const std::optional<double>& hint) const {
+  // dir * r is exactly pointFromPolarDeg(angleDeg, r) with the sin/cos
+  // hoisted out of the root-finder's inner loop.
   const auto f = [&](double r) {
-    return pathLength(head_, geo::pointFromPolarDeg(angleDeg, r),
-                      geo::Ear::kLeft) -
-           targetLen;
+    return pathLength(head_, dir * r, geo::Ear::kLeft) - targetLen;
   };
-  const double fLo = f(opts_.minRadiusM);
-  const double fHi = f(opts_.maxRadiusM);
-  if (fLo > 0.0 || fHi < 0.0) return std::nullopt;
   optim::RootOptions ropts;
   ropts.xTolerance = 1e-5;
-  return optim::brent(f, opts_.minRadiusM, opts_.maxRadiusM, ropts);
+  // Warm start: the root moves slowly across the angle scan, so a narrow
+  // window around the previous angle's root usually brackets it and Brent
+  // converges in a fraction of the full-range iterations. Monotonicity of
+  // the path length in r (the source is well outside the head) makes a
+  // bracketing window sufficient — there is only one root to find.
+  if (hint) {
+    constexpr double kWindowM = 0.03;
+    const double lo = std::max(opts_.minRadiusM, *hint - kWindowM);
+    const double hi = std::min(opts_.maxRadiusM, *hint + kWindowM);
+    if (lo < hi) {
+      const double fLo = f(lo);
+      if (fLo <= 0.0) {
+        const double fHi = f(hi);
+        if (fHi >= 0.0) return optim::brentBracketed(f, lo, hi, fLo, fHi, ropts);
+      }
+    }
+  }
+  const double fLo = f(opts_.minRadiusM);
+  if (fLo > 0.0) return std::nullopt;
+  const double fHi = f(opts_.maxRadiusM);
+  if (fHi < 0.0) return std::nullopt;
+  return optim::brentBracketed(f, opts_.minRadiusM, opts_.maxRadiusM, fLo, fHi,
+                               ropts);
 }
 
-double Localizer::rightPathResidual(double angleDeg, double targetLenLeft,
-                                    double targetLenRight) const {
-  const auto r = radiusForLeftPath(angleDeg, targetLenLeft);
+double Localizer::rightPathResidual(geo::Vec2 dir, double targetLenLeft,
+                                    double targetLenRight,
+                                    std::optional<double>* warmRadius) const {
+  const auto r = radiusForLeftPath(dir, targetLenLeft,
+                                   warmRadius ? *warmRadius : std::nullopt);
   if (!r) return std::numeric_limits<double>::quiet_NaN();
-  return pathLength(head_, geo::pointFromPolarDeg(angleDeg, *r),
-                    geo::Ear::kRight) -
-         targetLenRight;
+  if (warmRadius) *warmRadius = *r;
+  return pathLength(head_, dir * *r, geo::Ear::kRight) - targetLenRight;
 }
 
 std::vector<PolarFix> Localizer::locateAll(double delayLeftSec,
@@ -66,10 +86,15 @@ std::vector<PolarFix> Localizer::locateAll(double delayLeftSec,
   // interval subdivision (the residual is only defined where the left-ear
   // iso-delay curve exists, so plain Brent could step out of the domain).
   double prevAngle = lo;
-  double prevRes = rightPathResidual(lo, dL, dR);
+  // The left-path radius solve is warm-started with the previous angle's
+  // root (it moves slowly along the scan).
+  std::optional<double> warm;
+  double prevRes =
+      rightPathResidual(geo::directionFromAzimuthDeg(lo), dL, dR, &warm);
   for (double ang = lo + opts_.scanStepDeg; ang <= hi + 1e-9;
        ang += opts_.scanStepDeg) {
-    const double res = rightPathResidual(ang, dL, dR);
+    const double res =
+        rightPathResidual(geo::directionFromAzimuthDeg(ang), dL, dR, &warm);
     if (!std::isnan(prevRes) && !std::isnan(res) &&
         (prevRes < 0) != (res < 0)) {
       // Refine within [prevAngle, ang] by repeated subdivision.
@@ -82,8 +107,8 @@ std::vector<PolarFix> Localizer::locateAll(double delayLeftSec,
         bool found = false;
         for (int s = 1; s <= kSub; ++s) {
           const double x1 = a + (b - a) * s / kSub;
-          const double f1 = s == kSub ? rightPathResidual(b, dL, dR)
-                                      : rightPathResidual(x1, dL, dR);
+          const double f1 = rightPathResidual(
+              geo::directionFromAzimuthDeg(s == kSub ? b : x1), dL, dR, &warm);
           if (!std::isnan(f0) && !std::isnan(f1) && (f0 < 0) != (f1 < 0)) {
             bestA = x0;
             bestB = x1;
@@ -100,7 +125,8 @@ std::vector<PolarFix> Localizer::locateAll(double delayLeftSec,
         fa = bestFa;
       }
       const double angleRoot = 0.5 * (a + b);
-      const auto r = radiusForLeftPath(angleRoot, dL);
+      const auto r =
+          radiusForLeftPath(geo::directionFromAzimuthDeg(angleRoot), dL, warm);
       if (r) fixes.push_back({angleRoot, *r});
     }
     prevAngle = ang;
@@ -135,8 +161,10 @@ std::optional<PolarFix> Localizer::locate(double delayLeftSec,
   double bestAngle = 0.0;
   double bestAbs = std::numeric_limits<double>::infinity();
   const double fineStep = opts_.scanStepDeg / 3.0;
+  std::optional<double> warm;
   for (double ang = lo; ang <= hi + 1e-9; ang += fineStep) {
-    const double res = rightPathResidual(ang, dL, dR);
+    const double res =
+        rightPathResidual(geo::directionFromAzimuthDeg(ang), dL, dR, &warm);
     if (std::isnan(res)) continue;
     if (std::fabs(res) < bestAbs) {
       bestAbs = std::fabs(res);
@@ -144,7 +172,8 @@ std::optional<PolarFix> Localizer::locate(double delayLeftSec,
     }
   }
   if (bestAbs > opts_.approximateResidualM) return std::nullopt;
-  const auto r = radiusForLeftPath(bestAngle, dL);
+  const auto r =
+      radiusForLeftPath(geo::directionFromAzimuthDeg(bestAngle), dL, warm);
   if (!r) return std::nullopt;
   return PolarFix{bestAngle, *r};
 }

@@ -52,11 +52,23 @@ class Localizer {
 
  private:
   /// Radius at which the left-ear path length equals `targetLen` along the
-  /// ray at angleDeg, or nullopt when out of range.
-  std::optional<double> radiusForLeftPath(double angleDeg,
-                                          double targetLen) const;
-  double rightPathResidual(double angleDeg, double targetLenLeft,
-                           double targetLenRight) const;
+  /// ray with unit direction `dir` (the sin/cos of the scan angle, hoisted
+  /// out by the caller so the root-finder's inner evaluations are
+  /// trig-free), or nullopt when out of range. `hint` is a warm start from
+  /// a nearby scan angle: when the root lies within a small window around
+  /// it, Brent runs on that window instead of the full radius range (the
+  /// path length is monotone in r for r > ear radius, so a sign change
+  /// across the window brackets the unique root).
+  std::optional<double> radiusForLeftPath(
+      geo::Vec2 dir, double targetLen,
+      const std::optional<double>& hint = std::nullopt) const;
+  /// Right-ear path residual at the radius solving the left-ear constraint
+  /// (NaN when no such radius). `warmRadius`, if non-null, is read as the
+  /// hint for the radius solve and updated with the found root — callers
+  /// sweeping consecutive angles thread it through the scan.
+  double rightPathResidual(geo::Vec2 dir, double targetLenLeft,
+                           double targetLenRight,
+                           std::optional<double>* warmRadius = nullptr) const;
 
   const geo::HeadBoundary& head_;
   Options opts_;

@@ -8,6 +8,8 @@
 #include "common/error.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "dsp/fft_plan.h"
+#include "dsp/kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/nelder_mead.h"
@@ -127,6 +129,23 @@ SensorFusionResult SensorFusion::solveWith(
     return objective(decode(x), measurements);
   };
 
+  // Which kernel tier this solve ran on, and how many FFT transforms each
+  // objective evaluation cost — both end up in the RunReport metrics
+  // snapshot. (The DSF objective is geometry-bound; a nonzero per-eval FFT
+  // count flags an unexpected code path.)
+  static obs::Counter& evalCounter =
+      obs::registry().counter("dsf.objective.evals");
+  static obs::Counter& fftCounter =
+      obs::registry().counter("dsf.solve.fft_transforms");
+  static obs::Gauge& fftPerEval =
+      obs::registry().gauge("dsf.solve.fft_per_eval");
+  obs::registry()
+      .counter(std::string("dsf.solve.kernel.") +
+               dsp::kernels::isaName(dsp::kernels::activeIsa()))
+      .inc();
+  const auto fftBefore = dsp::fftStats();
+  const std::uint64_t evalsBefore = evalCounter.value();
+
   optim::NelderMeadOptions nmOpts;
   nmOpts.maxIterations = opts_.maxIterations;
   nmOpts.initialStep = 0.6;  // in squashed coordinates
@@ -187,6 +206,16 @@ SensorFusionResult SensorFusion::solveWith(
       result.localizedCount > 0
           ? residual / static_cast<double>(result.localizedCount)
           : opts_.unlocalizedPenalty;
+
+  const auto fftAfter = dsp::fftStats();
+  const std::uint64_t fftDelta =
+      (fftAfter.transforms + fftAfter.batchedTransforms) -
+      (fftBefore.transforms + fftBefore.batchedTransforms);
+  const std::uint64_t evalDelta = evalCounter.value() - evalsBefore;
+  fftCounter.inc(fftDelta);
+  fftPerEval.set(evalDelta > 0 ? static_cast<double>(fftDelta) /
+                                     static_cast<double>(evalDelta)
+                               : 0.0);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "dsp/fft.h"
 #include "dsp/fft_plan.h"
+#include "dsp/kernels/kernels.h"
 
 namespace uniq::dsp {
 
@@ -34,7 +35,7 @@ std::vector<double> convolveFft(std::span<const double> a,
   std::copy(b.begin(), b.end(), pb.begin());
   auto fa = plan->rfft(pa);
   const auto fb = plan->rfft(pb);
-  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  kernels::cmulInterleaved(fa.data(), fb.data(), fa.size());
   auto full = plan->irfft(fa);
   full.resize(outLen);
   return full;
@@ -64,7 +65,7 @@ std::vector<double> convolveOverlapAdd(std::span<const double> signal,
               signal.begin() + static_cast<std::ptrdiff_t>(start + len),
               block.begin());
     auto fb = plan->rfft(block);
-    for (std::size_t i = 0; i < fb.size(); ++i) fb[i] *= fk[i];
+    kernels::cmulInterleaved(fb.data(), fk.data(), fb.size());
     const auto time = plan->irfft(fb);
     const std::size_t tail = std::min(len + kernel.size() - 1, outLen - start);
     for (std::size_t i = 0; i < tail; ++i) out[start + i] += time[i];

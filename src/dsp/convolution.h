@@ -25,11 +25,13 @@ std::vector<double> convolveOverlapAdd(std::span<const double> signal,
 
 /// Shorter-signal length at or below which convolve() picks the direct
 /// O(N*M) kernel over the FFT path. Chosen from the crossover of
-/// BM_ConvolveDirectSmall vs BM_ConvolveFftSmall in bench/perf_micro.cpp:
-/// on a 4096-sample signal, direct wins ~1.6x at 64 taps and only reaches
-/// parity with the rfft path near 128, so 64 keeps a comfortable margin for
-/// longer signals (direct scales as N*M, FFT as N log N). Re-run those
-/// benches before changing it.
+/// BM_ConvolveDirectSmall vs BM_ConvolveFftSmall in bench/perf_micro.cpp,
+/// re-measured after the SIMD kernel layer landed (3-rep medians on a
+/// 4096-sample signal): direct still wins at 64 taps (102us vs 130us) and
+/// FFT wins from 128 (178us vs 128us) — the vector kernels sped both paths
+/// up by a similar factor, so the crossover stayed between 64 and 128 and
+/// the pre-SIMD value stands. Re-run those benches (and regenerate
+/// BENCH_perf.json) before changing it.
 inline constexpr std::size_t kDirectConvolveCutoff = 64;
 
 /// Size-adaptive convolution: direct for tiny kernels (shorter input at or

@@ -6,15 +6,14 @@
 #include "common/error.h"
 #include "dsp/fft.h"
 #include "dsp/fft_plan.h"
+#include "dsp/kernels/kernels.h"
 
 namespace uniq::dsp {
 
 namespace {
 
 double l2Norm(std::span<const double> x) {
-  double s = 0;
-  for (double v : x) s += v * v;
-  return std::sqrt(s);
+  return std::sqrt(kernels::sumSquares(x.data(), x.size()));
 }
 
 /// Parabolic interpolation around a discrete argmax. Returns the refined
@@ -75,7 +74,7 @@ std::vector<double> crossCorrelate(std::span<const double> a,
   std::copy(b.begin(), b.end(), pb.begin());
   auto fa = plan->rfft(pa);
   const auto fb = plan->rfft(pb);
-  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= std::conj(fb[i]);
+  kernels::cmulConjInterleaved(fa.data(), fb.data(), fa.size());
   const auto r = plan->irfft(fa);
   // IFFT of A*conj(B) yields r[p] = sum_t a[t+p]*b[t] = c[-p] under the
   // header convention c[lag] = sum_t a[t]*b[t+lag]; unwrap accordingly into
@@ -121,21 +120,11 @@ double pearson(std::span<const double> a, std::span<const double> b) {
   UNIQ_REQUIRE(a.size() == b.size() && !a.empty(),
                "pearson needs equal non-empty sizes");
   const double n = static_cast<double>(a.size());
-  double ma = 0, mb = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    ma += a[i];
-    mb += b[i];
-  }
-  ma /= n;
-  mb /= n;
-  double sab = 0, saa = 0, sbb = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double da = a[i] - ma;
-    const double db = b[i] - mb;
-    sab += da * db;
-    saa += da * da;
-    sbb += db * db;
-  }
+  const double ma = kernels::sum(a.data(), a.size()) / n;
+  const double mb = kernels::sum(b.data(), b.size()) / n;
+  double acc[3];
+  kernels::pearsonAccum(a.data(), b.data(), a.size(), ma, mb, acc);
+  const double sab = acc[0], saa = acc[1], sbb = acc[2];
   if (saa < 1e-30 || sbb < 1e-30) return 0.0;
   return sab / std::sqrt(saa * sbb);
 }

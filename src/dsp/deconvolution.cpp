@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "dsp/fft_plan.h"
+#include "dsp/kernels/kernels.h"
 
 namespace uniq::dsp {
 
@@ -15,14 +16,12 @@ std::vector<Complex> regularizedSpectralDivide(
                "spectra must have equal length");
   UNIQ_REQUIRE(relativeRegularization > 0.0,
                "regularization must be positive");
-  double maxPow = 0.0;
-  for (const auto& d : denominator) maxPow = std::max(maxPow, std::norm(d));
+  const double maxPow = kernels::maxNorm(denominator.data(),
+                                         denominator.size());
   const double eps = relativeRegularization * std::max(maxPow, 1e-300);
   std::vector<Complex> out(numerator.size());
-  for (std::size_t i = 0; i < numerator.size(); ++i) {
-    out[i] = numerator[i] * std::conj(denominator[i]) /
-             (std::norm(denominator[i]) + eps);
-  }
+  kernels::spectralDivide(numerator.data(), denominator.data(), eps,
+                          out.data(), out.size());
   return out;
 }
 

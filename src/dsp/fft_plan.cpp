@@ -1,12 +1,15 @@
 #include "dsp/fft_plan.h"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "common/aligned.h"
 #include "common/constants.h"
 #include "common/error.h"
+#include "dsp/kernels/kernels.h"
 #include "obs/metrics.h"
 
 namespace uniq::dsp {
@@ -40,11 +43,33 @@ obs::Gauge& cachedPlansGauge() {
   static obs::Gauge& g = obs::registry().gauge("fft.plan.cached");
   return g;
 }
+// Executed-transform counters: every user-visible transform (a Bluestein
+// transform counts once, not per inner convolution FFT), batch members
+// individually. The fusion stage reads deltas of these to report FFT work
+// per objective evaluation.
+obs::Counter& transformCounter() {
+  static obs::Counter& c = obs::registry().counter("fft.transforms");
+  return c;
+}
+obs::Counter& batchedCounter() {
+  static obs::Counter& c = obs::registry().counter("fft.transforms.batched");
+  return c;
+}
 
 // Plans are a few hundred KiB at the largest sizes this pipeline uses; cap
 // the cache so a pathological caller sweeping many distinct lengths cannot
 // grow it without bound.
 constexpr std::size_t kMaxCachedPlans = 128;
+
+// Batched transforms run in chunks of at most this many members: wide
+// enough that every butterfly is a full AVX2 vector (and twiddle broadcasts
+// amortize), narrow enough that a chunk's working set stays in L1/L2.
+constexpr std::size_t kBatchWidth = 8;
+
+/// Row stride (in doubles) for a batch chunk of `w` members: the smallest
+/// multiple of 4 holding `w`, so the vector kernels never need a scalar
+/// tail in the batch dimension.
+std::size_t batchStride(std::size_t w) { return w <= 4 ? 4 : kBatchWidth; }
 
 }  // namespace
 
@@ -60,141 +85,102 @@ FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(isPowerOfTwo(n)) {
       for (; j & bit; bit >>= 1) j ^= bit;
       j ^= bit;
       bitrev_[i] = static_cast<std::uint32_t>(j);
-      if (i < j) {
-        swapPairs_.push_back(static_cast<std::uint32_t>(i));
-        swapPairs_.push_back(static_cast<std::uint32_t>(j));
+    }
+    if (n >= 2) {
+      // Packed per-stage twiddles, batch layout: stage len at offset
+      // len/2 - 1, entries exp(-2*pi*i*k/len) for k < len/2. The offsets
+      // telescope (1 + 2 + ... + len/4 == len/2 - 1), n - 1 entries total.
+      twRe_.resizeDiscard(n - 1);
+      twIm_.resizeDiscard(n - 1);
+      invTwIm_.resizeDiscard(n - 1);
+      for (std::size_t len = 2; len <= n; len <<= 1) {
+        const std::size_t half = len / 2;
+        for (std::size_t k = 0; k < half; ++k) {
+          const double ang =
+              -kTwoPi * static_cast<double>(k) / static_cast<double>(len);
+          twRe_[half - 1 + k] = std::cos(ang);
+          twIm_[half - 1 + k] = std::sin(ang);
+          invTwIm_[half - 1 + k] = -twIm_[half - 1 + k];
+        }
       }
+      halfPlan_ = fftPlan(n / 2);
     }
-    twiddles_.resize(n / 2);
-    inverseTwiddles_.resize(n / 2);
-    for (std::size_t k = 0; k < n / 2; ++k) {
-      const double ang = -kTwoPi * static_cast<double>(k) /
-                         static_cast<double>(n);
-      twiddles_[k] = Complex(std::cos(ang), std::sin(ang));
-      inverseTwiddles_[k] = std::conj(twiddles_[k]);
-    }
-    if (n >= 2) halfPlan_ = fftPlan(n / 2);
     return;
   }
 
   // Bluestein: DFT_n as a circular convolution of length m = 2^k >= 2n+1.
   m_ = nextPowerOfTwo(2 * n + 1);
-  chirp_.resize(n);
+  chirpRe_.resizeDiscard(n);
+  chirpIm_.resizeDiscard(n);
   for (std::size_t k = 0; k < n; ++k) {
     // k^2 mod 2n avoids precision loss for large k.
     const double kk = static_cast<double>(
         (static_cast<unsigned long long>(k) * k) % (2 * n));
     const double phase = -kPi * kk / static_cast<double>(n);
-    chirp_[k] = Complex(std::cos(phase), std::sin(phase));
+    chirpRe_[k] = std::cos(phase);
+    chirpIm_[k] = std::sin(phase);
   }
   convPlan_ = fftPlan(m_);
-  std::vector<Complex> b(m_, Complex(0, 0));
-  b[0] = std::conj(chirp_[0]);
+  // Kernel spectrum, stored in the convolution plan's bit-reversed (DIF
+  // output) order: transform time multiplies it pointwise against the DIF
+  // forward output and feeds the product straight into the DIT inverse —
+  // no permutation passes anywhere in the convolution.
+  kernRe_.resizeDiscard(m_);
+  kernIm_.resizeDiscard(m_);
+  std::fill(kernRe_.data(), kernRe_.data() + m_, 0.0);
+  std::fill(kernIm_.data(), kernIm_.data() + m_, 0.0);
+  kernRe_[0] = chirpRe_[0];
+  kernIm_[0] = -chirpIm_[0];
   for (std::size_t k = 1; k < n; ++k) {
-    b[k] = std::conj(chirp_[k]);
-    b[m_ - k] = b[k];
+    kernRe_[k] = chirpRe_[k];
+    kernIm_[k] = -chirpIm_[k];
+    kernRe_[m_ - k] = kernRe_[k];
+    kernIm_[m_ - k] = kernIm_[k];
   }
-  convPlan_->forwardInPlace(b);
-  kernelSpectrum_ = std::move(b);
+  kernels::difStages(kernRe_.data(), kernIm_.data(), m_,
+                     convPlan_->stageTwRe(), convPlan_->stageTwIm(false));
+}
+
+void FftPlan::gatherSplit(const Complex* input, double* re, double* im) const {
+  // One pass replaces deinterleave + permutation + first butterfly stage:
+  // the pair written to (2t, 2t+1) reads bit-reversed inputs j and j + n/2,
+  // and the len == 2 twiddle is exactly 1.
+  const std::size_t h = n_ / 2;
+  const auto* d = reinterpret_cast<const double*>(input);
+  for (std::size_t t = 0; t < h; ++t) {
+    const std::size_t j = bitrev_[2 * t];
+    const double ur = d[2 * j], ui = d[2 * j + 1];
+    const double vr = d[2 * (j + h)], vi = d[2 * (j + h) + 1];
+    re[2 * t] = ur + vr;
+    im[2 * t] = ui + vi;
+    re[2 * t + 1] = ur - vr;
+    im[2 * t + 1] = ui - vi;
+  }
 }
 
 void FftPlan::transformPow2(std::span<Complex> data, bool inverse) const {
-  // In-place bit-reversal via the precomputed pair list, which visits each
-  // swap exactly once.
-  for (std::size_t p = 0; p + 1 < swapPairs_.size(); p += 2) {
-    std::swap(data[swapPairs_[p]], data[swapPairs_[p + 1]]);
-  }
-  stagesPow2(data, inverse, /*firstStageDone=*/false);
-}
-
-void FftPlan::gatherStage2(std::span<const Complex> input,
-                           std::span<Complex> out) const {
+  transformCounter().inc();
   const std::size_t n = n_;
-  if (n == 1) {
-    out[0] = input[0];
-    return;
-  }
-  // One pass replaces copy + permutation + first butterfly stage: the pair
-  // written to (2t, 2t+1) reads bit-reversed inputs j and j + n/2, and the
-  // len == 2 twiddle is exactly 1.
-  const std::size_t h = n / 2;
-  for (std::size_t t = 0; t < h; ++t) {
-    const std::size_t j = bitrev_[2 * t];
-    const Complex u = input[j];
-    const Complex v = input[j + h];
-    out[2 * t] = u + v;
-    out[2 * t + 1] = u - v;
-  }
-}
-
-void FftPlan::stagesPow2(std::span<Complex> data, bool inverse,
-                         bool firstStageDone) const {
-  const std::size_t n = n_;
-  if (!firstStageDone) {
-    // First stage (len == 2): twiddle is exactly 1, no multiply needed.
-    for (std::size_t i = 0; i + 1 < n; i += 2) {
-      const Complex u = data[i];
-      const Complex v = data[i + 1];
-      data[i] = u + v;
-      data[i + 1] = u - v;
-    }
-  }
-
-  // Scalar-double butterflies from here on. Spelling the complex
-  // arithmetic out keeps GCC from mixing packed and scalar code with stack
-  // round-trips, which measured ~2.4x slower than this form on the same
-  // tables.
+  if (n < 2) return;
+  auto& arena = common::simdScratch();
+  common::ArenaScope scope(arena);
+  const std::size_t lane = common::alignedCount(n, sizeof(double));
+  double* re = arena.allocDoubles(2 * lane);
+  double* im = re + lane;
+  gatherSplit(data.data(), re, im);
+  kernels::ditStagesFrom4(re, im, n, stageTwRe(), stageTwIm(inverse));
   auto* d = reinterpret_cast<double*>(data.data());
-
-  // Second stage (len == 4): twiddles are exactly 1 and -i (forward) or
-  // 1 and +i (inverse), so v = x*w is a component swap with a sign flip.
-  if (n >= 4) {
-    const double s = inverse ? 1.0 : -1.0;
-    for (std::size_t i = 0; i + 3 < n; i += 4) {
-      double* p = d + 2 * i;
-      const double u0r = p[0], u0i = p[1];
-      const double v0r = p[4], v0i = p[5];
-      p[0] = u0r + v0r;
-      p[1] = u0i + v0i;
-      p[4] = u0r - v0r;
-      p[5] = u0i - v0i;
-      const double u1r = p[2], u1i = p[3];
-      const double v1r = -s * p[7], v1i = s * p[6];
-      p[2] = u1r + v1r;
-      p[3] = u1i + v1i;
-      p[6] = u1r - v1r;
-      p[7] = u1i - v1i;
-    }
-  }
-
-  const Complex* tw = inverse ? inverseTwiddles_.data() : twiddles_.data();
-  for (std::size_t len = 8; len <= n; len <<= 1) {
-    const std::size_t half = len / 2;
-    const std::size_t step = n / len;
-    for (std::size_t i = 0; i < n; i += len) {
-      std::size_t idx = 0;
-      for (std::size_t k = 0; k < half; ++k, idx += step) {
-        const double wr = tw[idx].real();
-        const double wi = tw[idx].imag();
-        double* a = d + 2 * (i + k);
-        double* b = d + 2 * (i + k + half);
-        const double xr = b[0];
-        const double xi = b[1];
-        const double vr = xr * wr - xi * wi;
-        const double vi = xr * wi + xi * wr;
-        const double ur = a[0];
-        const double ui = a[1];
-        a[0] = ur + vr;
-        a[1] = ui + vi;
-        b[0] = ur - vr;
-        b[1] = ui - vi;
-      }
-    }
-  }
-
   if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (auto& x : data) x *= scale;
+    const double s = 1.0 / static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      d[2 * k] = re[k] * s;
+      d[2 * k + 1] = im[k] * s;
+    }
+  } else {
+    for (std::size_t k = 0; k < n; ++k) {
+      d[2 * k] = re[k];
+      d[2 * k + 1] = im[k];
+    }
   }
 }
 
@@ -212,49 +198,55 @@ void FftPlan::inverseInPlace(std::span<Complex> data) const {
 
 std::vector<Complex> FftPlan::forwardBluestein(
     std::span<const Complex> input) const {
-  // Both convolution FFTs skip their permutation pass: the chirp
-  // premultiply scatters straight into bit-reversed order, and the kernel
-  // multiply permutes in place as it goes (bit reversal is an involution,
-  // so it decomposes into disjoint swaps plus fixed points).
-  const auto& rev = convPlan_->bitrev_;
-  std::vector<Complex> a(m_, Complex(0, 0));
-  for (std::size_t k = 0; k < n_; ++k) a[rev[k]] = input[k] * chirp_[k];
-  convPlan_->stagesPow2(a, false, /*firstStageDone=*/false);
-  for (std::size_t i = 0; i < m_; ++i) {
-    const std::size_t j = rev[i];
-    if (j > i) {
-      const Complex t = a[i] * kernelSpectrum_[i];
-      a[i] = a[j] * kernelSpectrum_[j];
-      a[j] = t;
-    } else if (j == i) {
-      a[i] *= kernelSpectrum_[i];
-    }
+  auto& arena = common::simdScratch();
+  common::ArenaScope scope(arena);
+  const std::size_t lane = common::alignedCount(m_, sizeof(double));
+  double* re = arena.allocDoubles(2 * lane);
+  double* im = re + lane;
+  // Chirp premultiply in natural order (DIF input order), zero-padded to m.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double xr = input[k].real(), xi = input[k].imag();
+    const double cr = chirpRe_[k], ci = chirpIm_[k];
+    re[k] = xr * cr - xi * ci;
+    im[k] = xr * ci + xi * cr;
   }
-  convPlan_->stagesPow2(a, true, /*firstStageDone=*/false);
+  std::fill(re + n_, re + m_, 0.0);
+  std::fill(im + n_, im + m_, 0.0);
+  kernels::difStages(re, im, m_, convPlan_->stageTwRe(),
+                     convPlan_->stageTwIm(false));
+  kernels::cmulSplit(re, im, kernRe_.data(), kernIm_.data(), m_);
+  kernels::ditStages(re, im, m_, convPlan_->stageTwRe(),
+                     convPlan_->stageTwIm(true));
+  // Chirp postmultiply folds in the inverse convolution's 1/m scaling.
+  const double s = 1.0 / static_cast<double>(m_);
   std::vector<Complex> out(n_);
-  for (std::size_t k = 0; k < n_; ++k) out[k] = a[k] * chirp_[k];
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double ar = re[k] * s, ai = im[k] * s;
+    const double cr = chirpRe_[k], ci = chirpIm_[k];
+    out[k] = Complex(ar * cr - ai * ci, ar * ci + ai * cr);
+  }
   return out;
 }
 
 std::vector<Complex> FftPlan::forward(std::span<const Complex> input) const {
   UNIQ_REQUIRE(input.size() == n_, "input length does not match plan");
   if (pow2_) {
-    std::vector<Complex> data(n_);
-    gatherStage2(input, data);
-    stagesPow2(data, false, /*firstStageDone=*/n_ > 1);
+    std::vector<Complex> data(input.begin(), input.end());
+    transformPow2(data, false);
     return data;
   }
+  transformCounter().inc();
   return forwardBluestein(input);
 }
 
 std::vector<Complex> FftPlan::inverse(std::span<const Complex> input) const {
   UNIQ_REQUIRE(input.size() == n_, "input length does not match plan");
   if (pow2_) {
-    std::vector<Complex> data(n_);
-    gatherStage2(input, data);
-    stagesPow2(data, true, /*firstStageDone=*/n_ > 1);
+    std::vector<Complex> data(input.begin(), input.end());
+    transformPow2(data, true);
     return data;
   }
+  transformCounter().inc();
   // ifft(x) = conj(fft(conj(x))) / n reuses the forward chirp tables.
   std::vector<Complex> conjIn(n_);
   for (std::size_t k = 0; k < n_; ++k) conjIn[k] = std::conj(input[k]);
@@ -267,38 +259,52 @@ std::vector<Complex> FftPlan::inverse(std::span<const Complex> input) const {
 std::vector<Complex> FftPlan::rfft(std::span<const double> input) const {
   UNIQ_REQUIRE(pow2_, "rfft needs a power-of-two plan");
   UNIQ_REQUIRE(input.size() == n_, "input length does not match plan");
+  transformCounter().inc();
   const std::size_t n = n_;
   if (n == 1) return {Complex(input[0], 0)};
 
   // Pack even/odd samples into one complex signal of length n/2, transform,
   // then split: X[k] = E[k] + exp(-2*pi*i*k/n) * O[k]. The pack gathers in
   // the half plan's bit-reversed order with its len == 2 stage fused, like
-  // gatherStage2().
+  // gatherSplit().
   const std::size_t h = n / 2;
-  std::vector<Complex> z(h);
+  auto& arena = common::simdScratch();
+  common::ArenaScope scope(arena);
+  const std::size_t lane = common::alignedCount(h, sizeof(double));
+  double* zRe = arena.allocDoubles(2 * lane);
+  double* zIm = zRe + lane;
   if (h == 1) {
-    z[0] = Complex(input[0], input[1]);
+    zRe[0] = input[0];
+    zIm[0] = input[1];
   } else {
     const auto& rev = halfPlan_->bitrev_;
     for (std::size_t t = 0; t < h / 2; ++t) {
       const std::size_t j = rev[2 * t];
-      const Complex u(input[2 * j], input[2 * j + 1]);
-      const Complex v(input[2 * (j + h / 2)], input[2 * (j + h / 2) + 1]);
-      z[2 * t] = u + v;
-      z[2 * t + 1] = u - v;
+      const double ur = input[2 * j], ui = input[2 * j + 1];
+      const double vr = input[2 * (j + h / 2)];
+      const double vi = input[2 * (j + h / 2) + 1];
+      zRe[2 * t] = ur + vr;
+      zIm[2 * t] = ui + vi;
+      zRe[2 * t + 1] = ur - vr;
+      zIm[2 * t + 1] = ui - vi;
     }
+    kernels::ditStagesFrom4(zRe, zIm, h, halfPlan_->stageTwRe(),
+                            halfPlan_->stageTwIm(false));
   }
-  halfPlan_->stagesPow2(z, false, /*firstStageDone=*/h > 1);
 
+  // Split twiddles exp(-2*pi*i*k/n) are exactly the len == n stage slice.
+  const double* wr = twRe_.data() + (h - 1);
+  const double* wi = twIm_.data() + (h - 1);
   std::vector<Complex> out(h + 1);
-  out[0] = Complex(z[0].real() + z[0].imag(), 0.0);
-  out[h] = Complex(z[0].real() - z[0].imag(), 0.0);
+  out[0] = Complex(zRe[0] + zIm[0], 0.0);
+  out[h] = Complex(zRe[0] - zIm[0], 0.0);
   for (std::size_t k = 1; k < h; ++k) {
-    const Complex zk = z[k];
-    const Complex znk = std::conj(z[h - k]);
-    const Complex even = 0.5 * (zk + znk);
-    const Complex odd = Complex(0, -0.5) * (zk - znk);
-    out[k] = even + twiddles_[k] * odd;
+    const double er = 0.5 * (zRe[k] + zRe[h - k]);
+    const double ei = 0.5 * (zIm[k] - zIm[h - k]);
+    const double odr = 0.5 * (zIm[k] + zIm[h - k]);
+    const double odi = -0.5 * (zRe[k] - zRe[h - k]);
+    out[k] = Complex(er + odr * wr[k] - odi * wi[k],
+                     ei + odr * wi[k] + odi * wr[k]);
   }
   return out;
 }
@@ -307,25 +313,219 @@ std::vector<double> FftPlan::irfft(std::span<const Complex> halfSpectrum) const 
   UNIQ_REQUIRE(pow2_, "irfft needs a power-of-two plan");
   UNIQ_REQUIRE(halfSpectrum.size() == n_ / 2 + 1,
                "half spectrum length does not match plan");
+  transformCounter().inc();
   const std::size_t n = n_;
   if (n == 1) return {halfSpectrum[0].real()};
 
   const std::size_t h = n / 2;
-  std::vector<Complex> z(h);
+  auto& arena = common::simdScratch();
+  common::ArenaScope scope(arena);
+  const std::size_t lane = common::alignedCount(h, sizeof(double));
+  double* nzRe = arena.allocDoubles(4 * lane);
+  double* nzIm = nzRe + lane;
+  double* zRe = nzRe + 2 * lane;
+  double* zIm = nzRe + 3 * lane;
+  // Natural-order z, then gather into bit-reversed order for the inverse
+  // cascade. Undo the rfft split twiddle with the conjugate table slice:
+  // O[k] = (X[k] - E[k]) * exp(+2*pi*i*k/n).
+  const double* wr = twRe_.data() + (h - 1);
+  const double* wi = invTwIm_.data() + (h - 1);
   for (std::size_t k = 0; k < h; ++k) {
-    const Complex xk = halfSpectrum[k];
-    const Complex xnk = std::conj(halfSpectrum[h - k]);
-    const Complex even = 0.5 * (xk + xnk);
-    // Undo the rfft split twiddle: O[k] = (X[k] - E[k]) * exp(+2*pi*i*k/n).
-    const Complex odd = 0.5 * (xk - xnk) * std::conj(twiddles_[k]);
-    z[k] = even + Complex(0, 1) * odd;
+    const std::size_t nk = h - k;
+    const double xkr = halfSpectrum[k].real(), xki = halfSpectrum[k].imag();
+    const double xnr = halfSpectrum[nk].real(), xni = -halfSpectrum[nk].imag();
+    const double er = 0.5 * (xkr + xnr), ei = 0.5 * (xki + xni);
+    const double dr = 0.5 * (xkr - xnr), di = 0.5 * (xki - xni);
+    const double odr = dr * wr[k] - di * wi[k];
+    const double odi = dr * wi[k] + di * wr[k];
+    nzRe[k] = er - odi;
+    nzIm[k] = ei + odr;
   }
-  halfPlan_->inverseInPlace(z);
+  if (h == 1) {
+    zRe[0] = nzRe[0];
+    zIm[0] = nzIm[0];
+  } else {
+    const auto& rev = halfPlan_->bitrev_;
+    for (std::size_t t = 0; t < h / 2; ++t) {
+      const std::size_t j = rev[2 * t];
+      const double ur = nzRe[j], ui = nzIm[j];
+      const double vr = nzRe[j + h / 2], vi = nzIm[j + h / 2];
+      zRe[2 * t] = ur + vr;
+      zIm[2 * t] = ui + vi;
+      zRe[2 * t + 1] = ur - vr;
+      zIm[2 * t + 1] = ui - vi;
+    }
+    kernels::ditStagesFrom4(zRe, zIm, h, halfPlan_->stageTwRe(),
+                            halfPlan_->stageTwIm(true));
+  }
 
+  const double s = 1.0 / static_cast<double>(h);
   std::vector<double> out(n);
   for (std::size_t j = 0; j < h; ++j) {
-    out[2 * j] = z[j].real();
-    out[2 * j + 1] = z[j].imag();
+    out[2 * j] = zRe[j] * s;
+    out[2 * j + 1] = zIm[j] * s;
+  }
+  return out;
+}
+
+std::vector<std::vector<Complex>> FftPlan::forwardBatch(
+    std::span<const std::vector<Complex>> inputs) const {
+  UNIQ_REQUIRE(pow2_, "forwardBatch needs a power-of-two plan");
+  const std::size_t n = n_;
+  std::vector<std::vector<Complex>> out(inputs.size());
+  auto& arena = common::simdScratch();
+  for (std::size_t c = 0; c < inputs.size(); c += kBatchWidth) {
+    const std::size_t w = std::min(kBatchWidth, inputs.size() - c);
+    const std::size_t stride = batchStride(w);
+    common::ArenaScope scope(arena);
+    double* re = arena.allocDoubles(2 * n * stride);
+    double* im = re + n * stride;
+    if (w < stride) std::fill(re, re + 2 * n * stride, 0.0);
+    for (std::size_t j = 0; j < w; ++j) {
+      UNIQ_REQUIRE(inputs[c + j].size() == n,
+                   "batch input length does not match plan");
+      const auto* src = inputs[c + j].data();
+      for (std::size_t k = 0; k < n; ++k) {
+        const Complex x = src[bitrev_[k]];
+        re[k * stride + j] = x.real();
+        im[k * stride + j] = x.imag();
+      }
+    }
+    kernels::batchDitStages(re, im, stride, n, twRe_.data(), twIm_.data());
+    for (std::size_t j = 0; j < w; ++j) {
+      auto& dst = out[c + j];
+      dst.resize(n);
+      for (std::size_t k = 0; k < n; ++k)
+        dst[k] = Complex(re[k * stride + j], im[k * stride + j]);
+    }
+    transformCounter().inc(w);
+    batchedCounter().inc(w);
+  }
+  return out;
+}
+
+std::vector<std::vector<Complex>> FftPlan::rfftBatch(
+    std::span<const std::vector<double>> inputs) const {
+  UNIQ_REQUIRE(pow2_, "rfftBatch needs a power-of-two plan");
+  const std::size_t n = n_;
+  std::vector<std::vector<Complex>> out(inputs.size());
+  if (n == 1) {
+    for (std::size_t j = 0; j < inputs.size(); ++j) {
+      UNIQ_REQUIRE(inputs[j].size() == 1,
+                   "batch input length does not match plan");
+      out[j] = {Complex(inputs[j][0], 0)};
+    }
+    transformCounter().inc(inputs.size());
+    batchedCounter().inc(inputs.size());
+    return out;
+  }
+  const std::size_t h = n / 2;
+  const double* wr = twRe_.data() + (h - 1);
+  const double* wi = twIm_.data() + (h - 1);
+  auto& arena = common::simdScratch();
+  for (std::size_t c = 0; c < inputs.size(); c += kBatchWidth) {
+    const std::size_t w = std::min(kBatchWidth, inputs.size() - c);
+    const std::size_t stride = batchStride(w);
+    common::ArenaScope scope(arena);
+    double* zRe = arena.allocDoubles(2 * h * stride);
+    double* zIm = zRe + h * stride;
+    if (w < stride) std::fill(zRe, zRe + 2 * h * stride, 0.0);
+    const auto& rev = halfPlan_->bitrev_;
+    for (std::size_t j = 0; j < w; ++j) {
+      UNIQ_REQUIRE(inputs[c + j].size() == n,
+                   "batch input length does not match plan");
+      const auto* src = inputs[c + j].data();
+      // Even/odd pack straight into the half plan's bit-reversed order.
+      for (std::size_t k = 0; k < h; ++k) {
+        const std::size_t jj = rev[k];
+        zRe[k * stride + j] = src[2 * jj];
+        zIm[k * stride + j] = src[2 * jj + 1];
+      }
+    }
+    kernels::batchDitStages(zRe, zIm, stride, h, halfPlan_->twRe_.data(),
+                            halfPlan_->twIm_.data());
+    for (std::size_t j = 0; j < w; ++j) {
+      auto& dst = out[c + j];
+      dst.resize(h + 1);
+      const double z0r = zRe[j], z0i = zIm[j];
+      dst[0] = Complex(z0r + z0i, 0.0);
+      dst[h] = Complex(z0r - z0i, 0.0);
+      for (std::size_t k = 1; k < h; ++k) {
+        const double zkr = zRe[k * stride + j], zki = zIm[k * stride + j];
+        const double znr = zRe[(h - k) * stride + j];
+        const double zni = zIm[(h - k) * stride + j];
+        const double er = 0.5 * (zkr + znr);
+        const double ei = 0.5 * (zki - zni);
+        const double odr = 0.5 * (zki + zni);
+        const double odi = -0.5 * (zkr - znr);
+        dst[k] = Complex(er + odr * wr[k] - odi * wi[k],
+                         ei + odr * wi[k] + odi * wr[k]);
+      }
+    }
+    transformCounter().inc(w);
+    batchedCounter().inc(w);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> FftPlan::irfftBatch(
+    std::span<const std::vector<Complex>> halfSpectra) const {
+  UNIQ_REQUIRE(pow2_, "irfftBatch needs a power-of-two plan");
+  const std::size_t n = n_;
+  std::vector<std::vector<double>> out(halfSpectra.size());
+  if (n == 1) {
+    for (std::size_t j = 0; j < halfSpectra.size(); ++j) {
+      UNIQ_REQUIRE(halfSpectra[j].size() == 1,
+                   "batch half spectrum length does not match plan");
+      out[j] = {halfSpectra[j][0].real()};
+    }
+    transformCounter().inc(halfSpectra.size());
+    batchedCounter().inc(halfSpectra.size());
+    return out;
+  }
+  const std::size_t h = n / 2;
+  const double* wr = twRe_.data() + (h - 1);
+  const double* wi = invTwIm_.data() + (h - 1);
+  auto& arena = common::simdScratch();
+  for (std::size_t c = 0; c < halfSpectra.size(); c += kBatchWidth) {
+    const std::size_t w = std::min(kBatchWidth, halfSpectra.size() - c);
+    const std::size_t stride = batchStride(w);
+    common::ArenaScope scope(arena);
+    double* zRe = arena.allocDoubles(2 * h * stride);
+    double* zIm = zRe + h * stride;
+    if (w < stride) std::fill(zRe, zRe + 2 * h * stride, 0.0);
+    const auto& rev = halfPlan_->bitrev_;
+    for (std::size_t j = 0; j < w; ++j) {
+      UNIQ_REQUIRE(halfSpectra[c + j].size() == h + 1,
+                   "batch half spectrum length does not match plan");
+      const auto* src = halfSpectra[c + j].data();
+      // Natural-order z value for index k scatters to its bit-reversed row
+      // (bit reversal is an involution).
+      for (std::size_t k = 0; k < h; ++k) {
+        const std::size_t nk = h - k;
+        const double xkr = src[k].real(), xki = src[k].imag();
+        const double xnr = src[nk].real(), xni = -src[nk].imag();
+        const double er = 0.5 * (xkr + xnr), ei = 0.5 * (xki + xni);
+        const double dr = 0.5 * (xkr - xnr), di = 0.5 * (xki - xni);
+        const double odr = dr * wr[k] - di * wi[k];
+        const double odi = dr * wi[k] + di * wr[k];
+        zRe[rev[k] * stride + j] = er - odi;
+        zIm[rev[k] * stride + j] = ei + odr;
+      }
+    }
+    kernels::batchDitStages(zRe, zIm, stride, h, halfPlan_->twRe_.data(),
+                            halfPlan_->invTwIm_.data());
+    const double s = 1.0 / static_cast<double>(h);
+    for (std::size_t j = 0; j < w; ++j) {
+      auto& dst = out[c + j];
+      dst.resize(n);
+      for (std::size_t k = 0; k < h; ++k) {
+        dst[2 * k] = zRe[k * stride + j] * s;
+        dst[2 * k + 1] = zIm[k * stride + j] * s;
+      }
+    }
+    transformCounter().inc(w);
+    batchedCounter().inc(w);
   }
   return out;
 }
@@ -357,6 +557,8 @@ FftStats fftStats() {
   FftStats s;
   s.planHits = planHitCounter().value();
   s.planMisses = planMissCounter().value();
+  s.transforms = transformCounter().value();
+  s.batchedTransforms = batchedCounter().value();
   std::lock_guard<std::mutex> lock(cacheMutex());
   s.cachedPlans = planCache().size();
   return s;
@@ -365,6 +567,8 @@ FftStats fftStats() {
 void resetFftStats() {
   planHitCounter().reset();
   planMissCounter().reset();
+  transformCounter().reset();
+  batchedCounter().reset();
 }
 
 std::vector<Complex> rfft(std::span<const double> input) {

@@ -5,29 +5,44 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "dsp/fft.h"
 
 namespace uniq::dsp {
 
 /// Snapshot of the process-wide FFT plan cache counters (cheap atomics; see
 /// fftStats()). `planHits`/`planMisses` count fftPlan() lookups; a miss
-/// builds and caches a new plan.
+/// builds and caches a new plan. `transforms` counts every executed
+/// transform (batch members included); `batchedTransforms` counts the
+/// subset that ran through the batched entry points.
 struct FftStats {
   std::uint64_t planHits = 0;
   std::uint64_t planMisses = 0;
+  std::uint64_t transforms = 0;
+  std::uint64_t batchedTransforms = 0;
   std::size_t cachedPlans = 0;
 };
 
 /// A precomputed transform plan for one FFT length.
 ///
-/// Power-of-two lengths precompute the bit-reversal permutation and the
-/// twiddle-factor table once, so repeated transforms stop paying the
-/// trigonometric setup that dominated the seed implementation. Arbitrary
-/// lengths precompute the Bluestein chirp and the spectrum of the chirp
-/// convolution kernel, reducing every subsequent transform from three
-/// power-of-two FFTs (plus chirp setup) to two table-driven ones.
+/// Power-of-two plans hold packed per-stage twiddle tables in split re/im
+/// (SoA) form; the butterfly cascades run through the runtime-dispatched
+/// kernel layer (dsp/kernels/), so they execute as AVX2+FMA vector code on
+/// capable CPUs and as portable scalar code elsewhere. Arbitrary lengths
+/// use Bluestein's algorithm with a permutation-free convolution: a
+/// decimation-in-frequency forward transform feeds a pointwise multiply
+/// against the pre-permuted kernel spectrum, and a decimation-in-time
+/// inverse transform restores natural order — no bit-reversal passes at
+/// transform time.
 ///
-/// Plans are immutable after construction and safe to share across threads.
+/// Batched entry points (forwardBatch / rfftBatch / irfftBatch) transform
+/// same-length buffers together in a batch-interleaved layout where every
+/// butterfly is a full-width vector op with contiguous loads, amortizing
+/// twiddle traffic across the batch. They are the fast path for template
+/// banks (AoA spectra) and multi-channel extraction.
+///
+/// Plans are immutable after construction and safe to share across threads;
+/// transform scratch comes from the per-thread arena (common/aligned.h).
 /// Most callers should go through the process-wide cache (fftPlan()) instead
 /// of constructing plans directly.
 class FftPlan {
@@ -57,36 +72,65 @@ class FftPlan {
   /// real signal, including the 1/N scaling.
   std::vector<double> irfft(std::span<const Complex> halfSpectrum) const;
 
+  /// Batched forward transforms (power-of-two plans only): every input must
+  /// have length n. Results match forward() per member to rounding; inputs
+  /// are processed in cache-friendly interleaved chunks.
+  std::vector<std::vector<Complex>> forwardBatch(
+      std::span<const std::vector<Complex>> inputs) const;
+
+  /// Batched rfft: every input is a length-n real signal; each output is
+  /// the size n/2 + 1 half spectrum, matching rfft() per member.
+  std::vector<std::vector<Complex>> rfftBatch(
+      std::span<const std::vector<double>> inputs) const;
+
+  /// Batched irfft: every input is a size n/2 + 1 half spectrum; each
+  /// output is the length-n real signal, matching irfft() per member.
+  std::vector<std::vector<double>> irfftBatch(
+      std::span<const std::vector<Complex>> halfSpectra) const;
+
  private:
   void transformPow2(std::span<Complex> data, bool inverse) const;
-  /// Butterfly stages over already bit-reverse-permuted data. When
-  /// `firstStageDone` the caller has fused the multiply-free len == 2 stage
-  /// into its permutation pass and the stages start at len == 4.
-  void stagesPow2(std::span<Complex> data, bool inverse,
-                  bool firstStageDone) const;
-  /// Copies `input` into `out` in bit-reversed order with the len == 2
-  /// butterfly stage fused in, so stagesPow2(..., true) can follow without a
-  /// separate permutation pass.
-  void gatherStage2(std::span<const Complex> input,
-                    std::span<Complex> out) const;
+  /// Deinterleave `input` into split re/im lanes in bit-reversed order with
+  /// the len == 2 butterfly fused, ready for the ditStagesFrom4 kernel.
+  void gatherSplit(const Complex* input, double* re, double* im) const;
   std::vector<Complex> forwardBluestein(std::span<const Complex> input) const;
+
+  /// Packed single-transform stage-table base pointers (stage for `len`
+  /// starts at offset len/2 - 2; see dsp/kernels/kernels.h). Null for
+  /// plans of length < 4, where no multiplying stage exists.
+  const double* stageTwRe() const {
+    return twRe_.size() > 1 ? twRe_.data() + 1 : nullptr;
+  }
+  const double* stageTwIm(bool inverse) const {
+    const auto& t = inverse ? invTwIm_ : twIm_;
+    return t.size() > 1 ? t.data() + 1 : nullptr;
+  }
 
   std::size_t n_;
   bool pow2_;
 
   // Power-of-two tables.
   std::vector<std::uint32_t> bitrev_;
-  /// Interleaved (i, j) index pairs with i < bitrev(i) == j: the in-place
-  /// bit-reversal permutation as a branch-free swap list.
-  std::vector<std::uint32_t> swapPairs_;
-  std::vector<Complex> twiddles_;  ///< exp(-2*pi*i*k/n), k < n/2
-  std::vector<Complex> inverseTwiddles_;  ///< conjugates, for the inverse
+  /// Packed per-stage twiddles in batch layout (stages len = 2..n, stage
+  /// offset len/2 - 1, n - 1 entries): exp(-2*pi*i*k/len) split into re and
+  /// im lanes. The single-transform kernels use the same storage shifted by
+  /// one entry (stageTwRe/stageTwIm); the rfft split twiddles are the
+  /// len == n stage slice at offset n/2 - 1. `invTwIm_` is the negated im
+  /// lane (conjugate tables) for inverse transforms.
+  common::AlignedBuffer<double> twRe_;
+  common::AlignedBuffer<double> twIm_;
+  common::AlignedBuffer<double> invTwIm_;
   std::shared_ptr<const FftPlan> halfPlan_;  ///< length n/2, for rfft/irfft
 
   // Bluestein tables (non power of two).
-  std::size_t m_ = 0;                  ///< inner convolution length (pow2)
-  std::vector<Complex> chirp_;         ///< exp(-i*pi*k^2/n)
-  std::vector<Complex> kernelSpectrum_;  ///< FFT_m of the chirp kernel
+  std::size_t m_ = 0;  ///< inner convolution length (pow2)
+  common::AlignedBuffer<double> chirpRe_;  ///< exp(-i*pi*k^2/n), split
+  common::AlignedBuffer<double> chirpIm_;
+  /// Spectrum of the chirp kernel in the convolution plan's bit-reversed
+  /// order (DIF output order), so the pointwise multiply needs no
+  /// permutation.
+  common::AlignedBuffer<double> kernRe_;
+  common::AlignedBuffer<double> kernIm_;
   std::shared_ptr<const FftPlan> convPlan_;  ///< length m_
 };
 
@@ -94,10 +138,12 @@ class FftPlan {
 /// for length n, building it on first use. Thread-safe.
 std::shared_ptr<const FftPlan> fftPlan(std::size_t n);
 
-/// Current plan-cache counters (observability; logged by the CLI).
+/// Current plan-cache and transform counters (observability; logged by the
+/// CLI).
 FftStats fftStats();
 
-/// Reset the hit/miss counters (the cached plans themselves are kept).
+/// Reset the hit/miss/transform counters (the cached plans themselves are
+/// kept).
 void resetFftStats();
 
 /// Convenience wrappers over the plan cache. `n = input.size()` must be a

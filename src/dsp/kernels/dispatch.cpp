@@ -1,0 +1,166 @@
+// One-time ISA resolution and the public kernel entry points. Every public
+// function is a tail-call through the resolved function-pointer table, so
+// the per-call dispatch cost is a single indirect jump.
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "dsp/kernels/kernel_table.h"
+#include "dsp/kernels/kernels.h"
+#include "obs/metrics.h"
+
+namespace uniq::dsp::kernels {
+
+namespace {
+
+bool cpuHasAvx2Fma() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+/// True when the runtime environment allows the AVX2 tier: compiled in,
+/// CPU capable, and not disabled via UNIQ_SIMD=scalar (or =off/0).
+bool avx2Usable() {
+  if (!avx2Compiled() || !cpuHasAvx2Fma()) return false;
+  if (const char* env = std::getenv("UNIQ_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "OFF") == 0 || std::strcmp(env, "0") == 0)
+      return false;
+  }
+  return true;
+}
+
+struct Dispatch {
+  Isa isa;
+  const detail::KernelTable* table;
+};
+
+Dispatch resolve(Isa isa) {
+#if defined(UNIQ_HAVE_AVX2)
+  if (isa == Isa::kAvx2) return {Isa::kAvx2, &detail::avx2Table()};
+#endif
+  (void)isa;
+  return {Isa::kScalar, &detail::scalarTable()};
+}
+
+Dispatch& dispatch() {
+  static Dispatch d = [] {
+    const Isa isa = avx2Usable() ? Isa::kAvx2 : Isa::kScalar;
+    obs::registry().gauge("kernels.avx2").set(isa == Isa::kAvx2 ? 1.0 : 0.0);
+    obs::registry()
+        .counter(std::string("kernels.dispatch.") + isaName(isa))
+        .inc();
+    return resolve(isa);
+  }();
+  return d;
+}
+
+}  // namespace
+
+const char* isaName(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+Isa activeIsa() { return dispatch().isa; }
+
+bool avx2Compiled() {
+#if defined(UNIQ_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool setIsaOverride(Isa isa) {
+  if (isa == Isa::kAvx2 && !(avx2Compiled() && cpuHasAvx2Fma())) return false;
+  Dispatch& d = dispatch();
+  d = resolve(isa);
+  obs::registry().gauge("kernels.avx2").set(d.isa == Isa::kAvx2 ? 1.0 : 0.0);
+  obs::registry()
+      .counter(std::string("kernels.dispatch.") + isaName(d.isa))
+      .inc();
+  return true;
+}
+
+namespace detail {
+const KernelTable& table() { return *dispatch().table; }
+}  // namespace detail
+
+void ditStages(double* re, double* im, std::size_t n, const double* stageTwRe,
+               const double* stageTwIm) {
+  detail::table().ditStages(re, im, n, stageTwRe, stageTwIm, false);
+}
+
+void ditStagesFrom4(double* re, double* im, std::size_t n,
+                    const double* stageTwRe, const double* stageTwIm) {
+  detail::table().ditStages(re, im, n, stageTwRe, stageTwIm, true);
+}
+
+void difStages(double* re, double* im, std::size_t n, const double* stageTwRe,
+               const double* stageTwIm) {
+  detail::table().difStages(re, im, n, stageTwRe, stageTwIm);
+}
+
+void batchDitStages(double* re, double* im, std::size_t stride, std::size_t n,
+                    const double* stageTwRe, const double* stageTwIm) {
+  detail::table().batchDitStages(re, im, stride, n, stageTwRe, stageTwIm);
+}
+
+void scaleInPlace(double* x, std::size_t n, double s) {
+  detail::table().scaleInPlace(x, n, s);
+}
+
+void cmulSplit(double* aRe, double* aIm, const double* bRe, const double* bIm,
+               std::size_t n) {
+  detail::table().cmulSplit(aRe, aIm, bRe, bIm, n);
+}
+
+void cmulInterleaved(std::complex<double>* a, const std::complex<double>* b,
+                     std::size_t n) {
+  detail::table().cmulInterleaved(a, b, n);
+}
+
+void cmulConjInterleaved(std::complex<double>* a,
+                         const std::complex<double>* b, std::size_t n) {
+  detail::table().cmulConjInterleaved(a, b, n);
+}
+
+void spectralDivide(const std::complex<double>* num,
+                    const std::complex<double>* den, double eps,
+                    std::complex<double>* out, std::size_t n) {
+  detail::table().spectralDivide(num, den, eps, out, n);
+}
+
+double maxNorm(const std::complex<double>* x, std::size_t n) {
+  return detail::table().maxNorm(x, n);
+}
+
+double dotProduct(const double* a, const double* b, std::size_t n) {
+  return detail::table().dotProduct(a, b, n);
+}
+
+double sumSquares(const double* x, std::size_t n) {
+  return detail::table().sumSquares(x, n);
+}
+
+double sum(const double* x, std::size_t n) {
+  return detail::table().sum(x, n);
+}
+
+void pearsonAccum(const double* a, const double* b, std::size_t n, double ma,
+                  double mb, double out[3]) {
+  detail::table().pearsonAccum(a, b, n, ma, mb, out);
+}
+
+int visibilityCrossings(const double* nx, const double* ny, const double* cdot,
+                        std::size_t n, double px, double py,
+                        VisibilityCrossing* crossings, int maxCrossings) {
+  return detail::table().visibilityCrossings(nx, ny, cdot, n, px, py,
+                                             crossings, maxCrossings);
+}
+
+}  // namespace uniq::dsp::kernels

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <string>
+
+namespace uniq::dsp::kernels {
+
+/// Instruction-set tier the kernel layer can run on. kAuto is only a
+/// request value for overrides; the resolved tier is always a concrete ISA.
+enum class Isa { kScalar, kAvx2 };
+
+/// Lowercase name of an ISA tier ("scalar" / "avx2").
+const char* isaName(Isa isa);
+
+/// The ISA tier the dispatcher resolved for this process. Resolution
+/// happens once, on first use: AVX2+FMA when the build enabled UNIQ_SIMD,
+/// the CPU reports both features, and the UNIQ_SIMD environment variable is
+/// not set to "scalar"; portable scalar otherwise. The result is exported
+/// to the metrics registry as the gauge "kernels.avx2" and the counter
+/// "kernels.dispatch.<isa>".
+Isa activeIsa();
+
+/// True when this binary contains the AVX2 kernel translation unit (i.e.
+/// was configured with UNIQ_SIMD=ON and the compiler supported it).
+bool avx2Compiled();
+
+/// Test hook: force a specific tier (kScalar is always valid; kAvx2 only
+/// when avx2Compiled() and the CPU supports it — returns false and leaves
+/// dispatch unchanged otherwise). Passing activeIsa()'s natural resolution
+/// back restores default behaviour. Not thread-safe against concurrent
+/// kernel calls; intended for single-threaded test setup.
+bool setIsaOverride(Isa isa);
+
+// ---------------------------------------------------------------------------
+// FFT butterfly kernels over split re/im (SoA) lanes.
+//
+// Layout contract shared by FftPlan and the kernels:
+//  - `re` and `im` are n-element arrays (64-byte aligned, n a power of two).
+//  - Packed per-stage twiddle tables concatenate the len = 4, 8, ..., n
+//    stage factors w_len^k = exp(-2*pi*i*k/len), k < len/2; the stage for
+//    `len` starts at offset len/2 - 2 (n - 2 entries total). The len == 2
+//    stage is twiddle-free and handled inside the kernels; keeping the
+//    len == 4 stage in the tables lets one generic vector loop cover every
+//    multiplying stage, and its exact 0/±1 factors cost no precision.
+//    Inverse transforms pass the conjugate tables; the 1/n scaling stays
+//    with the caller.
+// ---------------------------------------------------------------------------
+
+/// Decimation-in-time butterfly cascade: input in bit-reversed order,
+/// output in natural order. Runs stages len = 2, 4, then 8..n from the
+/// packed tables.
+void ditStages(double* re, double* im, std::size_t n, const double* stageTwRe,
+               const double* stageTwIm);
+
+/// As ditStages but skipping the len == 2 stage (the caller fused it into
+/// its gather/permutation pass).
+void ditStagesFrom4(double* re, double* im, std::size_t n,
+                    const double* stageTwRe, const double* stageTwIm);
+
+/// Decimation-in-frequency cascade: natural-order input, bit-reversed
+/// output. Same packed tables as ditStages (stages run n..8, then 4, 2).
+/// Together with ditStages this gives permutation-free convolution:
+/// DIF forward -> pointwise multiply in bit-reversed order -> DIT inverse.
+void difStages(double* re, double* im, std::size_t n, const double* stageTwRe,
+               const double* stageTwIm);
+
+/// Batched butterfly cascade over batch-interleaved split lanes: element k
+/// of batch member j lives at [k * stride + j], stride >= batch width and a
+/// multiple of 8. Twiddles broadcast across the batch, so every butterfly
+/// is a full-width vector op with contiguous loads. Packed tables here
+/// include ALL stages len = 2..n (len/2 entries each, stage offset
+/// len/2 - 1, n - 1 entries total), because the batch dimension vectorizes
+/// the twiddle-free stages too. Input bit-reversed per batch member,
+/// output natural.
+void batchDitStages(double* re, double* im, std::size_t stride, std::size_t n,
+                    const double* stageTwRe, const double* stageTwIm);
+
+/// Multiply every element by `s` (inverse-FFT 1/n scaling).
+void scaleInPlace(double* x, std::size_t n, double s);
+
+// ---------------------------------------------------------------------------
+// Complex pointwise kernels.
+// ---------------------------------------------------------------------------
+
+/// a[i] *= b[i] over split lanes (Bluestein kernel-spectrum multiply).
+void cmulSplit(double* aRe, double* aIm, const double* bRe, const double* bIm,
+               std::size_t n);
+
+/// a[i] *= b[i] over interleaved std::complex<double> arrays (spectral
+/// convolution).
+void cmulInterleaved(std::complex<double>* a, const std::complex<double>* b,
+                     std::size_t n);
+
+/// a[i] *= conj(b[i]) (cross-correlation spectra).
+void cmulConjInterleaved(std::complex<double>* a,
+                         const std::complex<double>* b, std::size_t n);
+
+/// out[i] = num[i] * conj(den[i]) / (|den[i]|^2 + eps) — the regularized
+/// spectral division at the heart of deconvolution / channel extraction.
+void spectralDivide(const std::complex<double>* num,
+                    const std::complex<double>* den, double eps,
+                    std::complex<double>* out, std::size_t n);
+
+/// max_i |x[i]|^2 (regularization floor).
+double maxNorm(const std::complex<double>* x, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Correlation / reduction kernels.
+// ---------------------------------------------------------------------------
+
+/// sum_i a[i] * b[i].
+double dotProduct(const double* a, const double* b, std::size_t n);
+
+/// sum_i x[i]^2.
+double sumSquares(const double* x, std::size_t n);
+
+/// sum_i x[i].
+double sum(const double* x, std::size_t n);
+
+/// Centered second-moment accumulations for Pearson correlation:
+/// out[0] = sum (a-ma)(b-mb), out[1] = sum (a-ma)^2, out[2] = sum (b-mb)^2.
+void pearsonAccum(const double* a, const double* b, std::size_t n, double ma,
+                  double mb, double out[3]);
+
+// ---------------------------------------------------------------------------
+// Geometry kernel: boundary visibility scan (the DSF solve hot loop).
+// ---------------------------------------------------------------------------
+
+/// One interpolated sign crossing of the visibility classifier
+/// g_i = cdot[i] - px*nx[i] - py*ny[i] between samples i and i+1 (wrapping).
+struct VisibilityCrossing {
+  double u = 0.0;  ///< continuous sample index i + f of the zero crossing
+};
+
+/// Scan all n boundary samples (SoA normal tables nx/ny and the
+/// precomputed cdot[i] = dot(point_i, normal_i); cdot == nullptr means the
+/// plane-wave terminator classifier g = dot(d, n_i) with (px, py) = d).
+/// Records the first `maxCrossings` crossings into `crossings` and returns
+/// the TOTAL number of sign changes found (callers check == 2). The scan is
+/// a single streaming pass; g values are recomputed scalar at the (rare)
+/// hit indices with the same mul/sub expression the vector pass used, so
+/// the crossing fraction matches the scalar reference exactly:
+/// f = clamp(g_i / (g_i - g_{i+1}), 0, 1), or 0.5 when
+/// |g_i - g_{i+1}| <= 1e-30. Requires n >= 2.
+int visibilityCrossings(const double* nx, const double* ny,
+                        const double* cdot, std::size_t n, double px,
+                        double py, VisibilityCrossing* crossings,
+                        int maxCrossings);
+
+}  // namespace uniq::dsp::kernels

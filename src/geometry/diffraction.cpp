@@ -10,24 +10,16 @@ namespace uniq::geo {
 namespace {
 
 double forwardIndexDistance(double from, double to, double n) {
-  double d = std::fmod(to - from, n);
-  if (d < 0) d += n;
-  return d;
+  // Both operands are ring indices in [0, n), so the difference is one
+  // conditional add away from range — wrapRingIndex keeps exact fmod
+  // semantics without the fmod.
+  return wrapRingIndex(to - from, n);
 }
 
 /// True when walking forward (increasing index) from `from` to `to` passes
 /// through `via` (all continuous indices on a ring of n samples).
 bool forwardArcContains(double from, double to, double via, double n) {
   return forwardIndexDistance(from, via, n) < forwardIndexDistance(from, to, n);
-}
-
-/// Unit boundary tangent at the ear sample pointing in the direction of
-/// increasing index.
-Vec2 earForwardTangent(const HeadBoundary& head, std::size_t earIdx) {
-  const std::size_t n = head.size();
-  const Vec2 prev = head.point((earIdx + n - 1) % n);
-  const Vec2 next = head.point((earIdx + 1) % n);
-  return (next - prev).normalized();
 }
 
 struct CreepCandidate {
@@ -68,7 +60,7 @@ DiffractionPath resolveCreep(const HeadBoundary& head, Ear ear,
   path.arcLength = c.arc;
   path.diffracted = true;
   path.tangentPoint = c.tangentPoint;
-  const Vec2 fwd = earForwardTangent(head, earIdx);
+  const Vec2 fwd = head.forwardTangent(earIdx);
   path.arrivalDirection = c.arrivesForward ? fwd : -fwd;
   return path;
 }

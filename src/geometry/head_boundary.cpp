@@ -6,6 +6,7 @@
 #include "common/constants.h"
 #include "common/error.h"
 #include "common/math_util.h"
+#include "dsp/kernels/kernels.h"
 
 namespace uniq::geo {
 
@@ -38,7 +39,12 @@ HeadBoundary::HeadBoundary(double a, double b, double c,
 HeadBoundary::HeadBoundary(double a, double b, double c,
                            const std::vector<BoundaryHarmonic>& harmonics,
                            std::size_t resolution)
-    : a_(a), b_(b), c_(c) {
+    : a_(a),
+      b_(b),
+      c_(c),
+      invA2_(1.0 / (a * a)),
+      invB2_(1.0 / (b * b)),
+      invC2_(1.0 / (c * c)) {
   UNIQ_REQUIRE(a > 0 && b > 0 && c > 0, "head axes must be positive");
   UNIQ_REQUIRE(resolution >= 16 && resolution % 2 == 0,
                "resolution must be even and >= 16");
@@ -82,12 +88,25 @@ HeadBoundary::HeadBoundary(double a, double b, double c,
     cumArc_[i + 1] = cumArc_[i] + distance(points_[i], next);
   }
   totalArc_ = cumArc_[resolution];
+  nx_.resize(resolution);
+  ny_.resize(resolution);
+  cdot_.resize(resolution);
+  for (std::size_t i = 0; i < resolution; ++i) {
+    nx_[i] = normals_[i].x;
+    ny_[i] = normals_[i].y;
+    cdot_[i] = dot(points_[i], normals_[i]);
+  }
+  tangents_.resize(resolution);
+  for (std::size_t i = 0; i < resolution; ++i) {
+    const Vec2 prev = points_[(i + resolution - 1) % resolution];
+    const Vec2 next = points_[(i + 1) % resolution];
+    tangents_[i] = (next - prev).normalized();
+  }
 }
 
 Vec2 HeadBoundary::pointAt(double u) const {
   const auto n = static_cast<double>(size());
-  double w = std::fmod(u, n);
-  if (w < 0) w += n;
+  const double w = wrapRingIndex(u, n);
   const auto i = static_cast<std::size_t>(w);
   const double f = w - static_cast<double>(i);
   const Vec2 p0 = points_[i];
@@ -98,8 +117,7 @@ Vec2 HeadBoundary::pointAt(double u) const {
 double HeadBoundary::arcForward(double u1, double u2) const {
   const auto n = static_cast<double>(size());
   auto arcAt = [&](double u) {
-    double w = std::fmod(u, n);
-    if (w < 0) w += n;
+    const double w = wrapRingIndex(u, n);
     const auto i = static_cast<std::size_t>(w);
     const double f = w - static_cast<double>(i);
     return cumArc_[i] + f * (cumArc_[i + 1] - cumArc_[i]);
@@ -114,59 +132,28 @@ double HeadBoundary::arcShortest(double u1, double u2) const {
   return std::min(f, totalArc_ - f);
 }
 
-bool HeadBoundary::isInside(Vec2 p) const {
-  const double semiY = p.y >= 0.0 ? b_ : c_;
-  const double q = (p.x / a_) * (p.x / a_) + (p.y / semiY) * (p.y / semiY);
-  return q < 1.0;
-}
-
 double HeadBoundary::visibilityValue(Vec2 p, std::size_t i) const {
   return dot(points_[i] - p, normals_[i]);
 }
 
 HeadBoundary::TangentPair HeadBoundary::tangentsFrom(Vec2 p) const {
   UNIQ_REQUIRE(!isInside(p), "tangentsFrom requires an external point");
-  const std::size_t n = size();
-  double crossings[2];
-  int found = 0;
-  double gPrev = visibilityValue(p, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t j = (i + 1) % n;
-    const double gNext = dot(points_[j] - p, normals_[j]);
-    if ((gPrev < 0.0) != (gNext < 0.0)) {
-      const double denom = gPrev - gNext;
-      const double f =
-          std::fabs(denom) > 1e-30 ? std::clamp(gPrev / denom, 0.0, 1.0) : 0.5;
-      if (found < 2) crossings[found] = static_cast<double>(i) + f;
-      ++found;
-    }
-    gPrev = gNext;
-  }
+  dsp::kernels::VisibilityCrossing crossings[2];
+  const int found = dsp::kernels::visibilityCrossings(
+      nx_.data(), ny_.data(), cdot_.data(), size(), p.x, p.y, crossings, 2);
   UNIQ_CHECK(found == 2, "expected exactly two tangency points");
-  return {crossings[0], crossings[1]};
+  return {crossings[0].u, crossings[1].u};
 }
 
 HeadBoundary::TangentPair HeadBoundary::terminators(Vec2 direction) const {
   const Vec2 d = direction.normalized();
   UNIQ_REQUIRE(d.norm() > 0.5, "direction must be non-zero");
-  const std::size_t n = size();
-  double crossings[2];
-  int found = 0;
-  double gPrev = dot(d, normals_[0]);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t j = (i + 1) % n;
-    const double gNext = dot(d, normals_[j]);
-    if ((gPrev < 0.0) != (gNext < 0.0)) {
-      const double denom = gPrev - gNext;
-      const double f =
-          std::fabs(denom) > 1e-30 ? std::clamp(gPrev / denom, 0.0, 1.0) : 0.5;
-      if (found < 2) crossings[found] = static_cast<double>(i) + f;
-      ++found;
-    }
-    gPrev = gNext;
-  }
+  dsp::kernels::VisibilityCrossing crossings[2];
+  const int found = dsp::kernels::visibilityCrossings(
+      nx_.data(), ny_.data(), /*cdot=*/nullptr, size(), d.x, d.y, crossings,
+      2);
   UNIQ_CHECK(found == 2, "expected exactly two terminator points");
-  return {crossings[0], crossings[1]};
+  return {crossings[0].u, crossings[1].u};
 }
 
 double HeadBoundary::indexWithNormal(Vec2 nrm) const {

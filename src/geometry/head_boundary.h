@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -7,6 +8,25 @@
 #include "geometry/vec2.h"
 
 namespace uniq::geo {
+
+/// Wrap a continuous ring index into [0, n). Exact fmod semantics, but the
+/// common cases (already in range, or one period out — every caller in the
+/// diffraction hot path) take a compare instead of an fmod.
+inline double wrapRingIndex(double u, double n) {
+  if (u >= 0.0 && u < n) return u;
+  double w;
+  if (u >= n && u < 2.0 * n) {
+    w = u - n;  // exact (Sterbenz)
+  } else if (u < 0.0 && u >= -n) {
+    w = u + n;
+  } else {
+    w = std::fmod(u, n);
+    if (w < 0.0) w += n;
+  }
+  // u + n rounds up to exactly n when u is a tiny negative value; keep the
+  // contract w < n so integer truncation never indexes one past the table.
+  return w < n ? w : 0.0;
+}
 
 /// Discretized boundary of the paper's head model: two half-ellipses joined
 /// at the ear line (Section 4.1, Figure 8). The front half (y > 0) has
@@ -49,6 +69,10 @@ class HeadBoundary {
   Vec2 point(std::size_t i) const { return points_[i]; }
   /// Outward unit normal at sample i.
   Vec2 normal(std::size_t i) const { return normals_[i]; }
+  /// Unit boundary tangent at sample i pointing in the direction of
+  /// increasing index, i.e. normalize(point(i+1) - point(i-1)) (wrapping).
+  /// Precomputed — the diffraction hot path reads it per evaluation.
+  Vec2 forwardTangent(std::size_t i) const { return tangents_[i]; }
 
   std::size_t rightEarIndex() const { return 0; }
   std::size_t leftEarIndex() const { return size() / 2; }
@@ -68,8 +92,13 @@ class HeadBoundary {
   /// Shorter of the two arcs between u1 and u2.
   double arcShortest(double u1, double u2) const;
 
-  /// True when p is strictly inside the head.
-  bool isInside(Vec2 p) const;
+  /// True when p is strictly inside the head. Division-free: the ellipse
+  /// test uses precomputed reciprocal squared semi-axes (called several
+  /// times per path evaluation in the localizer's inner loop).
+  bool isInside(Vec2 p) const {
+    const double inv = p.y >= 0.0 ? invB2_ : invC2_;
+    return p.x * p.x * invA2_ + p.y * p.y * inv < 1.0;
+  }
 
   /// Visibility classifier value at sample i for an external point P:
   /// g = dot(point(i) - P, normal(i)). Negative means the sample faces P
@@ -97,10 +126,20 @@ class HeadBoundary {
 
  private:
   double a_, b_, c_;
+  double invA2_ = 0.0, invB2_ = 0.0, invC2_ = 0.0;  // 1/a^2, 1/b^2, 1/c^2
   std::vector<Vec2> points_;
   std::vector<Vec2> normals_;
+  std::vector<Vec2> tangents_;  // forward tangents, see forwardTangent()
   std::vector<double> cumArc_;  // cumArc_[i] = arc length from sample 0 to i
   double totalArc_ = 0.0;
+  // SoA mirrors of the normal table for the vectorized visibility scan
+  // (dsp/kernels): nx_/ny_ are the normal components, cdot_[i] is the
+  // precomputed dot(point(i), normal(i)), so the classifier
+  // g_i = dot(point(i) - P, normal(i)) becomes cdot_[i] - Px*nx_[i] -
+  // Py*ny_[i] — three streaming multiply-adds per sample.
+  std::vector<double> nx_;
+  std::vector<double> ny_;
+  std::vector<double> cdot_;
 };
 
 }  // namespace uniq::geo

@@ -33,58 +33,7 @@ double bisect(const std::function<double(double)>& f, double lo, double hi,
 double brent(const std::function<double(double)>& f, double lo, double hi,
              const RootOptions& opts) {
   UNIQ_REQUIRE(lo < hi, "brent needs lo < hi");
-  double a = lo, b = hi;
-  double fa = f(a), fb = f(b);
-  if (fa == 0.0) return a;
-  if (fb == 0.0) return b;
-  UNIQ_CHECK((fa < 0) != (fb < 0), "brent bracket does not change sign");
-  if (std::fabs(fa) < std::fabs(fb)) {
-    std::swap(a, b);
-    std::swap(fa, fb);
-  }
-  double c = a, fc = fa;
-  bool usedBisection = true;
-  double d = 0.0;
-  for (std::size_t i = 0; i < opts.maxIterations; ++i) {
-    if (std::fabs(b - a) < opts.xTolerance || fb == 0.0) return b;
-    double s;
-    if (fa != fc && fb != fc) {
-      // Inverse quadratic interpolation.
-      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
-          b * fa * fc / ((fb - fa) * (fb - fc)) +
-          c * fa * fb / ((fc - fa) * (fc - fb));
-    } else {
-      // Secant.
-      s = b - fb * (b - a) / (fb - fa);
-    }
-    const double m = 0.5 * (a + b);
-    const bool cond =
-        (s < std::min(m, b) || s > std::max(m, b)) ||
-        (usedBisection && std::fabs(s - b) >= std::fabs(b - c) / 2) ||
-        (!usedBisection && std::fabs(s - b) >= std::fabs(c - d) / 2);
-    if (cond) {
-      s = m;
-      usedBisection = true;
-    } else {
-      usedBisection = false;
-    }
-    const double fs = f(s);
-    d = c;
-    c = b;
-    fc = fb;
-    if ((fa < 0) != (fs < 0)) {
-      b = s;
-      fb = fs;
-    } else {
-      a = s;
-      fa = fs;
-    }
-    if (std::fabs(fa) < std::fabs(fb)) {
-      std::swap(a, b);
-      std::swap(fa, fb);
-    }
-  }
-  return b;
+  return brentBracketed(f, lo, hi, f(lo), f(hi), opts);
 }
 
 std::vector<double> findAllRoots(const std::function<double(double)>& f,

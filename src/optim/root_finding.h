@@ -1,7 +1,11 @@
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <optional>
+#include <utility>
+
+#include "common/error.h"
 
 namespace uniq::optim {
 
@@ -10,6 +14,69 @@ struct RootOptions {
   double xTolerance = 1e-10;
   std::size_t maxIterations = 100;
 };
+
+/// Brent's method when the caller has ALREADY evaluated the endpoints
+/// (fa = f(lo), fb = f(hi)). Header template so hot callers (the
+/// localizer's radius solve evaluates its bracket to test solvability
+/// first) pay neither the two redundant endpoint evaluations nor a
+/// std::function indirection. Identical iteration sequence to brent().
+template <class F>
+double brentBracketed(F&& f, double lo, double hi, double flo, double fhi,
+                      const RootOptions& opts = {}) {
+  UNIQ_REQUIRE(lo < hi, "brent needs lo < hi");
+  double a = lo, b = hi;
+  double fa = flo, fb = fhi;
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  UNIQ_CHECK((fa < 0) != (fb < 0), "brent bracket does not change sign");
+  if (std::fabs(fa) < std::fabs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool usedBisection = true;
+  double d = 0.0;
+  for (std::size_t i = 0; i < opts.maxIterations; ++i) {
+    if (std::fabs(b - a) < opts.xTolerance || fb == 0.0) return b;
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+    const double m = 0.5 * (a + b);
+    const bool cond =
+        (s < std::min(m, b) || s > std::max(m, b)) ||
+        (usedBisection && std::fabs(s - b) >= std::fabs(b - c) / 2) ||
+        (!usedBisection && std::fabs(s - b) >= std::fabs(c - d) / 2);
+    if (cond) {
+      s = m;
+      usedBisection = true;
+    } else {
+      usedBisection = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if ((fa < 0) != (fs < 0)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::fabs(fa) < std::fabs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  return b;
+}
 
 /// Bisection on [lo, hi]; requires f(lo) and f(hi) to have opposite signs.
 /// Returns the root. Throws NumericalFailure when the bracket is invalid.

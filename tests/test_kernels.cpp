@@ -1,0 +1,356 @@
+// SIMD-vs-scalar equivalence tests for the dsp/kernels tier layer.
+//
+// Error budgets (documented here, asserted below; eps = 2^-52):
+//  - FFT butterfly cascades: the AVX2 tier contracts each butterfly's
+//    complex multiply into FMAs (one rounding instead of two), so a log2(n)
+//    stage cascade can drift a few ulps per bin. Budget: 8 eps relative to
+//    the spectrum's max magnitude (64 eps for Bluestein, whose chirp
+//    pre/post multiplies and length-m convolution triple the op count).
+//  - Batched vs single transforms: the batched cascade applies the exact
+//    same operation sequence per batch member as the single-transform
+//    kernels (same stage tables, same FMA idioms), so results are asserted
+//    BITWISE equal, per tier.
+//  - Pointwise complex kernels: one FMA contraction per element. Budget:
+//    4 eps relative to the element magnitude.
+//  - Reductions (dot/sumSquares/sum/pearson): the AVX2 tier reorders the
+//    sum into 8 partial accumulators. Budget: 1e-12 relative to the sum of
+//    absolute terms.
+//  - visibilityCrossings: both tiers compute the classifier with explicit
+//    mul/sub (never FMA — the AVX2 translation unit uses intrinsics the
+//    compiler cannot contract), so crossing counts and fractions are
+//    asserted BITWISE equal. This also makes the DSF solve (whose hot loop
+//    is this kernel plus tier-independent scalar geometry) bitwise
+//    reproducible across tiers, asserted end-to-end via solveRobust.
+//
+// Every test runs in both the default (UNIQ_SIMD=ON) and the UNIQ_SIMD=OFF
+// CI builds; tier-pair comparisons skip themselves when the AVX2 tier is
+// not compiled in or the CPU lacks it.
+
+#include "dsp/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/random.h"
+#include "core/sensor_fusion.h"
+#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
+#include "geometry/diffraction.h"
+#include "geometry/head_boundary.h"
+#include "geometry/polar.h"
+
+namespace uniq {
+namespace {
+
+namespace kn = dsp::kernels;
+
+class KernelTiers : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    natural_ = kn::activeIsa();
+    haveAvx2_ = kn::setIsaOverride(kn::Isa::kAvx2);
+    kn::setIsaOverride(natural_);
+  }
+  void TearDown() override { kn::setIsaOverride(natural_); }
+
+  /// Run `f` under the given tier and restore the natural tier after.
+  template <class F>
+  auto under(kn::Isa isa, F&& f) {
+    EXPECT_TRUE(kn::setIsaOverride(isa));
+    auto result = f();
+    kn::setIsaOverride(natural_);
+    return result;
+  }
+
+  bool haveAvx2_ = false;
+  kn::Isa natural_ = kn::Isa::kScalar;
+};
+
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+std::vector<double> testSignal(std::size_t n, int seed) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto t = static_cast<double>(i);
+    x[i] = std::sin(0.013 * t * (seed + 1)) +
+           0.5 * std::cos(0.71 * t + seed) + 0.1 * std::sin(2.9 * t);
+  }
+  return x;
+}
+
+std::vector<dsp::Complex> testSpectrum(std::size_t n, int seed) {
+  const auto re = testSignal(n, seed);
+  const auto im = testSignal(n, seed + 100);
+  std::vector<dsp::Complex> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = {re[i], im[i]};
+  return z;
+}
+
+double maxMagnitude(const std::vector<dsp::Complex>& z) {
+  double m = 0.0;
+  for (const auto& v : z) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void expectSpectraClose(const std::vector<dsp::Complex>& a,
+                        const std::vector<dsp::Complex>& b, double ulps) {
+  ASSERT_EQ(a.size(), b.size());
+  const double tol = ulps * kEps * std::max(maxMagnitude(a), 1.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "bin " << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "bin " << i;
+  }
+}
+
+TEST_F(KernelTiers, ForwardPow2TiersMatch) {
+  if (!haveAvx2_) GTEST_SKIP() << "AVX2 tier unavailable";
+  for (std::size_t n : {16ul, 256ul, 4096ul}) {
+    const auto plan = dsp::fftPlan(n);
+    const auto input = testSpectrum(n, 1);
+    const auto scalar =
+        under(kn::Isa::kScalar, [&] { return plan->forward(input); });
+    const auto avx2 =
+        under(kn::Isa::kAvx2, [&] { return plan->forward(input); });
+    expectSpectraClose(scalar, avx2, 8.0);
+  }
+}
+
+TEST_F(KernelTiers, RfftIrfftTiersMatchAndRoundTrip) {
+  if (!haveAvx2_) GTEST_SKIP() << "AVX2 tier unavailable";
+  for (std::size_t n : {64ul, 2048ul}) {
+    const auto plan = dsp::fftPlan(n);
+    const auto x = testSignal(n, 2);
+    const auto scalarSpec =
+        under(kn::Isa::kScalar, [&] { return plan->rfft(x); });
+    const auto avx2Spec = under(kn::Isa::kAvx2, [&] { return plan->rfft(x); });
+    expectSpectraClose(scalarSpec, avx2Spec, 8.0);
+
+    const auto scalarBack =
+        under(kn::Isa::kScalar, [&] { return plan->irfft(scalarSpec); });
+    const auto avx2Back =
+        under(kn::Isa::kAvx2, [&] { return plan->irfft(avx2Spec); });
+    // Round trip and cross-tier time-domain error are bounded by the
+    // spectrum's max magnitude folded through the 1/n inverse scaling;
+    // 1e-10 absolute (~450 eps of the unit-amplitude signal) covers both
+    // with margin while still catching any real kernel defect.
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(scalarBack[i], x[i], 1e-10);
+      EXPECT_NEAR(avx2Back[i], scalarBack[i], 1e-10);
+    }
+  }
+}
+
+TEST_F(KernelTiers, BluesteinTiersMatch) {
+  if (!haveAvx2_) GTEST_SKIP() << "AVX2 tier unavailable";
+  for (std::size_t n : {12ul, 1000ul}) {
+    const auto plan = dsp::fftPlan(n);
+    const auto input = testSpectrum(n, 3);
+    const auto scalar =
+        under(kn::Isa::kScalar, [&] { return plan->forward(input); });
+    const auto avx2 =
+        under(kn::Isa::kAvx2, [&] { return plan->forward(input); });
+    expectSpectraClose(scalar, avx2, 64.0);
+    const auto scalarInv =
+        under(kn::Isa::kScalar, [&] { return plan->inverse(scalar); });
+    const auto avx2Inv =
+        under(kn::Isa::kAvx2, [&] { return plan->inverse(scalar); });
+    expectSpectraClose(scalarInv, avx2Inv, 64.0);
+  }
+}
+
+TEST_F(KernelTiers, BatchedTransformsBitwiseMatchSingle) {
+  std::vector<kn::Isa> tiers{kn::Isa::kScalar};
+  if (haveAvx2_) tiers.push_back(kn::Isa::kAvx2);
+  for (const kn::Isa isa : tiers) {
+    for (std::size_t n : {8ul, 256ul}) {
+      for (std::size_t width : {1ul, 3ul, 8ul}) {
+        const auto plan = dsp::fftPlan(n);
+        std::vector<std::vector<double>> reals;
+        std::vector<std::vector<dsp::Complex>> complexes;
+        for (std::size_t j = 0; j < width; ++j) {
+          reals.push_back(testSignal(n, static_cast<int>(j)));
+          complexes.push_back(testSpectrum(n, static_cast<int>(j)));
+        }
+        under(isa, [&] {
+          const auto fwdBatch = plan->forwardBatch(complexes);
+          const auto rfftBatch = plan->rfftBatch(reals);
+          std::vector<std::vector<dsp::Complex>> halves;
+          for (std::size_t j = 0; j < width; ++j)
+            halves.push_back(plan->rfft(reals[j]));
+          const auto irfftBatch = plan->irfftBatch(halves);
+          for (std::size_t j = 0; j < width; ++j) {
+            const auto fwd = plan->forward(complexes[j]);
+            for (std::size_t k = 0; k < n; ++k) {
+              EXPECT_EQ(fwd[k].real(), fwdBatch[j][k].real());
+              EXPECT_EQ(fwd[k].imag(), fwdBatch[j][k].imag());
+            }
+            const auto half = plan->rfft(reals[j]);
+            for (std::size_t k = 0; k < half.size(); ++k) {
+              EXPECT_EQ(half[k].real(), rfftBatch[j][k].real());
+              EXPECT_EQ(half[k].imag(), rfftBatch[j][k].imag());
+            }
+            const auto back = plan->irfft(halves[j]);
+            for (std::size_t k = 0; k < n; ++k)
+              EXPECT_EQ(back[k], irfftBatch[j][k]);
+          }
+          return 0;
+        });
+      }
+    }
+  }
+}
+
+TEST_F(KernelTiers, PointwiseComplexTiersMatch) {
+  if (!haveAvx2_) GTEST_SKIP() << "AVX2 tier unavailable";
+  const std::size_t n = 1027;  // odd: exercises the vector tails
+  const auto a0 = testSpectrum(n, 4);
+  const auto b = testSpectrum(n, 5);
+
+  const auto runCmul = [&](kn::Isa isa, bool conj) {
+    return under(isa, [&] {
+      auto a = a0;
+      if (conj)
+        kn::cmulConjInterleaved(a.data(), b.data(), n);
+      else
+        kn::cmulInterleaved(a.data(), b.data(), n);
+      return a;
+    });
+  };
+  for (const bool conj : {false, true}) {
+    const auto s = runCmul(kn::Isa::kScalar, conj);
+    const auto v = runCmul(kn::Isa::kAvx2, conj);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double scale = std::max(std::abs(s[i]), 1.0);
+      EXPECT_NEAR(s[i].real(), v[i].real(), 4.0 * kEps * scale);
+      EXPECT_NEAR(s[i].imag(), v[i].imag(), 4.0 * kEps * scale);
+    }
+  }
+
+  const auto runDivide = [&](kn::Isa isa) {
+    return under(isa, [&] {
+      std::vector<dsp::Complex> out(n);
+      kn::spectralDivide(a0.data(), b.data(), 1e-4, out.data(), n);
+      return out;
+    });
+  };
+  const auto ds = runDivide(kn::Isa::kScalar);
+  const auto dv = runDivide(kn::Isa::kAvx2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scale = std::max(std::abs(ds[i]), 1.0);
+    EXPECT_NEAR(ds[i].real(), dv[i].real(), 8.0 * kEps * scale);
+    EXPECT_NEAR(ds[i].imag(), dv[i].imag(), 8.0 * kEps * scale);
+  }
+
+  const double ms =
+      under(kn::Isa::kScalar, [&] { return kn::maxNorm(a0.data(), n); });
+  const double mv =
+      under(kn::Isa::kAvx2, [&] { return kn::maxNorm(a0.data(), n); });
+  EXPECT_NEAR(ms, mv, 4.0 * kEps * ms);
+}
+
+TEST_F(KernelTiers, ReductionTiersMatch) {
+  if (!haveAvx2_) GTEST_SKIP() << "AVX2 tier unavailable";
+  const std::size_t n = 1023;
+  const auto a = testSignal(n, 6);
+  const auto b = testSignal(n, 7);
+  double absSum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) absSum += std::fabs(a[i] * b[i]);
+  const double tol = 1e-12 * std::max(absSum, 1.0);
+
+  EXPECT_NEAR(
+      under(kn::Isa::kScalar, [&] { return kn::dotProduct(a.data(), b.data(), n); }),
+      under(kn::Isa::kAvx2, [&] { return kn::dotProduct(a.data(), b.data(), n); }),
+      tol);
+  EXPECT_NEAR(
+      under(kn::Isa::kScalar, [&] { return kn::sumSquares(a.data(), n); }),
+      under(kn::Isa::kAvx2, [&] { return kn::sumSquares(a.data(), n); }), tol);
+  EXPECT_NEAR(under(kn::Isa::kScalar, [&] { return kn::sum(a.data(), n); }),
+              under(kn::Isa::kAvx2, [&] { return kn::sum(a.data(), n); }), tol);
+
+  const auto pearsonUnder = [&](kn::Isa isa) {
+    return under(isa, [&] {
+      std::vector<double> acc(3);
+      kn::pearsonAccum(a.data(), b.data(), n, 0.1, -0.2, acc.data());
+      return acc;
+    });
+  };
+  const auto ps = pearsonUnder(kn::Isa::kScalar);
+  const auto pv = pearsonUnder(kn::Isa::kAvx2);
+  for (int k = 0; k < 3; ++k) EXPECT_NEAR(ps[k], pv[k], tol);
+}
+
+TEST_F(KernelTiers, VisibilityScanBitwiseAcrossTiers) {
+  if (!haveAvx2_) GTEST_SKIP() << "AVX2 tier unavailable";
+  // Resolution 18 exercises the scalar tail (18 % 4 != 0), 256 the main
+  // vector loop.
+  for (const std::size_t resolution : {18ul, 256ul}) {
+    const geo::HeadBoundary head(0.072, 0.104, 0.091, resolution);
+    for (int k = 0; k < 24; ++k) {
+      const double theta = 15.0 * k;
+      const geo::Vec2 p = geo::pointFromPolarDeg(theta, 0.2 + 0.01 * k);
+      const auto ts =
+          under(kn::Isa::kScalar, [&] { return head.tangentsFrom(p); });
+      const auto tv =
+          under(kn::Isa::kAvx2, [&] { return head.tangentsFrom(p); });
+      EXPECT_EQ(ts.u1, tv.u1) << "theta " << theta;
+      EXPECT_EQ(ts.u2, tv.u2) << "theta " << theta;
+      const geo::Vec2 d = geo::directionFromAzimuthDeg(theta);
+      const auto es =
+          under(kn::Isa::kScalar, [&] { return head.terminators(d); });
+      const auto ev = under(kn::Isa::kAvx2, [&] { return head.terminators(d); });
+      EXPECT_EQ(es.u1, ev.u1) << "theta " << theta;
+      EXPECT_EQ(es.u2, ev.u2) << "theta " << theta;
+    }
+  }
+}
+
+TEST_F(KernelTiers, SolveRobustEndToEndTiersMatch) {
+  if (!haveAvx2_) GTEST_SKIP() << "AVX2 tier unavailable";
+  // Forward-model measurements on a known head; the solve's hot loop is
+  // scalar geometry plus the visibility kernel, which is bitwise identical
+  // across tiers, so the full estimate should match to the last bit
+  // (EXPECT_DOUBLE_EQ allows 4 ulp of slack).
+  const head::HeadParameters truth{0.070, 0.104, 0.090};
+  const geo::HeadBoundary head(truth.a, truth.b, truth.c, 256);
+  Pcg32 rng(11);
+  std::vector<core::FusionMeasurement> measurements;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double theta = 10.0 + 16.0 * static_cast<double>(i);
+    const geo::Vec2 pos = geo::pointFromPolarDeg(theta, 0.30);
+    core::FusionMeasurement m;
+    m.delayLeftSec =
+        geo::nearFieldPath(head, pos, geo::Ear::kLeft).length / kSpeedOfSound;
+    m.delayRightSec =
+        geo::nearFieldPath(head, pos, geo::Ear::kRight).length /
+        kSpeedOfSound;
+    m.imuAngleDeg = theta + rng.gaussian(0.0, 1.0);
+    m.sourceIndex = i;
+    measurements.push_back(m);
+  }
+  core::SensorFusionOptions opts;
+  opts.maxIterations = 60;
+  opts.restarts = 1;
+  opts.numThreads = 1;
+  const auto solveUnder = [&](kn::Isa isa) {
+    return under(isa, [&] {
+      const core::SensorFusion fusion(opts);
+      return fusion.solveRobust(measurements);
+    });
+  };
+  const auto rs = solveUnder(kn::Isa::kScalar);
+  const auto rv = solveUnder(kn::Isa::kAvx2);
+  EXPECT_TRUE(rs.usable);
+  EXPECT_DOUBLE_EQ(rs.headParams.a, rv.headParams.a);
+  EXPECT_DOUBLE_EQ(rs.headParams.b, rv.headParams.b);
+  EXPECT_DOUBLE_EQ(rs.headParams.c, rv.headParams.c);
+  EXPECT_DOUBLE_EQ(rs.finalObjectiveDeg2, rv.finalObjectiveDeg2);
+  EXPECT_EQ(rs.localizedCount, rv.localizedCount);
+}
+
+}  // namespace
+}  // namespace uniq
