@@ -54,6 +54,7 @@
 #include "sim/fault_injector.h"
 #include "sim/measurement_session.h"
 #include "spatial3d/elevation_renderer.h"
+#include "stream/streaming_session.h"
 
 using namespace uniq;
 
@@ -110,21 +111,15 @@ int writeValidatedJson(const std::string& path, const std::string& json,
   return 0;
 }
 
-int cmdCalibrate(const Args& args) {
-  const auto outPath = require(args, "out");
-  const auto seed =
-      static_cast<std::uint64_t>(std::stoull(optional(args, "seed", "42")));
-  const bool constrained = args.count("constrained") > 0;
-  const bool wantReport = args.count("report") > 0;
-  const bool failOnDegraded = args.count("fail-on-degraded") > 0;
-  const auto traceOut = optional(args, "trace-out", "");
-  const auto metricsOut = optional(args, "metrics-out", "");
-
+/// Shared by calibrate / calibrate-stream: simulate one subject's capture
+/// per --seed/--constrained/--stops and apply the optional --fault.
+sim::CalibrationCapture simulateCaptureFromArgs(const Args& args,
+                                                std::uint64_t seed) {
   std::cout << "simulating subject (seed " << seed << ")...\n";
   const auto subject = head::makePopulation(1, seed)[0];
   const sim::MeasurementSession session;
-  auto gesture =
-      constrained ? sim::constrainedGesture() : sim::defaultGesture();
+  auto gesture = args.count("constrained") > 0 ? sim::constrainedGesture()
+                                               : sim::defaultGesture();
   if (args.count("stops") > 0) {
     gesture.stops = static_cast<std::size_t>(
         std::stoull(require(args, "stops")));
@@ -145,12 +140,29 @@ int cmdCalibrate(const Args& args) {
               << " (severity " << severity << ") corrupting "
               << log.corruptedStops().size() << " stop(s)\n";
   }
+  return capture;
+}
 
+core::CalibrationPipelineOptions pipelineOptionsFromArgs(const Args& args) {
   core::CalibrationPipelineOptions pipeOpts;
   if (args.count("min-stops") > 0) {
     pipeOpts.minUsableStops = static_cast<std::size_t>(
         std::stoull(require(args, "min-stops")));
   }
+  return pipeOpts;
+}
+
+int cmdCalibrate(const Args& args) {
+  const auto outPath = require(args, "out");
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(optional(args, "seed", "42")));
+  const bool wantReport = args.count("report") > 0;
+  const bool failOnDegraded = args.count("fail-on-degraded") > 0;
+  const auto traceOut = optional(args, "trace-out", "");
+  const auto metricsOut = optional(args, "metrics-out", "");
+
+  auto capture = simulateCaptureFromArgs(args, seed);
+  const auto pipeOpts = pipelineOptionsFromArgs(args);
 
   std::cout << "running the UNIQ pipeline on " << capture.stops.size()
             << " stops...\n";
@@ -207,6 +219,152 @@ int cmdCalibrate(const Args& args) {
   // Exit-code contract (documented in docs/ROBUSTNESS.md): ok -> 0,
   // degraded -> 0 (or 3 under --fail-on-degraded), failed -> 4. Flag errors
   // and I/O problems keep exiting 1 via the main() catch.
+  if (personal.status == core::PipelineStatus::kFailed) return 4;
+  if (personal.status == core::PipelineStatus::kDegraded && failOnDegraded)
+    return 3;
+  return 0;
+}
+
+int cmdCalibrateStream(const Args& args) {
+  const auto outPath = require(args, "out");
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(optional(args, "seed", "42")));
+  const bool wantReport = args.count("report") > 0;
+  const bool failOnDegraded = args.count("fail-on-degraded") > 0;
+  const bool earlyStop = args.count("no-early-stop") == 0;
+  const bool compareBatch = args.count("compare-batch") > 0;
+  const double intervalMs = std::stod(optional(args, "interval-ms", "0"));
+  const auto traceOut = optional(args, "trace-out", "");
+  const auto metricsOut = optional(args, "metrics-out", "");
+
+  auto capture = simulateCaptureFromArgs(args, seed);
+
+  stream::StreamingSessionOptions sessionOpts;
+  sessionOpts.pipeline = pipelineOptionsFromArgs(args);
+
+  // Replay the capture into the streaming session the way a phone would
+  // deliver it: one stop at a time, at --interval-ms wall-clock pacing
+  // (0 = as fast as the graph absorbs them), with live coverage feedback
+  // after every push and an early finish when the table converges.
+  std::cout << "streaming " << capture.stops.size() << " stops"
+            << (intervalMs > 0.0
+                    ? " at " + std::to_string(intervalMs) + " ms/stop"
+                    : " at full speed")
+            << (earlyStop ? "" : " (early stop disabled)") << "...\n";
+  stream::StreamingSession session(
+      stream::CaptureHeader::fromCapture(capture), sessionOpts);
+  std::size_t pushed = 0;
+  for (std::size_t i = 0; i < capture.stops.size(); ++i) {
+    if (earlyStop && session.converged()) break;
+    session.push(capture.stops[i], i);
+    ++pushed;
+    if (intervalMs > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(intervalMs));
+    }
+    const auto snap = session.coverage();
+    std::cout << "  stop " << std::setw(2) << i << "  coverage "
+              << std::setw(3)
+              << static_cast<int>(std::lround(100.0 * snap.coveredFraction))
+              << "%  solves " << std::setw(2) << snap.incrementalSolves
+              << "  " << snap.hint << "\n";
+  }
+
+  obs::RunReport report;
+  const auto result = session.finalize(&report);
+  const auto& personal = result.personal;
+
+  if (result.convergedEarly && pushed < capture.stops.size()) {
+    std::cout << "converged early: finalized after " << pushed << "/"
+              << capture.stops.size() << " stops ("
+              << std::lround(result.timeToConvergeMs)
+              << " ms to convergence) — the user could have stopped "
+                 "sweeping here\n";
+  } else if (result.convergedEarly) {
+    std::cout << "converged during the sweep ("
+              << std::lround(result.timeToConvergeMs) << " ms); all "
+              << pushed << " stops used\n";
+  } else {
+    std::cout << "sweep ended without convergence; finalized from all "
+              << pushed << " pushed stops\n";
+  }
+
+  std::cout << "status: " << core::pipelineStatusName(personal.status)
+            << "\n";
+  if (!personal.diagnostics.empty())
+    std::cout << "diagnostics:\n" << report.diagnosticsText();
+  std::cout << "estimated head (a,b,c) = (" << personal.headParams.a << ", "
+            << personal.headParams.b << ", " << personal.headParams.c
+            << ") m, fusion RMS residual "
+            << std::sqrt(personal.fusion.meanSquaredResidualDeg2)
+            << " deg\n";
+  core::saveHrtfTable(outPath, personal.table);
+  std::cout << "saved "
+            << (personal.status == core::PipelineStatus::kFailed
+                    ? "population-average fallback"
+                    : "personalized")
+            << " HRTF table to " << outPath << "\n";
+
+  // Equality check against the batch pipeline over the same capture. When
+  // every stop was pushed the streaming finalize runs the identical code
+  // over identically extracted channels, so the tables must be bitwise
+  // equal; an early-stopped session is compared for closeness only.
+  if (compareBatch) {
+    std::cout << "running batch pipeline for comparison...\n";
+    const core::CalibrationPipeline pipeline(sessionOpts.pipeline);
+    const auto batch = pipeline.run(capture);
+    double maxAbsDiff = 0.0;
+    const auto& sFar = personal.table.farTable().byDegree;
+    const auto& bFar = batch.table.farTable().byDegree;
+    if (sFar.size() != bFar.size()) {
+      std::cerr << "error: far-table size mismatch (streaming "
+                << sFar.size() << " vs batch " << bFar.size() << ")\n";
+      return 1;
+    }
+    for (std::size_t d = 0; d < sFar.size(); ++d) {
+      for (std::size_t k = 0; k < sFar[d].left.size(); ++k) {
+        maxAbsDiff = std::max(maxAbsDiff,
+                              std::fabs(sFar[d].left[k] - bFar[d].left[k]));
+        maxAbsDiff = std::max(
+            maxAbsDiff, std::fabs(sFar[d].right[k] - bFar[d].right[k]));
+      }
+    }
+    if (pushed == capture.stops.size()) {
+      std::cout << "streaming vs batch (all stops): max abs far-table diff "
+                << maxAbsDiff << "\n";
+      if (maxAbsDiff != 0.0) {
+        std::cerr << "error: full-capture streaming table is not "
+                     "bitwise-identical to batch\n";
+        return 1;
+      }
+    } else {
+      std::cout << "streaming (early stop, " << pushed << "/"
+                << capture.stops.size()
+                << " stops) vs batch: max abs far-table diff " << maxAbsDiff
+                << "\n";
+    }
+  }
+
+  if (wantReport) {
+    std::cout << "\nrun report\n" << report.summaryTable() << "\n";
+  }
+  std::cout << "stream metrics:\n"
+            << obs::summarizeMetrics(obs::registry().snapshot(),
+                                     {"stream."});
+
+  if (!traceOut.empty()) {
+    const int rc = writeValidatedJson(
+        traceOut, obs::traceEventJson(obs::collectSpans()), "trace");
+    if (rc != 0) return rc;
+  }
+  if (!metricsOut.empty()) {
+    const int rc = writeValidatedJson(
+        metricsOut, obs::metricsJson(obs::registry().snapshot()), "metrics");
+    if (rc != 0) return rc;
+  }
+
+  // Same exit-code contract as calibrate (docs/ROBUSTNESS.md): ok -> 0,
+  // degraded -> 0 (or 3 under --fail-on-degraded), failed -> 4.
   if (personal.status == core::PipelineStatus::kFailed) return 4;
   if (personal.status == core::PipelineStatus::kDegraded && failOnDegraded)
     return 3;
@@ -469,6 +627,15 @@ void usage() {
       "             [--fault-severity X]\n"
       "             exit codes: 0 ok/degraded, 3 degraded with\n"
       "             --fail-on-degraded, 4 failed (fallback table saved)\n"
+      "  calibrate-stream --out table.uniq [--seed N] [--constrained]\n"
+      "             [--stops N] [--interval-ms X] [--no-early-stop]\n"
+      "             [--compare-batch] [--report] [--min-stops N]\n"
+      "             [--fault KIND] [--fault-severity X]\n"
+      "             [--fail-on-degraded] [--trace-out trace.json]\n"
+      "             [--metrics-out metrics.json]\n"
+      "             replay the capture through the streaming dataflow\n"
+      "             (live coverage hints, early stop on convergence);\n"
+      "             same exit codes as calibrate\n"
       "  inspect    --table table.uniq\n"
       "  render     --table table.uniq --in mono.wav --out out.wav\n"
       "             --angle DEG [--elevation DEG]\n"
@@ -495,6 +662,7 @@ int main(int argc, char** argv) {
   try {
     const auto args = parseArgs(argc, argv, 2);
     if (cmd == "calibrate") return cmdCalibrate(args);
+    if (cmd == "calibrate-stream") return cmdCalibrateStream(args);
     if (cmd == "inspect") return cmdInspect(args);
     if (cmd == "render") return cmdRender(args, false);
     if (cmd == "demo-render") return cmdRender(args, true);

@@ -23,6 +23,7 @@
 #include "serve/calibration_service.h"
 #include "serve/table_cache.h"
 #include "sim/measurement_session.h"
+#include "stream/streaming_session.h"
 
 using namespace uniq;
 
@@ -328,6 +329,27 @@ void BM_ServeSerialCalibration(benchmark::State& state) {
                           static_cast<int64_t>(users));
 }
 BENCHMARK(BM_ServeSerialCalibration)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// End-to-end streaming calibration: push every stop through the dataflow
+// graph (extract node -> fuse node with warm-started incremental solves),
+// then finalize. Compare against BM_ServeSerialCalibration at Arg(1): the
+// delta is the price of incremental solving plus queue hops, paid to get
+// live coverage/convergence feedback during the sweep.
+void BM_StreamingSession(benchmark::State& state) {
+  const auto& captures = serveCaptures();
+  const auto& capture = *captures.front();
+  for (auto _ : state) {
+    stream::StreamingSession session(
+        stream::CaptureHeader::fromCapture(capture));
+    for (std::size_t i = 0; i < capture.stops.size(); ++i)
+      session.push(capture.stops[i], i);
+    auto result = session.finalize();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(capture.stops.size()));
+}
+BENCHMARK(BM_StreamingSession)->Unit(benchmark::kMillisecond);
 
 // Batched known-source AoA against cached tables: the steady-state query
 // path (template-spectrum cache + FFT plan cache warm after iteration one).

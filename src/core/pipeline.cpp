@@ -67,6 +67,24 @@ void publish(obs::RunReport* report,
   report->status = pipelineStatusName(status);
 }
 
+/// Stage-boundary abort poll shared by run() and runFromChannels: when the
+/// token is due, records the abort (counter + diagnostic naming `boundary`)
+/// and returns true so the caller can hand back the fallback table with
+/// aborted = true.
+bool abortBoundary(const core::RunAbortToken* abort, const char* boundary,
+                   std::vector<obs::Diagnostic>& diagnostics) {
+  if (!abort || !abort->due()) return false;
+  static obs::Counter& aborts = obs::registry().counter("pipeline.aborts");
+  aborts.inc();
+  std::ostringstream os;
+  os << "run aborted (" << (abort->cancelRequested() ? "cancelled"
+                                                     : "deadline exceeded")
+     << ") before stage " << boundary;
+  diagnostics.push_back(obs::Diagnostic{
+      "pipeline", obs::Severity::kError, os.str(), {}});
+  return true;
+}
+
 }  // namespace
 
 const char* pipelineStatusName(PipelineStatus status) {
@@ -140,6 +158,33 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
   UNIQ_REQUIRE(!capture.stops.empty(), "capture has no stops");
 
   std::vector<obs::Diagnostic> diagnostics;
+  if (abortBoundary(abort, "extract", diagnostics)) {
+    auto out = fallbackResult(capture, std::move(diagnostics), report);
+    out.aborted = true;
+    return out;
+  }
+
+  try {
+    obs::StageTimer extractTimer(report, "extract");
+    const auto channels = extractChannels(capture);
+    extractTimer.stop();
+    return runFromChannels(capture, channels, report, abort);
+  } catch (const Error& e) {
+    diagnostics.push_back(obs::Diagnostic{
+        "pipeline", obs::Severity::kError,
+        std::string("stage failed: ") + e.what(), {}});
+    return fallbackResult(capture, std::move(diagnostics), report);
+  }
+}
+
+PersonalHrtf CalibrationPipeline::runFromChannels(
+    const sim::CalibrationCapture& capture,
+    const std::vector<BinauralChannel>& channels, obs::RunReport* report,
+    const RunAbortToken* abort) const {
+  UNIQ_SPAN("pipeline.run_from_channels");
+  UNIQ_REQUIRE(!capture.stops.empty(), "capture has no stops");
+
+  std::vector<obs::Diagnostic> diagnostics;
   const auto diagnose = [&](const char* stage, obs::Severity severity,
                             std::string message,
                             std::vector<std::size_t> stops =
@@ -153,15 +198,7 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
   // turns that into a cancelled/expired job; callers without a token never
   // take this path.
   const auto abortedHere = [&](const char* boundary) -> bool {
-    if (!abort || !abort->due()) return false;
-    static obs::Counter& aborts = obs::registry().counter("pipeline.aborts");
-    aborts.inc();
-    std::ostringstream os;
-    os << "run aborted (" << (abort->cancelRequested() ? "cancelled"
-                                                       : "deadline exceeded")
-       << ") before stage " << boundary;
-    diagnose("pipeline", obs::Severity::kError, os.str());
-    return true;
+    return abortBoundary(abort, boundary, diagnostics);
   };
   const auto abortResult = [&]() {
     auto out = fallbackResult(capture, std::move(diagnostics), report);
@@ -169,11 +206,7 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
     return out;
   };
 
-  if (abortedHere("extract")) return abortResult();
-
   try {
-    obs::StageTimer extractTimer(report, "extract");
-    const auto channels = extractChannels(capture);
     auto measurements = toFusionMeasurements(capture, channels);
     const std::size_t tapsDetected = measurements.size();
 
@@ -195,13 +228,15 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
                        }),
         measurements.end());
 
-    if (auto* stage = extractTimer.stage()) {
-      stage->set("stops", static_cast<double>(capture.stops.size()));
-      stage->set("tapsDetected", static_cast<double>(tapsDetected));
-      stage->set("gatedStops",
-                 static_cast<double>(tapsDetected - measurements.size()));
+    if (report) {
+      // Values land on the "extract" stage the caller's timer created (the
+      // batch path, or the streaming session's accumulated per-stop timer).
+      auto& stage = report->stage("extract");
+      stage.set("stops", static_cast<double>(capture.stops.size()));
+      stage.set("tapsDetected", static_cast<double>(tapsDetected));
+      stage.set("gatedStops",
+                static_cast<double>(tapsDetected - measurements.size()));
     }
-    extractTimer.stop();
 
     if (!noTap.empty()) {
       // A couple of undetectable stops is normal in the wild; losing more
@@ -227,7 +262,8 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
       diagnose("extract", obs::Severity::kWarning, os.str(), lowSnrStops);
     }
 
-    const std::size_t minUsable = std::max<std::size_t>(opts_.minUsableStops, 4);
+    const std::size_t minUsable =
+        std::max<std::size_t>(opts_.minUsableStops, 4);
     if (measurements.size() < minUsable) {
       std::ostringstream os;
       os << "only " << measurements.size()
@@ -404,6 +440,12 @@ PersonalHrtf CalibrationPipeline::run(const sim::CalibrationCapture& capture,
              std::string("stage failed: ") + e.what());
     return fallbackResult(capture, std::move(diagnostics), report);
   }
+}
+
+PersonalHrtf CalibrationPipeline::populationFallback(
+    const sim::CalibrationCapture& capture,
+    std::vector<obs::Diagnostic> diagnostics, obs::RunReport* report) const {
+  return fallbackResult(capture, std::move(diagnostics), report);
 }
 
 PersonalHrtf CalibrationPipeline::fallbackResult(

@@ -153,6 +153,29 @@ class CalibrationPipeline {
   PersonalHrtf run(const sim::CalibrationCapture& capture,
                    obs::RunReport* report, const RunAbortToken* abort) const;
 
+  /// Post-extraction pipeline: quality gating, fusion, near-field,
+  /// near-far, and gesture validation over already-extracted per-stop
+  /// channels (`channels[i]` belongs to `capture.stops[i]`). This is the
+  /// code path batch run() takes after extractChannels, exposed so a
+  /// streaming session that extracted its stops incrementally can finalize
+  /// through the *identical* stages — which is what makes a streaming
+  /// session that saw every stop produce a bitwise-identical table to the
+  /// batch run (see docs/STREAMING.md). Same totality, report ("extract"
+  /// stage values are set when the report already carries that stage),
+  /// and abort semantics as run().
+  PersonalHrtf runFromChannels(const sim::CalibrationCapture& capture,
+                               const std::vector<BinauralChannel>& channels,
+                               obs::RunReport* report = nullptr,
+                               const RunAbortToken* abort = nullptr) const;
+
+  /// Public entry to the terminal fallback: the population-average table
+  /// with status kFailed and the given diagnostics attached. For callers
+  /// that never assembled a usable capture at all (a cancelled or empty
+  /// streaming session); batch runs reach the same code internally.
+  PersonalHrtf populationFallback(const sim::CalibrationCapture& capture,
+                                  std::vector<obs::Diagnostic> diagnostics,
+                                  obs::RunReport* report = nullptr) const;
+
   /// Intermediate access for experiments: per-stop channels only.
   std::vector<BinauralChannel> extractChannels(
       const sim::CalibrationCapture& capture) const;

@@ -99,8 +99,8 @@ double SensorFusion::objective(
         const auto& m = measurements[i];
         const auto fix =
             localizer.locate(m.delayLeftSec, m.delayRightSec, m.imuAngleDeg);
-        costs[i] =
-            fix ? square(m.imuAngleDeg - fix->angleDeg) : opts_.unlocalizedPenalty;
+        costs[i] = fix ? square(m.imuAngleDeg - fix->angleDeg)
+                       : opts_.unlocalizedPenalty;
       },
       opts_.numThreads);
   double cost = 0.0;
@@ -122,9 +122,22 @@ SensorFusionResult SensorFusion::solve(
   return solveWith(measurements, opts_.restarts);
 }
 
+SensorFusionResult SensorFusion::solveIncremental(
+    const std::vector<FusionMeasurement>& measurements,
+    const std::optional<head::HeadParameters>& seed) const {
+  UNIQ_SPAN("dsf.solve_incremental");
+  if (measurements.empty()) {
+    SensorFusionResult result;
+    result.usable = false;
+    result.converged = false;
+    return result;
+  }
+  return solveWith(measurements, 1, seed ? &*seed : nullptr);
+}
+
 SensorFusionResult SensorFusion::solveWith(
     const std::vector<FusionMeasurement>& measurements,
-    std::size_t restarts) const {
+    std::size_t restarts, const head::HeadParameters* seedStart) const {
   const auto f = [&](const std::vector<double>& x) {
     return objective(decode(x), measurements);
   };
@@ -158,10 +171,11 @@ SensorFusionResult SensorFusion::solveWith(
   optim::MinimizeResult best;
   for (std::size_t r = 0; r < restarts; ++r) {
     UNIQ_SPAN("dsf.restart");
-    auto start = encode(head::HeadParameters::average());
-    // Restart 0 is the canonical average start; later restarts probe the
-    // corners of a small cube around it (deterministic, no RNG, so the
-    // solve stays reproducible).
+    auto start = encode(r == 0 && seedStart ? *seedStart
+                                            : head::HeadParameters::average());
+    // Restart 0 is the canonical average start (or the caller's warm seed);
+    // later restarts probe the corners of a small cube around the average
+    // (deterministic, no RNG, so the solve stays reproducible).
     if (r > 0) {
       for (std::size_t j = 0; j < start.size(); ++j)
         start[j] += 0.45 * (((r >> j) & 1) ? 1.0 : -1.0);

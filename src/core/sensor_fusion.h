@@ -126,6 +126,20 @@ class SensorFusion {
   SensorFusionResult solveRobust(
       const std::vector<FusionMeasurement>& measurements) const;
 
+  /// Warm-started incremental solve for streaming calibration: one
+  /// Nelder-Mead start seeded at `seed` (the previous estimate) instead of
+  /// the population average, no widening, no outlier rounds. With the same
+  /// SensorFusion instance the geometry LRU carries the seed's boundary and
+  /// warm Brent brackets over from the previous solve, so a refinement
+  /// after one new stop costs a fraction of a cold solve. Accepts any
+  /// non-empty measurement set (live feedback wants an estimate long before
+  /// solve()'s six-stop minimum); returns usable = false only when
+  /// `measurements` is empty. This is a *running* estimate for coverage and
+  /// convergence feedback — final tables come from solveRobust.
+  SensorFusionResult solveIncremental(
+      const std::vector<FusionMeasurement>& measurements,
+      const std::optional<head::HeadParameters>& seed = std::nullopt) const;
+
   /// The Eq. 2 objective for a specific head-parameter candidate; exposed
   /// for tests and ablation benches.
   double objective(const head::HeadParameters& candidate,
@@ -134,10 +148,13 @@ class SensorFusion {
  private:
   /// Shared solve core: optimize E over `measurements` with `restarts`
   /// independent starts, then fuse. Assumes a non-empty measurement set;
-  /// public entry points enforce their own minimums.
+  /// public entry points enforce their own minimums. When `seedStart` is
+  /// non-null, restart 0 begins there instead of the population average
+  /// (the warm start used by solveIncremental).
   SensorFusionResult solveWith(
       const std::vector<FusionMeasurement>& measurements,
-      std::size_t restarts) const;
+      std::size_t restarts,
+      const head::HeadParameters* seedStart = nullptr) const;
 
   /// A candidate head geometry with its localizer, built once per distinct
   /// (a, b, c) and reused. Nelder-Mead re-evaluates simplex vertices

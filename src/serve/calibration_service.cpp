@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stream/streaming_session.h"
 
 namespace uniq::serve {
 
@@ -248,11 +249,40 @@ void CalibrationService::drainQueue() {
   }
 }
 
+core::PersonalHrtf CalibrationService::runStreaming(
+    const std::shared_ptr<Job>& job) {
+  UNIQ_SPAN("serve.job.streaming");
+  static obs::Counter& streamingJobs =
+      obs::registry().counter("serve.jobs.streaming");
+  streamingJobs.inc();
+
+  stream::StreamingSessionOptions sopts;
+  sopts.pipeline = opts_.pipeline;
+  stream::StreamingSession session(
+      stream::CaptureHeader::fromCapture(*job->capture), sopts);
+  for (std::size_t i = 0; i < job->capture->stops.size(); ++i) {
+    // Between-push token polls give streaming jobs finer-grained
+    // cancellation than the batch pipeline's stage boundaries.
+    if (job->token.due()) {
+      session.cancel();
+      break;
+    }
+    // Early stop: the running table stabilized, the remaining stops would
+    // not change it materially — finalize now and return sooner.
+    if (session.converged()) break;
+    session.push(job->capture->stops[i], i);
+  }
+  return session.finalize(&job->report).personal;
+}
+
 void CalibrationService::executeJob(const std::shared_ptr<Job>& job) {
   UNIQ_SPAN("serve.job");
   JobState terminalState = JobState::kDone;
   try {
-    auto personal = pipeline_.run(*job->capture, &job->report, &job->token);
+    auto personal =
+        job->opts.streaming
+            ? runStreaming(job)
+            : pipeline_.run(*job->capture, &job->report, &job->token);
     if (personal.aborted) {
       terminalState = job->token.cancelRequested() ? JobState::kCancelled
                                                    : JobState::kExpired;

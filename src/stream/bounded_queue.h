@@ -1,0 +1,100 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace uniq::stream {
+
+/// Bounded thread-safe FIFO connecting two dataflow nodes (the message-flow
+/// edge of docs/STREAMING.md, modeled on maplab's rovioli datasource-flow).
+/// `push` blocks while the queue is full — backpressure, so a fast producer
+/// (the phone streaming stops) can never outrun a slow consumer unbounded —
+/// and `pop` blocks while it is empty. `close()` ends the stream: pending
+/// items still drain, further pushes are refused, and a pop on a closed,
+/// empty queue returns false, which is the consumer's shutdown signal.
+///
+/// When constructed with a name, the queue exports its live depth as the
+/// gauge `stream.queue_depth.<name>` and its high-water mark as
+/// `stream.queue_depth.<name>.max`.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity, const std::string& name = "")
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    if (!name.empty()) {
+      depth_ = &obs::registry().gauge("stream.queue_depth." + name);
+      maxDepth_ = &obs::registry().gauge("stream.queue_depth." + name + ".max");
+    }
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns false (and drops `item`) when the queue was
+  /// closed before space appeared.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notFull_.wait(lock,
+                  [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (depth_) {
+      depth_->add(1.0);
+      maxDepth_->setMax(static_cast<double>(items_.size()));
+    }
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty and open. Returns false when the queue is closed
+  /// and fully drained — the consumer's signal to exit its loop.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    if (depth_) depth_->add(-1.0);
+    notFull_.notify_one();
+    return true;
+  }
+
+  /// End of stream: pending items still drain, new pushes are refused, and
+  /// blocked producers/consumers wake up. Idempotent.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    notEmpty_.notify_all();
+    notFull_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Snapshot depth (observability; racy by nature).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  obs::Gauge* depth_ = nullptr;
+  obs::Gauge* maxDepth_ = nullptr;
+};
+
+}  // namespace uniq::stream

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (stdlib only).
+
+Scans the given markdown files (or every ``*.md`` under a given directory)
+for inline links/images and reference definitions, and fails when a
+relative link points at a file that does not exist or an in-document
+anchor that matches no heading.
+
+Checked:
+  - relative file links: ``[text](docs/PERF.md)``, ``![img](figs/a.png)``
+  - file + anchor links: ``[text](DESIGN.md#layout)``
+  - in-document anchors: ``[text](#metrics)``
+Skipped (reported only with --verbose):
+  - absolute URLs (http/https/mailto) — no network access in CI
+  - bare autolinks ``<https://...>``
+  - targets that resolve outside the working tree (e.g. the CI badge's
+    ``../../actions/...`` path, which is a GitHub web route, not a file)
+
+Anchors are matched against GitHub-style heading slugs (lowercase, spaces
+to dashes, punctuation dropped) plus explicit ``<a name="...">`` tags.
+
+Usage:
+  tools/check_markdown_links.py README.md DESIGN.md docs
+  tools/check_markdown_links.py --verbose <files-or-dirs...>
+
+Exit status: 0 when every relative link resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target "title").
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+# Reference definitions: [label]: target
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?(?:\s+\"[^\"]*\")?\s*$")
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$")
+ANCHOR_TAG = re.compile(r"<a\s+(?:name|id)=\"([^\"]+)\"")
+FENCE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style slug: strip formatting, lowercase, spaces to dashes."""
+    text = re.sub(r"[`*_]|\[|\]|\([^)]*\)", "", heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            slug = slugify(match.group(1))
+            # Duplicate headings get -1, -2, ... suffixes on GitHub.
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            anchors.add(slug if count == 0 else f"{slug}-{count}")
+        for tag in ANCHOR_TAG.finditer(line):
+            anchors.add(tag.group(1))
+    return anchors
+
+
+def links_of(path: pathlib.Path) -> list[tuple[int, str]]:
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in INLINE_LINK.finditer(line):
+            links.append((lineno, match.group(1)))
+        ref = REF_DEF.match(line)
+        if ref:
+            links.append((lineno, ref.group(1)))
+    return links
+
+
+def collect_files(args: list[str]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for arg in args:
+        path = pathlib.Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+        else:
+            print(f"warning: skipping non-markdown argument {arg}",
+                  file=sys.stderr)
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="markdown files or directories to scan")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list skipped external links")
+    opts = parser.parse_args()
+
+    files = collect_files(opts.paths)
+    if not files:
+        print("error: no markdown files found", file=sys.stderr)
+        return 1
+
+    root = pathlib.Path.cwd().resolve()
+    anchor_cache: dict[pathlib.Path, set[str]] = {}
+    errors = 0
+    checked = 0
+    for source in files:
+        for lineno, target in links_of(source):
+            if target.startswith(EXTERNAL):
+                if opts.verbose:
+                    print(f"  skip {source}:{lineno}: external {target}")
+                continue
+            raw_path, _, fragment = target.partition("#")
+            dest = (source if not raw_path
+                    else (source.parent / raw_path).resolve())
+            if not dest.resolve().is_relative_to(root):
+                if opts.verbose:
+                    print(f"  skip {source}:{lineno}: outside tree {target}")
+                continue
+            checked += 1
+            if not dest.exists():
+                print(f"{source}:{lineno}: broken link: {target} "
+                      f"(no such file {raw_path})")
+                errors += 1
+                continue
+            if fragment and dest.suffix == ".md":
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if fragment not in anchor_cache[dest]:
+                    print(f"{source}:{lineno}: broken anchor: {target} "
+                          f"(no heading slug '{fragment}' in {dest.name})")
+                    errors += 1
+
+    label = "error" if errors == 1 else "errors"
+    print(f"checked {checked} relative link(s) across {len(files)} file(s): "
+          f"{errors} {label}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
