@@ -24,9 +24,24 @@
 //       simulated users: submit every capture as a job, drain, run a
 //       batched AoA pass against the cached per-user tables, and print
 //       per-job states plus aggregate throughput/cache statistics.
+//   serve-load --users N --duration-s S [--threads T] [--skew Z]
+//              [--shards K] [--cache-capacity C] [--warm W]
+//              [--table-dir DIR] [--load-report out.json]
+//              [--metrics-out m.json]
+//       Zipfian-skewed load driver over N simulated users against the
+//       sharded serving stack: mostly table lookups, with AoA queries and
+//       batch/streaming calibration jobs mixed in. Reports p50/p99/p999
+//       latency, per-tier hit rates over time, and saturation throughput
+//       (see docs/CAPACITY.md).
+//   convert --in table.uniq --out table.uniqq [--format quantized|float64]
+//       Re-encode an HRTF table between the float64 and quantized
+//       containers and print the size ratio.
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <iomanip>
 #include <iostream>
 #include <map>
@@ -38,6 +53,7 @@
 #include "audio/wav.h"
 #include "common/error.h"
 #include "common/math_util.h"
+#include "common/random.h"
 #include "core/pipeline.h"
 #include "core/table_io.h"
 #include "dsp/resample.h"
@@ -372,9 +388,13 @@ int cmdCalibrateStream(const Args& args) {
 }
 
 int cmdInspect(const Args& args) {
-  const auto table = core::loadHrtfTable(require(args, "table"));
+  const auto path = require(args, "table");
+  const auto format = core::probeTableFormat(path);
+  const auto table = core::loadHrtfTable(path);
   const auto& nearTable = table.nearTable();
   std::cout << "UNIQ HRTF table\n"
+            << "  format:          "
+            << (format ? core::tableFormatName(*format) : "unknown") << "\n"
             << "  sample rate:     " << table.sampleRate() << " Hz\n"
             << "  head (a,b,c):    (" << nearTable.headParams.a << ", "
             << nearTable.headParams.b << ", " << nearTable.headParams.c
@@ -617,6 +637,396 @@ int cmdServeBatch(const Args& args) {
   return results.size() == users ? 0 : 1;
 }
 
+int cmdConvert(const Args& args) {
+  const auto inPath = require(args, "in");
+  const auto outPath = require(args, "out");
+  const auto formatName = optional(args, "format", "quantized");
+  const auto table = core::loadHrtfTable(inPath);
+  if (formatName == "quantized") {
+    core::saveHrtfTableQuantized(outPath, table);
+  } else if (formatName == "float64") {
+    core::saveHrtfTable(outPath, table);
+  } else {
+    throw uniq::InvalidArgument("unknown --format: " + formatName +
+                                " (expected quantized or float64)");
+  }
+  std::error_code ec;
+  const auto inSize = std::filesystem::file_size(inPath, ec);
+  const auto outSize = std::filesystem::file_size(outPath, ec);
+  std::cout << "converted " << inPath << " (" << inSize << " bytes) -> "
+            << outPath << " (" << outSize << " bytes, " << formatName
+            << ")";
+  if (outSize > 0)
+    std::cout << "  ratio " << std::setprecision(3)
+              << static_cast<double>(inSize) / static_cast<double>(outSize)
+              << "x";
+  std::cout << "\n";
+  return 0;
+}
+
+/// Latency sample sink with bounded memory: past `kCap` samples it halves
+/// the kept set and doubles the sampling stride, so a multi-million-op run
+/// still yields statistically sound percentiles from ~1M samples.
+struct LatencyReservoir {
+  static constexpr std::size_t kCap = 1u << 20;
+  std::vector<double> samples;
+  std::uint64_t stride = 1;
+  std::uint64_t seen = 0;
+
+  void record(double ms) {
+    if (seen++ % stride != 0) return;
+    if (samples.size() >= kCap) {
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < samples.size(); r += 2)
+        samples[w++] = samples[r];
+      samples.resize(w);
+      stride *= 2;
+    }
+    samples.push_back(ms);
+  }
+};
+
+double percentileMs(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size()));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::string percentileJson(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  std::ostringstream out;
+  out << std::setprecision(6) << "{\"p50_ms\": " << percentileMs(samples, 0.50)
+      << ", \"p99_ms\": " << percentileMs(samples, 0.99)
+      << ", \"p999_ms\": " << percentileMs(samples, 0.999) << "}";
+  return out.str();
+}
+
+int cmdServeLoad(const Args& args) {
+  const auto users = static_cast<std::size_t>(
+      std::stoull(optional(args, "users", "100000")));
+  const double durationS = std::stod(optional(args, "duration-s", "10"));
+  const auto threads = static_cast<std::size_t>(std::stoull(optional(
+      args, "threads",
+      std::to_string(std::clamp<unsigned>(
+          std::thread::hardware_concurrency() / 2, 2, 8)))));
+  const double skew = std::stod(optional(args, "skew", "1.0"));
+  const auto shards =
+      static_cast<std::size_t>(std::stoull(optional(args, "shards", "4")));
+  const auto cacheCapacity = static_cast<std::size_t>(
+      std::stoull(optional(args, "cache-capacity", "4096")));
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(optional(args, "seed", "42")));
+  const auto warm = static_cast<std::size_t>(std::stoull(optional(
+      args, "warm", std::to_string(std::min(users, cacheCapacity)))));
+  const double calibIntervalMs =
+      std::stod(optional(args, "calibrate-interval-ms", "2000"));
+  const auto aoaEvery = static_cast<std::uint64_t>(
+      std::stoull(optional(args, "aoa-every", "256")));
+  const auto tableDir = optional(args, "table-dir", "");
+  const auto loadReport = optional(args, "load-report", "");
+  const auto metricsOut = optional(args, "metrics-out", "");
+
+  UNIQ_REQUIRE(users >= 1, "--users must be >= 1");
+  UNIQ_REQUIRE(threads >= 1, "--threads must be >= 1");
+  UNIQ_REQUIRE(durationS > 0.0, "--duration-s must be > 0");
+
+  serve::CalibrationServiceOptions serveOpts;
+  serveOpts.workers =
+      static_cast<std::size_t>(std::stoull(optional(args, "workers", "0")));
+  serveOpts.maxQueued = static_cast<std::size_t>(
+      std::stoull(optional(args, "queue", "256")));
+  serveOpts.shards = shards;
+  serveOpts.cacheCapacity = cacheCapacity;
+  serveOpts.persistDir = tableDir;
+
+  // --- Fixtures: a tiny capture pool for calibration jobs, one real
+  // personalized table for the warm phase, canned AoA query signals. ------
+  std::cout << "preparing fixtures (seed " << seed << ")...\n";
+  const auto subjects = head::makePopulation(4, seed);
+  const sim::MeasurementSession session;
+  auto gesture = sim::defaultGesture();
+  gesture.stops = 6;
+  std::vector<std::shared_ptr<const sim::CalibrationCapture>> captures;
+  for (const auto& subject : subjects)
+    captures.push_back(std::make_shared<const sim::CalibrationCapture>(
+        session.run(subject, gesture)));
+
+  const core::CalibrationPipeline warmPipeline(serveOpts.pipeline);
+  auto warmPersonal = warmPipeline.run(*captures[0]);
+  const auto warmTable = std::make_shared<const core::HrtfTable>(
+      std::move(warmPersonal.table));
+  const double fs = warmTable->sampleRate();
+
+  const auto chirp = dsp::linearChirp(
+      200.0, 16000.0, static_cast<std::size_t>(0.05 * fs), fs);
+  std::vector<serve::AoaQuery> aoaTemplates;
+  for (const double angle : {30.0, 75.0, 120.0, 160.0}) {
+    const auto rendered = warmTable->renderFar(angle, chirp);
+    serve::AoaQuery q;
+    q.left = rendered.left;
+    q.right = rendered.right;
+    q.source = chirp;
+    aoaTemplates.push_back(std::move(q));
+  }
+
+  // --- The service under load. -----------------------------------------
+  serve::CalibrationService service(serveOpts);
+  std::cout << "service: " << service.workerCount() << " worker(s), "
+            << service.shardCount() << " shard(s), cache " << cacheCapacity
+            << " (" << service.cache().shardCount() << " shard(s))"
+            << (tableDir.empty() ? std::string()
+                                 : ", persist dir " + tableDir)
+            << "\n";
+
+  // Warm phase: the hottest `warm` ranks get a personalized table up
+  // front, so the memory tier starts at its steady-state occupancy (and
+  // the persist dir, when set, holds quantized spill for the overflow).
+  std::cout << "warming " << warm << " hottest users...\n";
+  for (std::size_t r = 0; r < warm && r < users; ++r)
+    service.cache().put("u" + std::to_string(r), warmTable);
+
+  const ZipfSampler zipf(users, skew);
+  const serve::BatchAoaEngine engine(service.cache());
+
+  struct ThreadStats {
+    LatencyReservoir lookup;
+    std::vector<double> aoaMs;
+    std::uint64_t opsLookup = 0, opsAoa = 0, opsBatch = 0, opsStream = 0;
+    std::uint64_t tiers[4] = {0, 0, 0, 0};  // memory, disk, fallback, miss
+    // per second: [lookups, memory, disk, fallback, totalOps]
+    std::vector<std::array<std::uint64_t, 5>> perSec;
+    std::vector<std::uint64_t> jobIds;
+    std::uint64_t rejected = 0;
+  };
+  std::vector<ThreadStats> stats(threads);
+  const auto secBuckets =
+      static_cast<std::size_t>(std::ceil(durationS)) + 2;
+  for (auto& st : stats)
+    st.perSec.assign(secBuckets, {0, 0, 0, 0, 0});
+
+  std::cout << "driving Zipf(" << skew << ") load over " << users
+            << " users with " << threads << " thread(s) for " << durationS
+            << " s...\n";
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(durationS));
+
+  auto worker = [&](std::size_t tid) {
+    ThreadStats& st = stats[tid];
+    Pcg32 rng(seed ^ (0x9e3779b9ULL * (tid + 1)), 2 * tid + 1);
+    // Stagger each thread's first calibration so submissions spread out
+    // instead of landing as a thundering herd every interval.
+    double nextCalibMs =
+        calibIntervalMs * static_cast<double>(tid + 1) /
+        static_cast<double>(threads);
+    std::uint64_t sinceAoa = 0, submitted = 0;
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      const double elapsedMs =
+          std::chrono::duration<double, std::milli>(now - start).count();
+      const auto sec = std::min<std::size_t>(
+          static_cast<std::size_t>(elapsedMs / 1000.0), secBuckets - 1);
+      const std::size_t rank = zipf.sample(rng);
+      const std::string userId = "u" + std::to_string(rank);
+
+      if (calibIntervalMs > 0.0 && elapsedMs >= nextCalibMs) {
+        nextCalibMs += calibIntervalMs;
+        serve::JobOptions jobOpts;
+        jobOpts.streaming = submitted % 2 == 1;
+        const auto id = service.submit(
+            userId, captures[submitted % captures.size()], jobOpts);
+        ++submitted;
+        if (id == serve::kInvalidJobId) {
+          ++st.rejected;
+        } else {
+          st.jobIds.push_back(id);
+          ++(jobOpts.streaming ? st.opsStream : st.opsBatch);
+          ++st.perSec[sec][4];
+        }
+        continue;
+      }
+
+      if (aoaEvery > 0 && ++sinceAoa >= aoaEvery) {
+        sinceAoa = 0;
+        auto query = aoaTemplates[rank % aoaTemplates.size()];
+        query.userId = userId;
+        const auto t0 = std::chrono::steady_clock::now();
+        engine.run({std::move(query)}, 1);
+        const auto t1 = std::chrono::steady_clock::now();
+        st.aoaMs.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        ++st.opsAoa;
+        ++st.perSec[sec][4];
+        continue;
+      }
+
+      serve::CacheTier tier = serve::CacheTier::kMiss;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto table = service.cache().getOrFallback(userId, fs, &tier);
+      const auto t1 = std::chrono::steady_clock::now();
+      (void)table;
+      st.lookup.record(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      ++st.opsLookup;
+      ++st.tiers[static_cast<std::size_t>(tier)];
+      auto& bucket = st.perSec[sec];
+      ++bucket[0];
+      ++bucket[4];
+      if (tier == serve::CacheTier::kMemory) ++bucket[1];
+      if (tier == serve::CacheTier::kDisk) ++bucket[2];
+      if (tier == serve::CacheTier::kFallback) ++bucket[3];
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& t : pool) t.join();
+  const double wallS = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  // Calibration jobs were submitted open-loop; their latency is the
+  // service-observed queue+run split, collected here.
+  const auto jobResults = service.drain();
+  std::vector<double> jobMs;
+  std::map<std::string, std::size_t> jobStates;
+  for (const auto& r : jobResults) {
+    ++jobStates[serve::jobStateName(r.state)];
+    jobMs.push_back(r.queueMs + r.runMs);
+  }
+
+  // --- Aggregate. -------------------------------------------------------
+  std::vector<double> lookupMs, aoaMs;
+  std::uint64_t opsLookup = 0, opsAoa = 0, opsBatch = 0, opsStream = 0,
+                rejected = 0;
+  std::uint64_t tiers[4] = {0, 0, 0, 0};
+  std::vector<std::array<std::uint64_t, 5>> perSec(secBuckets,
+                                                   {0, 0, 0, 0, 0});
+  for (const auto& st : stats) {
+    lookupMs.insert(lookupMs.end(), st.lookup.samples.begin(),
+                    st.lookup.samples.end());
+    aoaMs.insert(aoaMs.end(), st.aoaMs.begin(), st.aoaMs.end());
+    opsLookup += st.opsLookup;
+    opsAoa += st.opsAoa;
+    opsBatch += st.opsBatch;
+    opsStream += st.opsStream;
+    rejected += st.rejected;
+    for (std::size_t i = 0; i < 4; ++i) tiers[i] += st.tiers[i];
+    for (std::size_t s = 0; s < secBuckets; ++s)
+      for (std::size_t i = 0; i < 5; ++i) perSec[s][i] += st.perSec[s][i];
+  }
+  const std::uint64_t opsTotal = opsLookup + opsAoa + opsBatch + opsStream;
+  const double throughput = static_cast<double>(opsTotal) / wallS;
+  std::uint64_t saturation = 0;
+  for (const auto& bucket : perSec)
+    saturation = std::max(saturation, bucket[4]);
+  const double hitRate =
+      opsLookup > 0
+          ? static_cast<double>(tiers[0]) / static_cast<double>(opsLookup)
+          : 0.0;
+
+  // Overall latency percentiles over every sampled operation: lookups
+  // (stride-sampled), AoA calls, and calibration jobs.
+  std::vector<double> allMs;
+  allMs.reserve(lookupMs.size() + aoaMs.size() + jobMs.size());
+  allMs.insert(allMs.end(), lookupMs.begin(), lookupMs.end());
+  allMs.insert(allMs.end(), aoaMs.begin(), aoaMs.end());
+  allMs.insert(allMs.end(), jobMs.begin(), jobMs.end());
+  auto sortedAll = allMs;
+  std::sort(sortedAll.begin(), sortedAll.end());
+  const double p50 = percentileMs(sortedAll, 0.50);
+  const double p99 = percentileMs(sortedAll, 0.99);
+  const double p999 = percentileMs(sortedAll, 0.999);
+
+  auto& reg = obs::registry();
+  reg.gauge("serve.load.ops").set(static_cast<double>(opsTotal));
+  reg.gauge("serve.load.throughput_ops_per_s").set(throughput);
+  reg.gauge("serve.load.saturation_ops_per_s")
+      .set(static_cast<double>(saturation));
+  reg.gauge("serve.load.p50_ms").set(p50);
+  reg.gauge("serve.load.p99_ms").set(p99);
+  reg.gauge("serve.load.p999_ms").set(p999);
+  reg.gauge("serve.load.hit_rate").set(hitRate);
+
+  std::cout << std::setprecision(4) << "load run: " << wallS << " s wall, "
+            << opsTotal << " ops (" << throughput << " ops/s, peak "
+            << saturation << " ops/s)\n"
+            << "  ops: " << opsLookup << " lookup, " << opsAoa << " aoa, "
+            << opsBatch << " batch, " << opsStream << " stream, " << rejected
+            << " rejected\n"
+            << "  latency: p50 " << p50 << " ms, p99 " << p99
+            << " ms, p999 " << p999 << " ms\n"
+            << "  tiers: " << tiers[0] << " memory, " << tiers[1]
+            << " disk, " << tiers[2] << " fallback, " << tiers[3]
+            << " miss (memory hit rate " << 100.0 * hitRate << "%)\n";
+  for (const auto& [state, count] : jobStates)
+    std::cout << "  jobs " << state << ": " << count << "\n";
+  std::cout << "serve metrics:\n"
+            << obs::summarizeMetrics(obs::registry().snapshot(), {"serve."});
+
+  if (!loadReport.empty()) {
+    std::ostringstream json;
+    json << std::setprecision(6);
+    json << "{\n  \"schema\": \"uniq-serve-load-v1\",\n";
+    json << "  \"config\": {\"users\": " << users << ", \"threads\": "
+         << threads << ", \"duration_s\": " << durationS << ", \"skew\": "
+         << skew << ", \"shards\": " << shards << ", \"cache_capacity\": "
+         << cacheCapacity << ", \"warm\": " << warm
+         << ", \"persist\": " << (tableDir.empty() ? "false" : "true")
+         << ", \"seed\": " << seed << "},\n";
+    json << "  \"ops\": {\"total\": " << opsTotal << ", \"lookup\": "
+         << opsLookup << ", \"aoa\": " << opsAoa << ", \"batch\": "
+         << opsBatch << ", \"stream\": " << opsStream << ", \"rejected\": "
+         << rejected << "},\n";
+    json << "  \"throughput_ops_per_s\": " << throughput << ",\n";
+    json << "  \"saturation_ops_per_s\": " << saturation << ",\n";
+    json << "  \"percentiles\": " << percentileJson(allMs) << ",\n";
+    json << "  \"op_percentiles\": {\"lookup\": "
+         << percentileJson(lookupMs) << ", \"aoa\": " << percentileJson(aoaMs)
+         << ", \"job\": " << percentileJson(jobMs) << "},\n";
+    json << "  \"tiers\": {\"memory\": " << tiers[0] << ", \"disk\": "
+         << tiers[1] << ", \"fallback\": " << tiers[2] << ", \"miss\": "
+         << tiers[3] << "},\n";
+    json << "  \"hit_rate\": " << hitRate << ",\n";
+    json << "  \"hit_rate_curve\": [";
+    bool first = true;
+    for (std::size_t s = 0; s < secBuckets; ++s) {
+      if (perSec[s][0] == 0) continue;
+      if (!first) json << ", ";
+      first = false;
+      json << "{\"second\": " << s << ", \"lookups\": " << perSec[s][0]
+           << ", \"hit_rate\": "
+           << static_cast<double>(perSec[s][1]) /
+                  static_cast<double>(perSec[s][0])
+           << "}";
+    }
+    json << "],\n";
+    json << "  \"jobs\": {";
+    first = true;
+    for (const auto& [state, count] : jobStates) {
+      if (!first) json << ", ";
+      first = false;
+      json << "\"" << state << "\": " << count;
+    }
+    json << "}\n}\n";
+    const int rc =
+        writeValidatedJson(loadReport, json.str(), "serve-load report");
+    if (rc != 0) return rc;
+  }
+  if (!metricsOut.empty()) {
+    const int rc = writeValidatedJson(
+        metricsOut, obs::metricsJson(obs::registry().snapshot()), "metrics");
+    if (rc != 0) return rc;
+  }
+
+  // A load run that did no work is a broken run; everything else exits 0
+  // and leaves judgement to the regression gate over the report JSON.
+  return opsTotal > 0 ? 0 : 1;
+}
+
 void usage() {
   std::cout <<
       "usage: uniq <command> [flags]\n"
@@ -648,7 +1058,19 @@ void usage() {
       "              [--fault KIND] [--fault-severity X] [--fault-every N]\n"
       "              [--metrics-out metrics.json]\n"
       "              drives N simulated users through the calibration\n"
-      "              service and a batched AoA pass against the cache\n";
+      "              service and a batched AoA pass against the cache\n"
+      "  serve-load  [--users N] [--duration-s S] [--threads T] [--skew Z]\n"
+      "              [--shards K] [--cache-capacity N] [--warm N]\n"
+      "              [--workers N] [--queue N] [--seed N]\n"
+      "              [--calibrate-interval-ms X] [--aoa-every N]\n"
+      "              [--table-dir DIR] [--load-report out.json]\n"
+      "              [--metrics-out metrics.json]\n"
+      "              Zipfian load driver over the sharded serving stack:\n"
+      "              reports p50/p99/p999 latency, tier hit rates, and\n"
+      "              saturation throughput (docs/CAPACITY.md)\n"
+      "  convert     --in table.uniq --out table.uniqq\n"
+      "              [--format quantized|float64]\n"
+      "              re-encode a table between containers\n";
 }
 
 }  // namespace
@@ -667,6 +1089,8 @@ int main(int argc, char** argv) {
     if (cmd == "render") return cmdRender(args, false);
     if (cmd == "demo-render") return cmdRender(args, true);
     if (cmd == "serve-batch") return cmdServeBatch(args);
+    if (cmd == "serve-load") return cmdServeLoad(args);
+    if (cmd == "convert") return cmdConvert(args);
     usage();
     return 2;
   } catch (const Error& e) {

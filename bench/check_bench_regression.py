@@ -1,17 +1,31 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON reports and fail on perf regressions.
+"""Compare two perf reports and fail on regressions.
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
+        [--percentile-keys p99_ms] [--abs-floor-ms 0.05]
 
-Benchmarks are matched by name; only names present in BOTH reports are
-compared (new benchmarks can land without a baseline, removed ones do not
-block). A benchmark regresses when its cpu_time grows by more than
-`threshold` (default 25%) relative to the baseline. real_time is reported
-for context but never gates: wall clock on shared CI runners is too noisy,
-while cpu_time is stable enough to catch real algorithmic regressions.
+Two report shapes are understood, auto-detected from the files:
 
-Exit codes: 0 ok, 1 at least one regression, 2 bad input.
+google-benchmark reports (a top-level "benchmarks" array)
+    Benchmarks are matched by name; only names present in BOTH reports are
+    compared (new benchmarks can land without a baseline, removed ones do
+    not block). A benchmark regresses when its cpu_time grows by more than
+    `threshold` (default 25%) relative to the baseline. real_time is
+    reported for context but never gates: wall clock on shared CI runners
+    is too noisy, while cpu_time is stable enough to catch real algorithmic
+    regressions.
+
+serve-load reports (schema "uniq-serve-load-v1", a "percentiles" object)
+    The latency percentiles named by --percentile-keys (default: p99_ms)
+    are compared directly; a percentile regresses when it grows by more
+    than `threshold` AND by more than --abs-floor-ms absolute (default
+    0.05 ms — sub-floor jitter on a cache-hit path measured in tens of
+    microseconds is noise, not a regression). Throughput and hit rate are
+    printed for context but never gate.
+
+Both files must be the same shape. Exit codes: 0 ok, 1 at least one
+regression, 2 bad input.
 """
 
 import argparse
@@ -19,14 +33,17 @@ import json
 import sys
 
 
-def load_benchmarks(path):
-    """Return {name: entry} for the aggregate-free benchmark entries."""
+def load_report(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            report = json.load(fh)
+            return json.load(fh)
     except (OSError, ValueError) as err:
         print(f"error: cannot read {path}: {err}", file=sys.stderr)
         sys.exit(2)
+
+
+def extract_benchmarks(report, path):
+    """Return {name: entry} for the aggregate-free benchmark entries."""
     out = {}
     for entry in report.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) from --benchmark_repetitions.
@@ -41,20 +58,7 @@ def load_benchmarks(path):
     return out
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.25,
-        help="allowed fractional cpu_time growth (default 0.25 = +25%%)",
-    )
-    args = parser.parse_args()
-
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+def check_benchmarks(baseline, current, threshold):
     common = sorted(set(baseline) & set(current))
     if not common:
         print("error: baseline and current share no benchmark names",
@@ -72,7 +76,7 @@ def main():
 
     regressions = []
     print(f"comparing {len(common)} benchmark(s), threshold "
-          f"+{args.threshold:.0%} cpu_time")
+          f"+{threshold:.0%} cpu_time")
     for name in common:
         base_cpu = baseline[name]["cpu_time"]
         cur_cpu = current[name]["cpu_time"]
@@ -80,21 +84,105 @@ def main():
             continue
         ratio = cur_cpu / base_cpu
         flag = ""
-        if ratio > 1.0 + args.threshold:
+        if ratio > 1.0 + threshold:
             regressions.append((name, ratio))
             flag = "  << REGRESSION"
         print(f"  {name}: {base_cpu:.1f} -> {cur_cpu:.1f} "
               f"{baseline[name].get('time_unit', 'ns')} "
               f"({ratio:.2f}x baseline){flag}")
+    return regressions
+
+
+def check_percentiles(base_report, cur_report, keys, threshold, abs_floor_ms):
+    base = base_report.get("percentiles", {})
+    cur = cur_report.get("percentiles", {})
+    regressions = []
+    print(f"comparing latency percentile(s) {', '.join(keys)}, threshold "
+          f"+{threshold:.0%} and +{abs_floor_ms:.3f} ms absolute")
+    for key in keys:
+        if key not in base or key not in cur:
+            print(f"error: percentile key '{key}' missing from "
+                  f"{'baseline' if key not in base else 'current'} report",
+                  file=sys.stderr)
+            sys.exit(2)
+        base_ms, cur_ms = float(base[key]), float(cur[key])
+        flag = ""
+        if base_ms > 0:
+            ratio = cur_ms / base_ms
+            if ratio > 1.0 + threshold and cur_ms - base_ms > abs_floor_ms:
+                regressions.append((key, ratio))
+                flag = "  << REGRESSION"
+            print(f"  {key}: {base_ms:.4f} -> {cur_ms:.4f} ms "
+                  f"({ratio:.2f}x baseline){flag}")
+        else:
+            print(f"  {key}: {base_ms:.4f} -> {cur_ms:.4f} ms "
+                  f"(zero baseline, skipped)")
+    # Context only — load-dependent and runner-dependent, never gated.
+    for label, field in [("throughput", "throughput_ops_per_s"),
+                         ("saturation", "saturation_ops_per_s"),
+                         ("hit_rate", "hit_rate")]:
+        if field in base_report and field in cur_report:
+            print(f"  {label} (context): {base_report[field]:.2f} -> "
+                  f"{cur_report[field]:.2f}")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional growth (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--percentile-keys",
+        default="p99_ms",
+        help="comma-separated percentile keys gated for serve-load reports "
+             "(default: p99_ms)",
+    )
+    parser.add_argument(
+        "--abs-floor-ms",
+        type=float,
+        default=0.05,
+        help="serve-load only: a percentile must also grow by this many ms "
+             "to count as a regression (default 0.05)",
+    )
+    args = parser.parse_args()
+
+    base_report = load_report(args.baseline)
+    cur_report = load_report(args.current)
+
+    base_is_load = "percentiles" in base_report
+    cur_is_load = "percentiles" in cur_report
+    if base_is_load != cur_is_load:
+        print("error: baseline and current are different report shapes",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if base_is_load:
+        keys = [k for k in args.percentile_keys.split(",") if k]
+        regressions = check_percentiles(base_report, cur_report, keys,
+                                        args.threshold, args.abs_floor_ms)
+        what = "percentile(s)"
+    else:
+        regressions = check_benchmarks(
+            extract_benchmarks(base_report, args.baseline),
+            extract_benchmarks(cur_report, args.current),
+            args.threshold)
+        what = "benchmark(s)"
 
     if regressions:
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+        print(f"\nFAIL: {len(regressions)} {what} regressed more than "
               f"{args.threshold:.0%}:", file=sys.stderr)
         for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2f}x baseline cpu_time",
-                  file=sys.stderr)
+            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
         sys.exit(1)
-    print("OK: no benchmark regressed beyond the threshold")
+    print("OK: no regression beyond the threshold")
 
 
 if __name__ == "__main__":

@@ -4,10 +4,14 @@
 // primitives (spans, counters, histograms) themselves.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+
 #include "common/constants.h"
 #include "common/thread_pool.h"
 #include "core/localizer.h"
 #include "core/sensor_fusion.h"
+#include "core/table_io.h"
 #include "dsp/convolution.h"
 #include "dsp/deconvolution.h"
 #include "dsp/fft.h"
@@ -395,6 +399,134 @@ void BM_TableCacheGet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TableCacheGet);
+
+// Same hit-path, sharded. Arg = shard count; Arg(1) is the legacy single
+// mutex. Single-threaded the sharded map should cost the same few ns per
+// get (one extra hash-and-mask); under contention the shards are what keep
+// lookups from serializing, which BM_TableCacheGetContended measures.
+void BM_TableCacheGetSharded(benchmark::State& state) {
+  serve::TableCacheOptions opts;
+  opts.capacity = 64;
+  opts.shards = static_cast<std::size_t>(state.range(0));
+  serve::TableCache cache(opts);
+  const auto table = serve::TableCache::populationAverageTable(48000.0);
+  for (std::size_t u = 0; u < 64; ++u)
+    cache.put("user" + std::to_string(u), table);
+  std::size_t u = 0;
+  for (auto _ : state) {
+    auto hit = cache.get("user" + std::to_string(u));
+    benchmark::DoNotOptimize(hit);
+    u = (u + 7) % 64;
+  }
+}
+BENCHMARK(BM_TableCacheGetSharded)->Arg(1)->Arg(4);
+
+// Hit-path under thread contention: every benchmark thread hammers the same
+// cache. Run with Threads(2/4); the per-op time at Arg(1) vs Arg(4) is the
+// lock-convoy cost sharding removes.
+void BM_TableCacheGetContended(benchmark::State& state) {
+  static serve::TableCache* cache = nullptr;
+  if (state.thread_index() == 0) {
+    serve::TableCacheOptions opts;
+    opts.capacity = 64;
+    opts.shards = static_cast<std::size_t>(state.range(0));
+    cache = new serve::TableCache(opts);
+    const auto table = serve::TableCache::populationAverageTable(48000.0);
+    for (std::size_t u = 0; u < 64; ++u)
+      cache->put("user" + std::to_string(u), table);
+  }
+  std::size_t u = static_cast<std::size_t>(state.thread_index()) * 13;
+  for (auto _ : state) {
+    auto hit = cache->get("user" + std::to_string(u % 64));
+    benchmark::DoNotOptimize(hit);
+    u += 7;
+  }
+  if (state.thread_index() == 0) {
+    delete cache;
+    cache = nullptr;
+  }
+}
+BENCHMARK(BM_TableCacheGetContended)->Arg(1)->Arg(4)->Threads(2);
+
+// --- Table serialization ------------------------------------------------
+
+/// One personalized table shared by the serialization benchmarks, plus its
+/// two on-disk encodings in the build's temp dir (written once).
+const core::HrtfTable& benchTable() {
+  static const auto table = [] {
+    const core::CalibrationPipeline pipeline;
+    return pipeline.run(*serveCaptures().front()).table;
+  }();
+  return table;
+}
+
+std::string benchTablePath(const char* suffix) {
+  const auto dir = std::filesystem::temp_directory_path() / "uniq_bench_io";
+  std::filesystem::create_directories(dir);
+  return (dir / (std::string("table") + suffix)).string();
+}
+
+void BM_TableSaveFloat64(benchmark::State& state) {
+  const auto& table = benchTable();
+  const auto path = benchTablePath(".uniq");
+  for (auto _ : state) core::saveHrtfTable(path, table);
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_TableSaveFloat64)->Unit(benchmark::kMillisecond);
+
+void BM_TableSaveQuantized(benchmark::State& state) {
+  const auto& table = benchTable();
+  const auto path = benchTablePath(".uniqq");
+  for (auto _ : state) core::saveHrtfTableQuantized(path, table);
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_TableSaveQuantized)->Unit(benchmark::kMillisecond);
+
+void BM_TableLoadFloat64(benchmark::State& state) {
+  const auto path = benchTablePath(".uniq");
+  core::saveHrtfTable(path, benchTable());
+  for (auto _ : state) {
+    auto table = core::loadHrtfTable(path);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_TableLoadFloat64)->Unit(benchmark::kMillisecond);
+
+// The serving disk tier's read path: quantized file through the mmap view.
+void BM_TableLoadQuantizedMmap(benchmark::State& state) {
+  const auto path = benchTablePath(".uniqq");
+  core::saveHrtfTableQuantized(path, benchTable());
+  for (auto _ : state) {
+    auto table = core::loadHrtfTable(path);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_TableLoadQuantizedMmap)->Unit(benchmark::kMillisecond);
+
+// Same decode through a buffered stream: the delta against the mmap path is
+// the read-buffer copy the zero-copy view avoids.
+void BM_TableLoadQuantizedBuffered(benchmark::State& state) {
+  const auto path = benchTablePath(".uniqq");
+  core::saveHrtfTableQuantized(path, benchTable());
+  for (auto _ : state) {
+    auto table = core::loadHrtfTableBuffered(path);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_TableLoadQuantizedBuffered)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

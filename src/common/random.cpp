@@ -1,8 +1,10 @@
 #include "common/random.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/constants.h"
+#include "common/error.h"
 
 namespace uniq {
 
@@ -56,6 +58,31 @@ std::uint32_t Pcg32::nextBounded(std::uint32_t bound) {
     const std::uint32_t r = nextU32();
     if (r >= threshold) return r % bound;
   }
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  UNIQ_REQUIRE(n >= 1, "ZipfSampler needs at least one rank");
+  UNIQ_REQUIRE(std::isfinite(s) && s >= 0.0,
+               "Zipf skew must be finite and >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Pcg32& rng) const {
+  const double u = rng.nextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  UNIQ_REQUIRE(k < cdf_.size(), "Zipf rank out of range");
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
 }
 
 Pcg32 Pcg32::fork(std::uint64_t tag) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace uniq {
 
@@ -43,6 +44,35 @@ class Pcg32 {
   std::uint64_t inc_;
   bool hasCachedGaussian_ = false;
   double cachedGaussian_ = 0.0;
+};
+
+/// Zipf(s) sampler over {0, ..., n-1}: rank k is drawn with probability
+/// proportional to 1 / (k+1)^s. This is the canonical model for skewed
+/// serving traffic — a few users are hot, the long tail is cold — and the
+/// serve-load driver uses it to shape cache pressure realistically.
+///
+/// Implementation: the full CDF is precomputed (O(n) memory, exact — no
+/// rejection-method approximation) and each draw is one uniform plus a
+/// binary search, O(log n). n = a few million ranks costs a few tens of MB
+/// transiently, fine for a load driver. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `s` (the skew exponent) must be finite and >= 0.
+  /// Typical serving traffic is modeled with s in [0.9, 1.1].
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draw a rank in [0, n), hottest rank 0, using `rng` for the uniform.
+  std::size_t sample(Pcg32& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double skew() const { return s_; }
+
+  /// Probability mass of rank `k` (for tests and capacity math).
+  double pmf(std::size_t k) const;
+
+ private:
+  double s_ = 0.0;
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k); back() == 1.0
 };
 
 }  // namespace uniq

@@ -1,12 +1,24 @@
 #include "core/table_io.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define UNIQ_TABLE_IO_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace uniq::core {
 
@@ -14,6 +26,13 @@ namespace {
 
 constexpr char kMagic[8] = {'U', 'N', 'I', 'Q', 'H', 'R', 'T', 'F'};
 constexpr std::uint32_t kVersion = 1;
+
+// Compact container: int16 samples against one float32 scale per degree,
+// Q8.8 int16 tap anchors. See table_io.h for the layout contract.
+constexpr char kMagicQuant[8] = {'U', 'N', 'I', 'Q', 'H', 'R', 'T', 'Q'};
+constexpr std::uint32_t kQuantVersion = 1;
+constexpr double kTapFixedScale = 256.0;  // Q8.8
+constexpr std::int32_t kQuantMax = 32767;
 
 void writeBytes(std::ostream& os, const void* data, std::size_t n) {
   os.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
@@ -121,38 +140,301 @@ std::vector<double> readTaps(Reader& r, const char* what) {
   return taps;
 }
 
-}  // namespace
+// --- Quantized writer ----------------------------------------------------
 
-void saveHrtfTable(const std::string& path, const HrtfTable& table) {
-  std::ofstream os(path, std::ios::binary);
-  UNIQ_REQUIRE(os.good(), "cannot open output file: " + path);
-  writeBytes(os, kMagic, sizeof(kMagic));
-  writePod(os, kVersion);
-
-  const auto& nearTable = table.nearTable();
-  const auto& farTable = table.farTable();
-  writePod(os, nearTable.headParams.a);
-  writePod(os, nearTable.headParams.b);
-  writePod(os, nearTable.headParams.c);
-  writePod(os, nearTable.medianRadiusM);
-  writePod(os, nearTable.sampleRate);
-
-  writeHrirs(os, nearTable.byDegree);
-  writeVector(os, nearTable.tapLeftSamples);
-  writeVector(os, nearTable.tapRightSamples);
-  writeHrirs(os, farTable.byDegree);
-  writeVector(os, farTable.tapLeftSamples);
-  writeVector(os, farTable.tapRightSamples);
-  UNIQ_CHECK(os.good(), "write failed: " + path);
+std::int16_t quantizeSample(double x, double scale) {
+  if (scale <= 0.0) return 0;
+  const auto q = static_cast<std::int32_t>(std::lround(x / scale));
+  return static_cast<std::int16_t>(std::clamp(q, -kQuantMax, kQuantMax));
 }
 
-HrtfTable loadHrtfTable(const std::string& path) {
+void writeQuantizedTaps(std::ostream& os, const std::vector<double>& taps,
+                        const char* what) {
+  for (const double t : taps) {
+    UNIQ_REQUIRE(std::isfinite(t) && std::fabs(t) < 127.9,
+                 std::string(what) +
+                     " outside the Q8.8 range of the quantized format");
+    writePod<std::int16_t>(
+        os, static_cast<std::int16_t>(std::lround(t * kTapFixedScale)));
+  }
+}
+
+void writeQuantizedHrirs(std::ostream& os,
+                         const std::vector<head::Hrir>& hrirs,
+                         double tableRate, const char* what) {
+  UNIQ_REQUIRE(!hrirs.empty(), std::string(what) + " is empty");
+  const std::size_t len = hrirs.front().left.size();
+  UNIQ_REQUIRE(len >= 1 && len <= (1u << 16),
+               std::string(what) + " HRIR length outside sane bounds");
+  writePod<std::uint32_t>(os, static_cast<std::uint32_t>(hrirs.size()));
+  writePod<std::uint32_t>(os, static_cast<std::uint32_t>(len));
+  std::vector<std::int16_t> row(2 * len);
+  for (const auto& hrir : hrirs) {
+    UNIQ_REQUIRE(hrir.left.size() == len && hrir.right.size() == len,
+                 std::string(what) +
+                     " must have uniform HRIR lengths for quantization");
+    UNIQ_REQUIRE(hrir.sampleRate == tableRate,
+                 std::string(what) + " per-entry sample rate disagrees with "
+                                     "the table rate");
+    double peak = 0.0;
+    for (const double x : hrir.left) peak = std::max(peak, std::fabs(x));
+    for (const double x : hrir.right) peak = std::max(peak, std::fabs(x));
+    UNIQ_REQUIRE(std::isfinite(peak), std::string(what) +
+                                          " contains non-finite samples");
+    // Quantize against the float32-rounded scale the reader will use, not
+    // the double it was derived from — otherwise encoder and decoder grids
+    // differ by the f32 rounding and the half-step error bound breaks.
+    const auto scaleF =
+        static_cast<float>(peak / static_cast<double>(kQuantMax));
+    writePod<float>(os, scaleF);
+    const auto scale = static_cast<double>(scaleF);
+    for (std::size_t i = 0; i < len; ++i)
+      row[i] = quantizeSample(hrir.left[i], scale);
+    for (std::size_t i = 0; i < len; ++i)
+      row[len + i] = quantizeSample(hrir.right[i], scale);
+    writeBytes(os, row.data(), row.size() * sizeof(std::int16_t));
+  }
+}
+
+// --- Quantized reader (over a whole-file memory view) --------------------
+
+/// Reader twin for in-memory (mmap-ed or buffered) file views; identical
+/// byte-offset error contract so both load paths produce the same messages.
+class MemReader {
+ public:
+  MemReader(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return size_ - offset_; }
+
+  [[noreturn]] void fail(const std::string& what, std::size_t at) const {
+    throw InvalidArgument("corrupt HRTF table: " + what + " at byte offset " +
+                          std::to_string(at));
+  }
+
+  /// Borrow `n` bytes in place (no copy — this is what makes the mmap path
+  /// zero-copy: int16 payloads are dequantized straight out of the page
+  /// cache).
+  const unsigned char* view(std::size_t n, const char* what) {
+    if (n > remaining())
+      fail(std::string("unexpected end of file in ") + what, offset_);
+    const unsigned char* p = data_ + offset_;
+    offset_ += n;
+    return p;
+  }
+
+  template <typename T>
+  T pod(const char* what) {
+    T v{};
+    std::memcpy(&v, view(sizeof(T), what), sizeof(T));
+    return v;
+  }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+std::vector<head::Hrir> readQuantizedHrirs(MemReader& r, const char* what,
+                                           double sampleRate) {
+  const std::size_t at = r.offset();
+  const auto count = r.pod<std::uint32_t>(what);
+  if (count != 181)
+    r.fail(std::string(what) + " must contain 181 per-degree entries, found " +
+               std::to_string(count),
+           at);
+  const std::size_t lenAt = r.offset();
+  const auto len = r.pod<std::uint32_t>(what);
+  if (len == 0 || len > (1u << 16))
+    r.fail(std::string(what) + " HRIR length " + std::to_string(len) +
+               " exceeds sane bounds",
+           lenAt);
+  std::vector<head::Hrir> hrirs(count);
+  for (auto& hrir : hrirs) {
+    const std::size_t entryAt = r.offset();
+    const double scale = r.pod<float>(what);
+    if (!std::isfinite(scale) || scale < 0.0 || scale > 1e6)
+      r.fail(std::string("implausible quantization scale in ") + what,
+             entryAt);
+    const auto* q = reinterpret_cast<const std::int16_t*>(
+        r.view(2 * static_cast<std::size_t>(len) * sizeof(std::int16_t),
+               what));
+    hrir.sampleRate = sampleRate;
+    hrir.left.resize(len);
+    hrir.right.resize(len);
+    // int16 payloads cannot encode NaN/inf, and scale is already vetted, so
+    // unlike the float64 reader there is no per-sample finiteness scan.
+    for (std::size_t i = 0; i < len; ++i) {
+      std::int16_t s;
+      std::memcpy(&s, q + i, sizeof(s));
+      hrir.left[i] = static_cast<double>(s) * scale;
+      std::memcpy(&s, q + len + i, sizeof(s));
+      hrir.right[i] = static_cast<double>(s) * scale;
+    }
+  }
+  return hrirs;
+}
+
+std::vector<double> readQuantizedTaps(MemReader& r, const char* what) {
+  std::vector<double> taps(181);
+  const auto* q = reinterpret_cast<const std::int16_t*>(
+      r.view(taps.size() * sizeof(std::int16_t), what));
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    std::int16_t s;
+    std::memcpy(&s, q + i, sizeof(s));
+    taps[i] = static_cast<double>(s) / kTapFixedScale;
+  }
+  return taps;
+}
+
+HrtfTable loadQuantizedFromMemory(const unsigned char* data, std::size_t size,
+                                  const std::string& path) {
+  MemReader r(data, size);
+  char magic[8];
+  std::memcpy(magic, r.view(sizeof(magic), "magic"), sizeof(magic));
+  if (std::memcmp(magic, kMagicQuant, sizeof(kMagicQuant)) != 0)
+    throw InvalidArgument("not a UNIQ quantized HRTF table file: " + path);
+  const auto version = r.pod<std::uint32_t>("version");
+  if (version != kQuantVersion)
+    throw InvalidArgument("unsupported quantized table version " +
+                          std::to_string(version) + " in " + path);
+
+  NearFieldTable nearTable;
+  const std::size_t headAt = r.offset();
+  nearTable.headParams.a = r.pod<double>("head parameter a");
+  nearTable.headParams.b = r.pod<double>("head parameter b");
+  nearTable.headParams.c = r.pod<double>("head parameter c");
+  if (!std::isfinite(nearTable.headParams.a) ||
+      !std::isfinite(nearTable.headParams.b) ||
+      !std::isfinite(nearTable.headParams.c) ||
+      !nearTable.headParams.isPlausible())
+    r.fail("head parameters outside anthropometric bounds", headAt);
+
+  const std::size_t radiusAt = r.offset();
+  nearTable.medianRadiusM = r.pod<double>("median radius");
+  if (!std::isfinite(nearTable.medianRadiusM) ||
+      nearTable.medianRadiusM <= 0.0 || nearTable.medianRadiusM > 10.0)
+    r.fail("implausible median radius", radiusAt);
+
+  const std::size_t rateAt = r.offset();
+  nearTable.sampleRate = r.pod<double>("sample rate");
+  if (!std::isfinite(nearTable.sampleRate) ||
+      nearTable.sampleRate <= 8000.0 || nearTable.sampleRate > 1e6)
+    r.fail("implausible sample rate", rateAt);
+
+  nearTable.byDegree =
+      readQuantizedHrirs(r, "near-field HRIRs", nearTable.sampleRate);
+  nearTable.tapLeftSamples = readQuantizedTaps(r, "near-field left taps");
+  nearTable.tapRightSamples = readQuantizedTaps(r, "near-field right taps");
+
+  FarFieldTable farTable;
+  farTable.headParams = nearTable.headParams;
+  farTable.sampleRate = nearTable.sampleRate;
+  farTable.byDegree =
+      readQuantizedHrirs(r, "far-field HRIRs", nearTable.sampleRate);
+  farTable.tapLeftSamples = readQuantizedTaps(r, "far-field left taps");
+  farTable.tapRightSamples = readQuantizedTaps(r, "far-field right taps");
+
+  if (r.remaining() != 0)
+    r.fail(std::to_string(r.remaining()) + " trailing bytes after the table",
+           r.offset());
+  return HrtfTable(std::move(nearTable), std::move(farTable));
+}
+
+// --- Whole-file views ----------------------------------------------------
+
+/// Read-only view of a whole file: an mmap-ed region when the platform
+/// supports it (zero-copy — decode straight from the page cache), else a
+/// buffered read into an owned vector.
+class FileView {
+ public:
+  FileView() = default;
+  FileView(const FileView&) = delete;
+  FileView& operator=(const FileView&) = delete;
+  ~FileView() {
+#ifdef UNIQ_TABLE_IO_HAS_MMAP
+    if (mapped_ && mapBase_ != nullptr) ::munmap(mapBase_, mapSize_);
+#endif
+  }
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool mapped() const { return mapped_; }
+
+  /// mmap when available and the file is mappable, buffered read otherwise.
+  static std::unique_ptr<FileView> open(const std::string& path,
+                                        bool preferMmap) {
+#ifdef UNIQ_TABLE_IO_HAS_MMAP
+    if (preferMmap) {
+      const int fd = ::open(path.c_str(), O_RDONLY);
+      if (fd >= 0) {
+        struct stat st{};
+        if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+          void* base = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                              PROT_READ, MAP_PRIVATE, fd, 0);
+          ::close(fd);  // the mapping keeps the pages alive
+          if (base != MAP_FAILED) {
+            auto view = std::make_unique<FileView>();
+            view->mapBase_ = base;
+            view->mapSize_ = static_cast<std::size_t>(st.st_size);
+            view->data_ = static_cast<const unsigned char*>(base);
+            view->size_ = view->mapSize_;
+            view->mapped_ = true;
+            return view;
+          }
+        } else {
+          ::close(fd);
+        }
+      }
+      // Fall through to the buffered read; it produces the real error.
+    }
+#else
+    (void)preferMmap;
+#endif
+    std::ifstream is(path, std::ios::binary);
+    UNIQ_REQUIRE(is.good(), "cannot open input file: " + path);
+    auto view = std::make_unique<FileView>();
+    view->buffer_.assign(std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>());
+    view->data_ = reinterpret_cast<const unsigned char*>(view->buffer_.data());
+    view->size_ = view->buffer_.size();
+    return view;
+  }
+
+ private:
+  std::vector<char> buffer_;
+  void* mapBase_ = nullptr;
+  std::size_t mapSize_ = 0;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+obs::Counter& loadCounter(TableFormat format) {
+  static obs::Counter& f64 =
+      obs::registry().counter("table_io.load.float64");
+  static obs::Counter& quant =
+      obs::registry().counter("table_io.load.quantized");
+  return format == TableFormat::kQuantized ? quant : f64;
+}
+
+HrtfTable loadImpl(const std::string& path, bool preferMmap) {
   std::ifstream is(path, std::ios::binary);
   UNIQ_REQUIRE(is.good(), "cannot open input file: " + path);
   Reader r(is);
 
   char magic[8];
   r.bytes(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagicQuant, sizeof(kMagicQuant)) == 0) {
+    is.close();
+    const auto view = FileView::open(path, preferMmap);
+    if (view->mapped())
+      obs::registry().counter("table_io.load.quantized_mmap").inc();
+    loadCounter(TableFormat::kQuantized).inc();
+    return loadQuantizedFromMemory(view->data(), view->size(), path);
+  }
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     throw InvalidArgument("not a UNIQ HRTF table file: " + path);
   const auto version = r.pod<std::uint32_t>("version");
@@ -194,7 +476,76 @@ HrtfTable loadHrtfTable(const std::string& path) {
   farTable.tapLeftSamples = readTaps(r, "far-field left taps");
   farTable.tapRightSamples = readTaps(r, "far-field right taps");
 
+  loadCounter(TableFormat::kFloat64).inc();
   return HrtfTable(std::move(nearTable), std::move(farTable));
+}
+
+}  // namespace
+
+const char* tableFormatName(TableFormat format) {
+  switch (format) {
+    case TableFormat::kFloat64:
+      return "float64";
+    case TableFormat::kQuantized:
+      return "quantized";
+  }
+  return "unknown";
+}
+
+void saveHrtfTable(const std::string& path, const HrtfTable& table) {
+  std::ofstream os(path, std::ios::binary);
+  UNIQ_REQUIRE(os.good(), "cannot open output file: " + path);
+  writeBytes(os, kMagic, sizeof(kMagic));
+  writePod(os, kVersion);
+
+  const auto& nearTable = table.nearTable();
+  const auto& farTable = table.farTable();
+  writePod(os, nearTable.headParams.a);
+  writePod(os, nearTable.headParams.b);
+  writePod(os, nearTable.headParams.c);
+  writePod(os, nearTable.medianRadiusM);
+  writePod(os, nearTable.sampleRate);
+
+  writeHrirs(os, nearTable.byDegree);
+  writeVector(os, nearTable.tapLeftSamples);
+  writeVector(os, nearTable.tapRightSamples);
+  writeHrirs(os, farTable.byDegree);
+  writeVector(os, farTable.tapLeftSamples);
+  writeVector(os, farTable.tapRightSamples);
+  UNIQ_CHECK(os.good(), "write failed: " + path);
+}
+
+void saveHrtfTableQuantized(const std::string& path, const HrtfTable& table) {
+  std::ofstream os(path, std::ios::binary);
+  UNIQ_REQUIRE(os.good(), "cannot open output file: " + path);
+  writeBytes(os, kMagicQuant, sizeof(kMagicQuant));
+  writePod(os, kQuantVersion);
+
+  const auto& nearTable = table.nearTable();
+  const auto& farTable = table.farTable();
+  writePod(os, nearTable.headParams.a);
+  writePod(os, nearTable.headParams.b);
+  writePod(os, nearTable.headParams.c);
+  writePod(os, nearTable.medianRadiusM);
+  writePod(os, nearTable.sampleRate);
+
+  writeQuantizedHrirs(os, nearTable.byDegree, nearTable.sampleRate,
+                      "near-field HRIRs");
+  writeQuantizedTaps(os, nearTable.tapLeftSamples, "near-field left taps");
+  writeQuantizedTaps(os, nearTable.tapRightSamples, "near-field right taps");
+  writeQuantizedHrirs(os, farTable.byDegree, nearTable.sampleRate,
+                      "far-field HRIRs");
+  writeQuantizedTaps(os, farTable.tapLeftSamples, "far-field left taps");
+  writeQuantizedTaps(os, farTable.tapRightSamples, "far-field right taps");
+  UNIQ_CHECK(os.good(), "write failed: " + path);
+}
+
+HrtfTable loadHrtfTable(const std::string& path) {
+  return loadImpl(path, /*preferMmap=*/true);
+}
+
+HrtfTable loadHrtfTableBuffered(const std::string& path) {
+  return loadImpl(path, /*preferMmap=*/false);
 }
 
 std::optional<HrtfTable> tryLoadHrtfTable(const std::string& path,
@@ -205,6 +556,27 @@ std::optional<HrtfTable> tryLoadHrtfTable(const std::string& path,
     if (error) *error = e.what();
     return std::nullopt;
   }
+}
+
+std::optional<TableFormat> probeTableFormat(const std::string& path,
+                                            std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    if (error) *error = "cannot open input file: " + path;
+    return std::nullopt;
+  }
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  if (!is.good()) {
+    if (error) *error = "file shorter than the 8-byte magic: " + path;
+    return std::nullopt;
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
+    return TableFormat::kFloat64;
+  if (std::memcmp(magic, kMagicQuant, sizeof(kMagicQuant)) == 0)
+    return TableFormat::kQuantized;
+  if (error) *error = "not a UNIQ HRTF table file: " + path;
+  return std::nullopt;
 }
 
 }  // namespace uniq::core

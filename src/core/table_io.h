@@ -9,22 +9,63 @@ namespace uniq::core {
 
 /// Serialization of the exported HRTF lookup table (paper Section 4.4:
 /// "the near and far-field HRTFs estimated by UNIQ can now be exported to
-/// earphone applications as a lookup table"). The format is a simple
-/// little-endian binary container: header, head parameters, then per-degree
-/// near/far HRIR pairs and their tap anchors.
+/// earphone applications as a lookup table"). Two little-endian binary
+/// containers share the load path and are told apart by their magic:
 ///
-/// Version history:
-///   1 — initial format.
+///   UNIQHRTF (kFloat64)   — header, head parameters, then per-degree
+///                           near/far HRIR pairs and tap anchors as raw
+///                           IEEE doubles. Version history: 1 — initial.
+///   UNIQHRTQ (kQuantized) — same logical content, compact: HRIR samples
+///                           are int16 against one float32 scale per
+///                           degree (max-abs over both ears), taps are
+///                           Q8.8 fixed-point int16. ~4x smaller, sized
+///                           for population-scale storage (the serving
+///                           layer's disk tier prefers it; see
+///                           docs/CAPACITY.md for the error budget and
+///                           sizing model). Version history: 1 — initial.
+enum class TableFormat {
+  kFloat64,   ///< UNIQHRTF: raw double samples (bit-exact round trip)
+  kQuantized  ///< UNIQHRTQ: int16 samples + per-degree scale
+};
 
-/// Write the table to `path`. Throws on I/O failure.
+/// Stable lower-case name ("float64", "quantized").
+const char* tableFormatName(TableFormat format);
+
+/// Quantization error bounds of the kQuantized container, pinned by tests
+/// and documented in docs/CAPACITY.md. For every degree, the absolute
+/// round-trip error of any sample is at most kQuantSampleError times that
+/// degree's peak |sample| (over both ears): half an int16 step (1/65534)
+/// plus headroom for the float32 rounding of the stored scale; tap anchors
+/// round-trip within kQuantTapErrorSamples samples.
+inline constexpr double kQuantSampleError = (1.0 + 1e-6) / 65534.0;
+inline constexpr double kQuantTapErrorSamples = 1.0 / 512.0;
+
+/// Write the table to `path` in the kFloat64 container. Throws on I/O
+/// failure.
 void saveHrtfTable(const std::string& path, const HrtfTable& table);
 
-/// Read a table previously written by saveHrtfTable. Validates the magic,
-/// version, row counts, sample-rate consistency, anthropometric plausibility
-/// of the head parameters, and that every sample is finite (no NaN/inf ever
-/// reaches a playback path); throws InvalidArgument naming the byte offset
-/// of anything malformed.
+/// Write the table to `path` in the compact kQuantized container. Requires
+/// uniform HRIR lengths per table (what the pipeline produces) and tap
+/// anchors inside the Q8.8 range (|tap| < 128 samples). Throws on I/O
+/// failure or a table outside those bounds.
+void saveHrtfTableQuantized(const std::string& path, const HrtfTable& table);
+
+/// Read a table previously written by saveHrtfTable or
+/// saveHrtfTableQuantized (the magic selects the decoder). Validates the
+/// magic, version, row counts, sample-rate consistency, anthropometric
+/// plausibility of the head parameters, and that every sample is finite
+/// (no NaN/inf ever reaches a playback path); throws InvalidArgument
+/// naming the byte offset of anything malformed. Quantized files are
+/// decoded from an mmap-ed view when the platform supports it — the file
+/// bytes are parsed in place from the page cache, with no intermediate
+/// read buffer — and fall back to a buffered read otherwise.
 HrtfTable loadHrtfTable(const std::string& path);
+
+/// loadHrtfTable without the mmap fast path: the file is read through a
+/// plain buffered stream. Same validation, same messages, and bitwise the
+/// same table — tests pin mmap/buffered equality with it, and it is the
+/// fallback loadHrtfTable itself uses when mapping fails.
+HrtfTable loadHrtfTableBuffered(const std::string& path);
 
 /// Non-throwing variant of loadHrtfTable for speculative reads (the serving
 /// layer's table cache probes disk on every cold miss, and a missing or
@@ -34,5 +75,11 @@ HrtfTable loadHrtfTable(const std::string& path);
 /// loadHrtfTable.
 std::optional<HrtfTable> tryLoadHrtfTable(const std::string& path,
                                           std::string* error = nullptr);
+
+/// Container format of the file at `path`, judged by its magic. Returns
+/// nullopt (with the reason in `error` when non-null) for unreadable files
+/// and unknown magics.
+std::optional<TableFormat> probeTableFormat(const std::string& path,
+                                            std::string* error = nullptr);
 
 }  // namespace uniq::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <functional>
 #include <thread>
 #include <utility>
 
@@ -32,6 +33,11 @@ obs::Gauge& queueMaxDepthGauge() {
 obs::Gauge& runningGauge() {
   static obs::Gauge& g = obs::registry().gauge("serve.jobs.running");
   return g;
+}
+obs::Counter& rejectedByShardCounter() {
+  static obs::Counter& c =
+      obs::registry().counter("serve.jobs.rejected_by_shard");
+  return c;
 }
 obs::Counter& stateCounter(JobState state) {
   static obs::Counter& submitted =
@@ -73,6 +79,14 @@ std::size_t resolveWorkers(std::size_t requested) {
   return std::clamp<std::size_t>(n, 1, 16);
 }
 
+bool isPowerOfTwo(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+std::size_t log2PowerOfTwo(std::size_t n) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
 }  // namespace
 
 const char* jobStateName(JobState state) {
@@ -93,10 +107,11 @@ const char* jobStateName(JobState state) {
   return "unknown";
 }
 
-/// Internal job record. State transitions happen under the service mutex;
-/// the abort token is the only cross-thread channel used mid-run.
+/// Internal job record. State transitions happen under the owning shard's
+/// mutex; the abort token is the only cross-thread channel used mid-run.
 struct CalibrationService::Job {
   std::uint64_t id = 0;
+  std::size_t shardIdx = 0;
   std::string userId;
   std::shared_ptr<const sim::CalibrationCapture> capture;
   JobOptions opts;
@@ -134,45 +149,114 @@ struct CalibrationService::Job {
   }
 };
 
+/// One independent submission lane: its own lock, FIFO, job ledger, and
+/// instruments. Only the worker pool is shared across shards.
+struct CalibrationService::Shard {
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<Job>> queued;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs;
+  std::size_t running = 0;
+  std::size_t drainersInFlight = 0;
+  bool shutdown = false;
+  obs::Gauge* depthGauge = nullptr;     ///< serve.shard.N.queue_depth
+  obs::Counter* rejected = nullptr;     ///< serve.shard.N.rejected
+};
+
 CalibrationService::CalibrationService(Options opts)
     : opts_(std::move(opts)),
-      cache_(std::max<std::size_t>(opts_.cacheCapacity, 1), opts_.persistDir),
+      cache_(TableCacheOptions{
+          std::max<std::size_t>(opts_.cacheCapacity, 1), opts_.persistDir,
+          opts_.cacheShards == 0
+              ? (isPowerOfTwo(opts_.shards) ? opts_.shards : 1)
+              : opts_.cacheShards,
+          true}),
       pipeline_(opts_.pipeline),
       pool_(resolveWorkers(opts_.workers)) {
+  UNIQ_REQUIRE(isPowerOfTwo(opts_.shards),
+               "service shard count must be a power of two");
+  shardBits_ = log2PowerOfTwo(opts_.shards);
+  maxQueuedPerShard_ =
+      std::max<std::size_t>(1, opts_.maxQueued / opts_.shards);
+  shards_.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    const std::string prefix = "serve.shard." + std::to_string(i);
+    shard->depthGauge = &obs::registry().gauge(prefix + ".queue_depth");
+    shard->rejected = &obs::registry().counter(prefix + ".rejected");
+    shards_.push_back(std::move(shard));
+  }
   obs::registry()
       .gauge("serve.workers")
       .set(static_cast<double>(pool_.threadCount()));
+  obs::registry()
+      .gauge("serve.shards")
+      .set(static_cast<double>(shards_.size()));
+  rejectedByShardCounter();  // register at 0 so exports always include it
 }
 
 CalibrationService::~CalibrationService() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  shutdown_ = true;
-  // Everything still waiting is cancelled; running jobs finish on their
-  // own (their capture and token live in the shared Job record).
-  for (const auto& job : queued_) {
-    job->token.requestCancel();
-    job->state = JobState::kCancelled;
-    job->queueMs = nowMs() - job->submitMs;
-    stateCounter(JobState::kCancelled).inc();
-    queueDepthGauge().add(-1.0);
+  // Phase 1: close every shard and cancel its waiting jobs; running jobs
+  // finish on their own (their capture and token live in the shared Job
+  // record). Phase 2: wait for each shard's workers to come home.
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.shutdown = true;
+    for (const auto& job : shard.queued) {
+      job->token.requestCancel();
+      job->state = JobState::kCancelled;
+      job->queueMs = nowMs() - job->submitMs;
+      stateCounter(JobState::kCancelled).inc();
+      queueDepthGauge().add(-1.0);
+      shard.depthGauge->add(-1.0);
+      queuedTotal_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard.queued.clear();
+    shard.cv.notify_all();
   }
-  queued_.clear();
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return running_ == 0 && drainersInFlight_ == 0; });
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.cv.wait(
+        lock, [&] { return shard.running == 0 && shard.drainersInFlight == 0; });
+  }
+}
+
+CalibrationService::Shard& CalibrationService::shardForUser(
+    const std::string& userId) {
+  // Power-of-two count makes the modulo a mask; the same hash the table
+  // cache uses, so a user's jobs and tables land on aligned shards.
+  return *shards_[std::hash<std::string>{}(userId) & (shards_.size() - 1)];
+}
+
+CalibrationService::Shard& CalibrationService::shardForId(std::uint64_t id) {
+  // Job ids carry their shard in the low bits: id = (seq << bits) | shard.
+  return *shards_[id & (shards_.size() - 1)];
 }
 
 std::uint64_t CalibrationService::submit(
     std::string userId, std::shared_ptr<const sim::CalibrationCapture> capture,
     JobOptions jobOpts) {
   UNIQ_REQUIRE(capture != nullptr, "null capture");
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (shutdown_ || queued_.size() >= opts_.maxQueued) {
+  const std::size_t shardIdx =
+      std::hash<std::string>{}(userId) & (shards_.size() - 1);
+  Shard& shard = *shards_[shardIdx];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.shutdown || shard.queued.size() >= maxQueuedPerShard_) {
     stateCounter(JobState::kRejected).inc();
+    shard.rejected->inc();
+    rejectedByShardCounter().inc();
     return kInvalidJobId;
   }
 
   auto job = std::make_shared<Job>();
-  job->id = nextId_++;
+  // Global sequence in the high bits, shard in the low bits: ids stay
+  // unique and self-routing, and with shards=1 (bits=0) they are exactly
+  // the pre-sharding 1,2,3,... sequence.
+  job->id = (nextSeq_.fetch_add(1, std::memory_order_relaxed) << shardBits_) |
+            static_cast<std::uint64_t>(shardIdx);
+  job->shardIdx = shardIdx;
   job->userId = std::move(userId);
   job->capture = std::move(capture);
   job->opts = jobOpts;
@@ -184,13 +268,19 @@ std::uint64_t CalibrationService::submit(
             std::chrono::duration<double, std::milli>(jobOpts.deadlineMs)));
   }
 
-  queued_.push_back(job);
-  jobs_[job->id] = job;
-  submissionOrder_.push_back(job->id);
+  shard.queued.push_back(job);
+  shard.jobs[job->id] = job;
+  {
+    std::lock_guard<std::mutex> orderLock(orderMutex_);
+    submissionOrder_.push_back(job->id);
+  }
   stateCounter(JobState::kQueued).inc();  // serve.jobs.submitted
   queueDepthGauge().add(1.0);
-  queueMaxDepthGauge().setMax(static_cast<double>(queued_.size()));
-  pumpLocked();
+  shard.depthGauge->add(1.0);
+  const std::size_t depth =
+      queuedTotal_.fetch_add(1, std::memory_order_relaxed) + 1;
+  queueMaxDepthGauge().setMax(static_cast<double>(depth));
+  pumpLocked(shard);
   return job->id;
 }
 
@@ -203,30 +293,32 @@ std::uint64_t CalibrationService::submit(std::string userId,
                 jobOpts);
 }
 
-void CalibrationService::pumpLocked() {
-  // One drainer task can feed one worker; spawn up to the pool width. A
-  // drainer finding the queue already empty exits immediately, so a spare
-  // one is cheap, but a missing one would strand queued work.
-  while (drainersInFlight_ < pool_.threadCount() &&
-         drainersInFlight_ < queued_.size()) {
-    ++drainersInFlight_;
-    pool_.submit([this] { drainQueue(); });
+void CalibrationService::pumpLocked(Shard& shard) {
+  // One drainer task can feed one worker; spawn up to the pool width per
+  // shard. A drainer finding its queue already empty exits immediately, so
+  // a spare one is cheap, but a missing one would strand queued work.
+  while (shard.drainersInFlight < pool_.threadCount() &&
+         shard.drainersInFlight < shard.queued.size()) {
+    ++shard.drainersInFlight;
+    pool_.submit([this, &shard] { drainQueue(shard); });
   }
 }
 
-void CalibrationService::drainQueue() {
+void CalibrationService::drainQueue(Shard& shard) {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (queued_.empty()) {
-        --drainersInFlight_;
-        cv_.notify_all();
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.queued.empty()) {
+        --shard.drainersInFlight;
+        shard.cv.notify_all();
         return;
       }
-      job = queued_.front();
-      queued_.pop_front();
+      job = shard.queued.front();
+      shard.queued.pop_front();
       queueDepthGauge().add(-1.0);
+      shard.depthGauge->add(-1.0);
+      queuedTotal_.fetch_sub(1, std::memory_order_relaxed);
       job->queueMs = nowMs() - job->submitMs;
       // A deadline that passed while the job waited expires it here — the
       // caller's budget is wall time from submission, not run time.
@@ -235,7 +327,7 @@ void CalibrationService::drainQueue() {
                                                   : JobState::kExpired;
       } else {
         job->state = JobState::kRunning;
-        ++running_;
+        ++shard.running;
         job->startMs = nowMs();
       }
     }
@@ -277,6 +369,7 @@ core::PersonalHrtf CalibrationService::runStreaming(
 
 void CalibrationService::executeJob(const std::shared_ptr<Job>& job) {
   UNIQ_SPAN("serve.job");
+  Shard& shard = *shards_[job->shardIdx];
   JobState terminalState = JobState::kDone;
   try {
     auto personal =
@@ -286,7 +379,7 @@ void CalibrationService::executeJob(const std::shared_ptr<Job>& job) {
     if (personal.aborted) {
       terminalState = job->token.cancelRequested() ? JobState::kCancelled
                                                    : JobState::kExpired;
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<std::mutex> lock(shard.mutex);
       job->diagnostics = std::move(personal.diagnostics);
     } else {
       auto table = std::make_shared<const core::HrtfTable>(
@@ -296,7 +389,7 @@ void CalibrationService::executeJob(const std::shared_ptr<Job>& job) {
       // user's own table on the next lookup.
       if (personal.status != core::PipelineStatus::kFailed)
         cache_.put(job->userId, table);
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<std::mutex> lock(shard.mutex);
       job->status = personal.status;
       job->table = std::move(table);
       job->diagnostics = std::move(personal.diagnostics);
@@ -305,21 +398,22 @@ void CalibrationService::executeJob(const std::shared_ptr<Job>& job) {
     // The pipeline is total over non-empty captures, so this is a last
     // line of defense (empty capture, bad_alloc, ...): the job fails, the
     // worker and the service live on.
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(shard.mutex);
     job->status = core::PipelineStatus::kFailed;
     job->error = e.what();
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    --running_;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    --shard.running;
   }
   finishJob(job, terminalState);
 }
 
 void CalibrationService::finishJob(const std::shared_ptr<Job>& job,
                                    JobState state) {
+  Shard& shard = *shards_[job->shardIdx];
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(shard.mutex);
     job->state = state;
     job->runMs = job->startMs > 0.0 ? nowMs() - job->startMs : 0.0;
   }
@@ -336,26 +430,29 @@ void CalibrationService::finishJob(const std::shared_ptr<Job>& job,
   obs::registry()
       .histogram("serve.job.run_ms", kLatencyBins)
       .observe(job->runMs);
-  cv_.notify_all();
+  shard.cv.notify_all();
 }
 
 bool CalibrationService::cancel(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return false;
+  Shard& shard = shardForId(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.jobs.find(id);
+  if (it == shard.jobs.end()) return false;
   auto& job = it->second;
   if (job->terminal()) return false;
   job->token.requestCancel();
   if (job->state == JobState::kQueued) {
-    const auto pos = std::find(queued_.begin(), queued_.end(), job);
-    if (pos != queued_.end()) {
-      queued_.erase(pos);
+    const auto pos = std::find(shard.queued.begin(), shard.queued.end(), job);
+    if (pos != shard.queued.end()) {
+      shard.queued.erase(pos);
       queueDepthGauge().add(-1.0);
+      shard.depthGauge->add(-1.0);
+      queuedTotal_.fetch_sub(1, std::memory_order_relaxed);
     }
     job->state = JobState::kCancelled;
     job->queueMs = nowMs() - job->submitMs;
     stateCounter(JobState::kCancelled).inc();
-    cv_.notify_all();
+    shard.cv.notify_all();
   }
   // kRunning: the token is flagged; the pipeline aborts at its next stage
   // boundary and the worker records the cancelled state.
@@ -363,40 +460,52 @@ bool CalibrationService::cancel(std::uint64_t id) {
 }
 
 JobResult CalibrationService::wait(std::uint64_t id) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto it = jobs_.find(id);
-  UNIQ_REQUIRE(it != jobs_.end(), "unknown job id");
+  Shard& shard = shardForId(id);
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  const auto it = shard.jobs.find(id);
+  UNIQ_REQUIRE(it != shard.jobs.end(), "unknown job id");
   const auto job = it->second;
-  cv_.wait(lock, [&] { return job->terminal(); });
+  shard.cv.wait(lock, [&] { return job->terminal(); });
   return job->result();
 }
 
 std::vector<JobResult> CalibrationService::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] {
-    for (const auto& [id, job] : jobs_)
-      if (!job->terminal()) return false;
-    return true;
-  });
+  // Quiesce shard by shard; a shard already drained stays drained because
+  // drain() races only with new submissions, which the caller owns.
+  std::unordered_map<std::uint64_t, JobResult> finished;
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.cv.wait(lock, [&] {
+      for (const auto& [id, job] : shard.jobs)
+        if (!job->terminal()) return false;
+      return true;
+    });
+    for (const auto& [id, job] : shard.jobs) finished.emplace(id, job->result());
+    shard.jobs.clear();
+  }
+  std::lock_guard<std::mutex> orderLock(orderMutex_);
   std::vector<JobResult> results;
   results.reserve(submissionOrder_.size());
   for (const auto id : submissionOrder_) {
-    const auto it = jobs_.find(id);
-    if (it != jobs_.end()) results.push_back(it->second->result());
+    const auto it = finished.find(id);
+    if (it != finished.end()) results.push_back(std::move(it->second));
   }
-  jobs_.clear();
   submissionOrder_.clear();
   return results;
 }
 
 std::size_t CalibrationService::queuedCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queued_.size();
+  return queuedTotal_.load(std::memory_order_relaxed);
 }
 
 std::size_t CalibrationService::runningCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return running_;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->running;
+  }
+  return total;
 }
 
 }  // namespace uniq::serve

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -78,14 +79,29 @@ struct CalibrationServiceOptions {
   /// worker (the pool suppresses nested fan-out), so `workers` is the whole
   /// parallelism story — jobs scale across users, not within one user.
   std::size_t workers = 0;
-  /// Admission control: jobs allowed to wait in the queue (excluding the
-  /// ones actively running). submit() returns kInvalidJobId once the queue
-  /// is full — backpressure the caller must handle, not a silent drop.
+  /// Admission control: jobs allowed to wait in the queues (excluding the
+  /// ones actively running). The budget is split evenly across shards
+  /// (at least 1 per shard); submit() returns kInvalidJobId once the
+  /// user's shard is full — backpressure the caller must handle, not a
+  /// silent drop. With shards=1 this is exactly the pre-sharding global
+  /// queue bound.
   std::size_t maxQueued = 64;
-  /// In-memory entries in the per-user table cache.
+  /// Power-of-two shard count for the submission path. Each shard owns its
+  /// own mutex, job queue, and job map, so admission, cancellation, and
+  /// completion on different shards never contend on one global lock; the
+  /// worker pool stays shared. 1 reproduces the single-queue service
+  /// exactly (same ids, same FIFO order, same admission bound — pinned by
+  /// tests).
+  std::size_t shards = 1;
+  /// In-memory entries in the per-user table cache (shared budget across
+  /// the cache's shards).
   std::size_t cacheCapacity = 32;
-  /// When non-empty, finished tables persist to `<dir>/<user>.uniq` and
-  /// cold cache misses probe the same files (see TableCache).
+  /// Shard count for the table cache (power of two; defaults to `shards`
+  /// when 0).
+  std::size_t cacheShards = 0;
+  /// When non-empty, finished tables persist to `<dir>/<user>.uniqq` (the
+  /// compact quantized container) and cold cache misses probe the same
+  /// files (see TableCache).
   std::string persistDir;
   /// Pipeline configuration shared by every job.
   core::CalibrationPipelineOptions pipeline{};
@@ -102,10 +118,17 @@ inline constexpr std::uint64_t kInvalidJobId = 0;
 /// worker wraps it in a catch-all, so one poisoned capture yields one
 /// failed job — never a dead worker or a torn-down service.
 ///
+/// Scale shape: users hash onto 2^k independent shards (per-shard mutex,
+/// queue, and job map) over one shared worker pool, so a million-user
+/// ingress stops serializing on a single service lock. Job ids encode the
+/// shard in their low bits; everything else routes by id.
+///
 /// Observability: each job runs under a "serve.job" trace span and fills
 /// its own obs::RunReport; queue depth, latency split (queue vs run), and
 /// terminal-state counters live in the registry under "serve.jobs.*" /
-/// "serve.queue.*".
+/// "serve.queue.*", with per-shard depth and rejection instruments under
+/// "serve.shard.N.*" plus a "serve.jobs.rejected_by_shard" counter so
+/// shard imbalance is observable.
 class CalibrationService {
  public:
   using Options = CalibrationServiceOptions;
@@ -118,9 +141,9 @@ class CalibrationService {
   CalibrationService& operator=(const CalibrationService&) = delete;
 
   /// Submit a calibration job for `userId`. Returns the job id, or
-  /// kInvalidJobId when the queue is full (the capture is not retained).
-  /// The capture is shared, not copied — callers batching one capture
-  /// across many jobs pay for it once.
+  /// kInvalidJobId when the user's shard queue is full (the capture is not
+  /// retained). The capture is shared, not copied — callers batching one
+  /// capture across many jobs pay for it once.
   std::uint64_t submit(std::string userId,
                        std::shared_ptr<const sim::CalibrationCapture> capture,
                        JobOptions jobOpts = {});
@@ -147,20 +170,25 @@ class CalibrationService {
   TableCache& cache() { return cache_; }
 
   std::size_t workerCount() const { return pool_.threadCount(); }
-  /// Jobs accepted but not yet picked up by a worker.
+  std::size_t shardCount() const { return shards_.size(); }
+  /// Jobs accepted but not yet picked up by a worker (all shards).
   std::size_t queuedCount() const;
-  /// Jobs currently executing.
+  /// Jobs currently executing (all shards).
   std::size_t runningCount() const;
 
  private:
   struct Job;
+  struct Shard;
 
-  /// Ensure enough queue-drainer tasks are in flight for the queued work;
-  /// caller holds mutex_.
-  void pumpLocked();
-  /// Drain loop body run on a pool worker: pop and execute jobs until the
-  /// queue is empty.
-  void drainQueue();
+  Shard& shardForUser(const std::string& userId);
+  Shard& shardForId(std::uint64_t id);
+
+  /// Ensure enough queue-drainer tasks are in flight for the shard's queued
+  /// work; caller holds the shard mutex.
+  void pumpLocked(Shard& shard);
+  /// Drain loop body run on a pool worker: pop and execute the shard's jobs
+  /// until its queue is empty.
+  void drainQueue(Shard& shard);
   void executeJob(const std::shared_ptr<Job>& job);
   /// Streaming-job body: replay the capture through a StreamingSession
   /// (early-stopping on convergence, cancelling on the token) and return
@@ -173,15 +201,18 @@ class CalibrationService {
   core::CalibrationPipeline pipeline_;
   common::ThreadPool pool_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Job>> queued_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shardBits_ = 0;       ///< log2(shards): id low bits
+  std::size_t maxQueuedPerShard_ = 0;
+
+  /// Global submission sequence (drives job ids and drain() ordering).
+  std::atomic<std::uint64_t> nextSeq_{1};
+  /// Aggregate queue depth across shards (metrics + queuedCount()).
+  std::atomic<std::size_t> queuedTotal_{0};
+
+  /// Submission order across shards, for drain(); guarded by orderMutex_.
+  mutable std::mutex orderMutex_;
   std::vector<std::uint64_t> submissionOrder_;
-  std::size_t running_ = 0;
-  std::size_t drainersInFlight_ = 0;
-  std::uint64_t nextId_ = 1;
-  bool shutdown_ = false;
 };
 
 }  // namespace uniq::serve

@@ -1,5 +1,6 @@
 #include "serve/table_cache.h"
 
+#include <functional>
 #include <map>
 #include <utility>
 
@@ -53,105 +54,165 @@ std::string sanitizeForFilename(const std::string& userId) {
   return out;
 }
 
+bool isPowerOfTwo(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
 }  // namespace
 
-TableCache::TableCache(std::size_t capacity, std::string persistDir)
-    : capacity_(capacity), persistDir_(std::move(persistDir)) {
-  UNIQ_REQUIRE(capacity_ >= 1, "cache capacity must be >= 1");
+const char* cacheTierName(CacheTier tier) {
+  switch (tier) {
+    case CacheTier::kMemory:
+      return "memory";
+    case CacheTier::kDisk:
+      return "disk";
+    case CacheTier::kFallback:
+      return "fallback";
+    case CacheTier::kMiss:
+      return "miss";
+  }
+  return "unknown";
 }
 
-std::string TableCache::tablePath(const std::string& userId) const {
-  return persistDir_ + "/" + sanitizeForFilename(userId) + ".uniq";
+TableCache::TableCache(Options opts) : opts_(std::move(opts)) {
+  UNIQ_REQUIRE(opts_.capacity >= 1, "cache capacity must be >= 1");
+  UNIQ_REQUIRE(isPowerOfTwo(opts_.shards),
+               "cache shard count must be a power of two");
+  shards_.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+TableCache::TableCache(std::size_t capacity, std::string persistDir)
+    : TableCache(Options{capacity, std::move(persistDir), 1, true}) {}
+
+std::size_t TableCache::shardFor(const std::string& userId) const {
+  // Power-of-two shard count makes the modulo a mask; std::hash spreads
+  // sequential user ids well enough that shards stay balanced.
+  return std::hash<std::string>{}(userId) & (shards_.size() - 1);
+}
+
+std::string TableCache::tablePath(const std::string& userId,
+                                  bool quantized) const {
+  return opts_.persistDir + "/" + sanitizeForFilename(userId) +
+         (quantized ? ".uniqq" : ".uniq");
 }
 
 std::shared_ptr<const core::HrtfTable> TableCache::get(
-    const std::string& userId) {
+    const std::string& userId, CacheTier* tier) {
+  Shard& shard = *shards_[shardFor(userId)];
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = map_.find(userId);
-    if (it != map_.end()) {
-      ++stats_.hits;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(userId);
+    if (it != shard.map.end()) {
+      ++shard.stats.hits;
       hitsCounter().inc();
-      lru_.splice(lru_.begin(), lru_, it->second.pos);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
+      if (tier) *tier = CacheTier::kMemory;
       return it->second.table;
     }
-    ++stats_.misses;
+    ++shard.stats.misses;
     missesCounter().inc();
   }
-  if (persistDir_.empty()) return nullptr;
+  if (tier) *tier = CacheTier::kMiss;
+  if (opts_.persistDir.empty()) return nullptr;
 
   // Cold miss with persistence configured: probe disk outside the lock (a
-  // load takes milliseconds; concurrent hits must not wait on it). Two
-  // threads may race to load the same file — both succeed, the second
+  // load takes milliseconds; concurrent hits must not wait on it). The
+  // quantized path is preferred — it is what put() writes — with the
+  // legacy float64 path as a fallback for pre-quantization directories.
+  // Two threads may race to load the same file — both succeed, the second
   // insert wins, and the table contents are identical.
   UNIQ_SPAN("serve.cache.disk_load");
-  auto loaded = core::tryLoadHrtfTable(tablePath(userId));
+  auto loaded = core::tryLoadHrtfTable(tablePath(userId, true));
+  if (!loaded) loaded = core::tryLoadHrtfTable(tablePath(userId, false));
   if (!loaded) return nullptr;
   auto table =
       std::make_shared<const core::HrtfTable>(std::move(*loaded));
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.diskHits;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.stats.diskHits;
   diskHitsCounter().inc();
-  insertLocked(userId, table);
+  insertLocked(shard, userId, table);
+  if (tier) *tier = CacheTier::kDisk;
   return table;
 }
 
 std::shared_ptr<const core::HrtfTable> TableCache::getOrFallback(
-    const std::string& userId, double sampleRate) {
-  if (auto table = get(userId)) return table;
+    const std::string& userId, double sampleRate, CacheTier* tier) {
+  if (auto table = get(userId, tier)) return table;
+  Shard& shard = *shards_[shardFor(userId)];
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.fallbacks;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.stats.fallbacks;
   }
   fallbacksCounter().inc();
+  if (tier) *tier = CacheTier::kFallback;
   return populationAverageTable(sampleRate);
 }
 
 void TableCache::put(const std::string& userId,
                      std::shared_ptr<const core::HrtfTable> table) {
   UNIQ_REQUIRE(table != nullptr, "cannot cache a null table");
+  Shard& shard = *shards_[shardFor(userId)];
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    insertLocked(userId, table);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    insertLocked(shard, userId, table);
   }
-  if (!persistDir_.empty()) {
+  if (!opts_.persistDir.empty()) {
     UNIQ_SPAN("serve.cache.persist");
-    core::saveHrtfTable(tablePath(userId), *table);
+    if (opts_.quantizedDisk)
+      core::saveHrtfTableQuantized(tablePath(userId, true), *table);
+    else
+      core::saveHrtfTable(tablePath(userId, false), *table);
   }
 }
 
-void TableCache::insertLocked(const std::string& userId,
+void TableCache::insertLocked(Shard& shard, const std::string& userId,
                               std::shared_ptr<const core::HrtfTable> table) {
-  const auto it = map_.find(userId);
-  if (it != map_.end()) {
+  const auto it = shard.map.find(userId);
+  if (it != shard.map.end()) {
     it->second.table = std::move(table);
-    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
   } else {
-    lru_.push_front(userId);
-    map_[userId] = Entry{std::move(table), lru_.begin()};
-    while (map_.size() > capacity_) {
-      map_.erase(lru_.back());
-      lru_.pop_back();
-      ++stats_.evictions;
+    shard.lru.push_front(userId);
+    shard.map[userId] = Entry{std::move(table), shard.lru.begin()};
+    totalEntries_.fetch_add(1, std::memory_order_relaxed);
+    // Shared budget, shard-local eviction: evict from this shard's cold end
+    // while the whole cache is over capacity. Concurrent inserts in other
+    // shards may each evict one of their own entries; the total can dip a
+    // little under budget but never stays over it.
+    while (totalEntries_.load(std::memory_order_relaxed) > opts_.capacity &&
+           !shard.lru.empty()) {
+      shard.map.erase(shard.lru.back());
+      shard.lru.pop_back();
+      totalEntries_.fetch_sub(1, std::memory_order_relaxed);
+      ++shard.stats.evictions;
       evictionsCounter().inc();
     }
   }
-  sizeGauge().set(static_cast<double>(map_.size()));
+  sizeGauge().set(
+      static_cast<double>(totalEntries_.load(std::memory_order_relaxed)));
 }
 
 bool TableCache::contains(const std::string& userId) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return map_.count(userId) > 0;
+  const Shard& shard = *shards_[shardFor(userId)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.map.count(userId) > 0;
 }
 
 std::size_t TableCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return map_.size();
+  return totalEntries_.load(std::memory_order_relaxed);
 }
 
 TableCache::Stats TableCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.diskHits += shard->stats.diskHits;
+    total.evictions += shard->stats.evictions;
+    total.fallbacks += shard->stats.fallbacks;
+  }
+  return total;
 }
 
 std::shared_ptr<const core::HrtfTable> TableCache::populationAverageTable(

@@ -1,32 +1,76 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/hrtf_table.h"
 
 namespace uniq::serve {
 
-/// Thread-safe LRU cache of personalized HrtfTables keyed by user id — the
-/// serving layer's answer to "millions of users, a few hot at a time".
-/// Three tiers back a lookup:
+/// Which tier answered a TableCache lookup (see class comment for the tier
+/// ladder). Exposed so load drivers and tests can attribute every lookup
+/// without diffing global counters across threads.
+enum class CacheTier {
+  kMemory,    ///< served from the in-memory LRU
+  kDisk,      ///< rescued from the persist dir (promoted into memory)
+  kFallback,  ///< answered with the shared population-average table
+  kMiss,      ///< nowhere (get() only; getOrFallback never returns this)
+};
+
+/// Stable lower-case name ("memory", ..., "miss").
+const char* cacheTierName(CacheTier tier);
+
+struct TableCacheOptions {
+  /// Total in-memory entry budget, shared across every shard (>= 1). The
+  /// cache never holds more than `capacity` tables no matter how lookups
+  /// distribute over shards.
+  std::size_t capacity = 32;
+  /// When non-empty, must be an existing writable directory; put() then
+  /// mirrors every table to disk and cold get()s probe it.
+  std::string persistDir;
+  /// Power-of-two shard count. Each shard has its own mutex, LRU list, and
+  /// map; a lookup locks only its user's shard, so a hot cache stops
+  /// serializing on one global mutex. 1 reproduces the pre-sharding cache
+  /// exactly (single lock, single LRU — bitwise the same behavior).
+  std::size_t shards = 1;
+  /// Disk-tier format: when true (default) put() persists the compact
+  /// quantized container (~4x smaller, see core::saveHrtfTableQuantized and
+  /// docs/CAPACITY.md); false keeps the bit-exact float64 container. Reads
+  /// probe the quantized path first, then the legacy one, so either format
+  /// on disk is always loadable.
+  bool quantizedDisk = true;
+};
+
+/// Thread-safe sharded LRU cache of personalized HrtfTables keyed by user
+/// id — the serving layer's answer to "millions of users, a few hot at a
+/// time". Three tiers back a lookup:
 ///
-///   1. memory — the LRU map itself (hit),
-///   2. disk   — `<persistDir>/<user>.uniq` written by put() and probed on
-///               a cold miss (disk hit; the table is promoted into memory),
+///   1. memory — the per-shard LRU maps (hit),
+///   2. disk   — `<persistDir>/<user>.uniqq` (quantized) or `<user>.uniq`
+///               written by put() and probed on a cold miss (disk hit; the
+///               table is promoted into memory),
 ///   3. model  — the population-average template (fallback; shared across
 ///               users and never counted as that user's table).
+///
+/// Users hash onto 2^k shards; each shard is an independent mutex + LRU,
+/// and the capacity budget is shared through one atomic entry count, so
+/// the whole cache stays bounded while eviction stays shard-local.
 ///
 /// Tables are handed out as shared_ptr<const HrtfTable>, so an eviction
 /// never invalidates a table a concurrent AoA batch is still matching
 /// against. Counters land in the process registry under "serve.cache.*".
 class TableCache {
  public:
-  /// Point-in-time counter values (also exported as metrics).
+  using Options = TableCacheOptions;
+
+  /// Point-in-time counter values (also exported as metrics), aggregated
+  /// over every shard.
   struct Stats {
     std::uint64_t hits = 0;       ///< served from memory
     std::uint64_t misses = 0;     ///< not in memory (disk may still hit)
@@ -35,23 +79,28 @@ class TableCache {
     std::uint64_t fallbacks = 0;  ///< lookups answered population-average
   };
 
-  /// `capacity` bounds the in-memory entry count (>= 1). `persistDir`, when
-  /// non-empty, must be an existing writable directory; put() then mirrors
-  /// every table to disk and cold get()s probe it.
+  explicit TableCache(Options opts);
+  /// Pre-sharding constructor shape: capacity + optional persist dir, one
+  /// shard, quantized disk tier.
   explicit TableCache(std::size_t capacity, std::string persistDir = "");
 
   /// The user's table from memory or disk, or nullptr when neither has it.
-  std::shared_ptr<const core::HrtfTable> get(const std::string& userId);
+  /// When `tier` is non-null it reports which tier answered (kMiss on
+  /// nullptr).
+  std::shared_ptr<const core::HrtfTable> get(const std::string& userId,
+                                             CacheTier* tier = nullptr);
 
   /// get(), falling back to the population-average table at `sampleRate`
   /// when the user has no personalized table anywhere. Never returns null:
   /// an uncalibrated user gets the generic spatializer, same contract as
   /// the pipeline's kFailed fallback.
   std::shared_ptr<const core::HrtfTable> getOrFallback(
-      const std::string& userId, double sampleRate = 48000.0);
+      const std::string& userId, double sampleRate = 48000.0,
+      CacheTier* tier = nullptr);
 
   /// Insert or replace the user's table (and persist it when configured),
-  /// evicting least-recently-used entries beyond capacity.
+  /// evicting least-recently-used entries beyond the shared capacity
+  /// budget.
   void put(const std::string& userId,
            std::shared_ptr<const core::HrtfTable> table);
 
@@ -60,8 +109,9 @@ class TableCache {
   bool contains(const std::string& userId) const;
 
   std::size_t size() const;
-  std::size_t capacity() const { return capacity_; }
-  const std::string& persistDir() const { return persistDir_; }
+  std::size_t capacity() const { return opts_.capacity; }
+  std::size_t shardCount() const { return shards_.size(); }
+  const std::string& persistDir() const { return opts_.persistDir; }
   Stats stats() const;
 
   /// The shared population-average table at `sampleRate` (built once per
@@ -71,24 +121,31 @@ class TableCache {
       double sampleRate);
 
  private:
-  /// Move `userId` to the most-recent position, inserting if absent; the
-  /// caller holds mutex_. Evicts from the cold end past capacity.
-  void insertLocked(const std::string& userId,
-                    std::shared_ptr<const core::HrtfTable> table);
-  std::string tablePath(const std::string& userId) const;
-
-  const std::size_t capacity_;
-  const std::string persistDir_;
-
-  mutable std::mutex mutex_;
-  /// Recency list, most recent first; map entries point into it.
-  std::list<std::string> lru_;
   struct Entry {
     std::shared_ptr<const core::HrtfTable> table;
     std::list<std::string>::iterator pos;
   };
-  std::unordered_map<std::string, Entry> map_;
-  Stats stats_;
+  /// One independent LRU; every member is guarded by `mutex`.
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Recency list, most recent first; map entries point into it.
+    std::list<std::string> lru;
+    std::unordered_map<std::string, Entry> map;
+    Stats stats;
+  };
+
+  std::size_t shardFor(const std::string& userId) const;
+  /// Move `userId` to the most-recent position of its shard, inserting if
+  /// absent; the caller holds the shard mutex. Evicts from the shard's cold
+  /// end while the shared budget is exceeded.
+  void insertLocked(Shard& shard, const std::string& userId,
+                    std::shared_ptr<const core::HrtfTable> table);
+  std::string tablePath(const std::string& userId, bool quantized) const;
+
+  const Options opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Entries across all shards — the shared capacity budget's ledger.
+  std::atomic<std::size_t> totalEntries_{0};
 };
 
 }  // namespace uniq::serve

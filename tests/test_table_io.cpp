@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -172,6 +174,243 @@ TEST(TableIo, RejectsNaNSample) {
     os.write(contents.data(), static_cast<std::streamsize>(contents.size()));
   }
   EXPECT_THROW(loadHrtfTable(path), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Quantized container (UNIQHRTQ)
+// ---------------------------------------------------------------------------
+
+/// Max |sample| of one degree entry over both ears — the reference the
+/// per-degree quantization scale is derived from.
+double degreePeak(const head::Hrir& h) {
+  double peak = 0.0;
+  for (const double v : h.left) peak = std::max(peak, std::abs(v));
+  for (const double v : h.right) peak = std::max(peak, std::abs(v));
+  return peak;
+}
+
+TEST(TableIoQuantized, RoundTripWithinPinnedErrorBudget) {
+  const auto table = makeTable();
+  const auto path = tempPath("table_q.uniqq");
+  saveHrtfTableQuantized(path, table);
+  const auto loaded = loadHrtfTable(path);
+
+  EXPECT_DOUBLE_EQ(loaded.sampleRate(), table.sampleRate());
+  EXPECT_DOUBLE_EQ(loaded.nearTable().headParams.a,
+                   table.nearTable().headParams.a);
+  EXPECT_DOUBLE_EQ(loaded.nearTable().medianRadiusM,
+                   table.nearTable().medianRadiusM);
+
+  // Every sample of every degree must land within the documented budget:
+  // kQuantSampleError times that degree's peak (the int16 grid step is
+  // peak/32767, so half a step plus float32-scale rounding fits in it).
+  for (int deg = 0; deg <= 180; ++deg) {
+    for (const bool nearField : {true, false}) {
+      const auto& a = nearField ? table.nearAt(deg) : table.farAt(deg);
+      const auto& b = nearField ? loaded.nearAt(deg) : loaded.farAt(deg);
+      ASSERT_EQ(a.left.size(), b.left.size());
+      const double budget = kQuantSampleError * degreePeak(a);
+      for (std::size_t i = 0; i < a.left.size(); ++i) {
+        EXPECT_NEAR(a.left[i], b.left[i], budget);
+        EXPECT_NEAR(a.right[i], b.right[i], budget);
+      }
+    }
+    EXPECT_NEAR(table.farTable().tapLeftSamples[deg],
+                loaded.farTable().tapLeftSamples[deg],
+                kQuantTapErrorSamples);
+    EXPECT_NEAR(table.farTable().tapRightSamples[deg],
+                loaded.farTable().tapRightSamples[deg],
+                kQuantTapErrorSamples);
+    EXPECT_NEAR(table.nearTable().tapLeftSamples[deg],
+                loaded.nearTable().tapLeftSamples[deg],
+                kQuantTapErrorSamples);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoQuantized, AtLeastFourTimesSmallerThanFloat64) {
+  const auto table = makeTable();
+  const auto pathF = tempPath("size_f.uniq");
+  const auto pathQ = tempPath("size_q.uniqq");
+  saveHrtfTable(pathF, table);
+  saveHrtfTableQuantized(pathQ, table);
+  std::ifstream f(pathF, std::ios::binary | std::ios::ate);
+  std::ifstream q(pathQ, std::ios::binary | std::ios::ate);
+  const auto sizeF = static_cast<double>(f.tellg());
+  const auto sizeQ = static_cast<double>(q.tellg());
+  ASSERT_GT(sizeQ, 0.0);
+  EXPECT_GE(sizeF / sizeQ, 4.0)
+      << "quantized container must be >= 4x smaller (float64 " << sizeF
+      << " bytes, quantized " << sizeQ << " bytes)";
+  std::remove(pathF.c_str());
+  std::remove(pathQ.c_str());
+}
+
+TEST(TableIoQuantized, MmapPathBitwiseEqualsBufferedLoader) {
+  const auto table = makeTable();
+  const auto path = tempPath("mmap_eq.uniqq");
+  saveHrtfTableQuantized(path, table);
+  const auto viaMmap = loadHrtfTable(path);
+  const auto viaBuffer = loadHrtfTableBuffered(path);
+  ASSERT_EQ(viaMmap.farTable().byDegree.size(),
+            viaBuffer.farTable().byDegree.size());
+  for (int deg = 0; deg <= 180; ++deg) {
+    const auto& a = viaMmap.farAt(deg);
+    const auto& b = viaBuffer.farAt(deg);
+    ASSERT_EQ(a.left.size(), b.left.size());
+    // Exact equality, not near: both paths decode the same bytes through
+    // the same arithmetic, so any difference is a decoder divergence.
+    for (std::size_t i = 0; i < a.left.size(); ++i) {
+      EXPECT_EQ(a.left[i], b.left[i]);
+      EXPECT_EQ(a.right[i], b.right[i]);
+    }
+    const auto& na = viaMmap.nearAt(deg);
+    const auto& nb = viaBuffer.nearAt(deg);
+    for (std::size_t i = 0; i < na.left.size(); ++i)
+      EXPECT_EQ(na.left[i], nb.left[i]);
+    EXPECT_EQ(viaMmap.farTable().tapLeftSamples[deg],
+              viaBuffer.farTable().tapLeftSamples[deg]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoQuantized, ProbeAndTryLoadAutoDetectBothFormats) {
+  const auto table = makeTable();
+  const auto pathF = tempPath("probe_f.uniq");
+  const auto pathQ = tempPath("probe_q.uniqq");
+  saveHrtfTable(pathF, table);
+  saveHrtfTableQuantized(pathQ, table);
+
+  ASSERT_TRUE(probeTableFormat(pathF).has_value());
+  EXPECT_EQ(*probeTableFormat(pathF), TableFormat::kFloat64);
+  ASSERT_TRUE(probeTableFormat(pathQ).has_value());
+  EXPECT_EQ(*probeTableFormat(pathQ), TableFormat::kQuantized);
+  std::string error;
+  EXPECT_FALSE(probeTableFormat("/nonexistent/x.uniq", &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  const auto loadedF = tryLoadHrtfTable(pathF);
+  const auto loadedQ = tryLoadHrtfTable(pathQ);
+  ASSERT_TRUE(loadedF.has_value());
+  ASSERT_TRUE(loadedQ.has_value());
+  EXPECT_DOUBLE_EQ(loadedF->sampleRate(), loadedQ->sampleRate());
+  std::remove(pathF.c_str());
+  std::remove(pathQ.c_str());
+}
+
+TEST(TableIoQuantized, RejectsWrongVersion) {
+  const auto table = makeTable();
+  const auto path = tempPath("bad_version.uniqq");
+  saveHrtfTableQuantized(path, table);
+  std::string contents;
+  {
+    std::ifstream is(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>());
+  }
+  // The u32 version sits right after the 8-byte magic.
+  const std::uint32_t bogus = 99;
+  std::memcpy(&contents[8], &bogus, sizeof bogus);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  }
+  try {
+    loadHrtfTable(path);
+    FAIL() << "future-version quantized table must not load";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoQuantized, RejectsTruncatedFileWithByteOffset) {
+  const auto table = makeTable();
+  const auto path = tempPath("truncated.uniqq");
+  saveHrtfTableQuantized(path, table);
+  std::string contents;
+  {
+    std::ifstream is(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(contents.data(), 1024);
+  }
+  try {
+    loadHrtfTable(path);
+    FAIL() << "truncated quantized table must not load";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos)
+        << "message should locate the truncation: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoQuantized, RejectsCorruptScaleWithByteOffset) {
+  const auto table = makeTable();
+  const auto path = tempPath("corrupt_scale.uniqq");
+  saveHrtfTableQuantized(path, table);
+  std::string contents;
+  {
+    std::ifstream is(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>());
+  }
+  // Layout: magic(8) + version(4) + five f64 header fields (40), then the
+  // near-field HRIR block: count(4) + length(4) + the first degree's f32
+  // scale. Stomping that scale to all-ones makes it NaN, which the loader
+  // must refuse with the exact byte offset.
+  const std::size_t scaleOffset = 8 + 4 + 40 + 4 + 4;
+  ASSERT_GT(contents.size(), scaleOffset + 4);
+  for (std::size_t i = 0; i < 4; ++i) contents[scaleOffset + i] = '\xFF';
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  }
+  try {
+    loadHrtfTable(path);
+    FAIL() << "quantized table with NaN scale must not load";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos)
+        << "message should locate the corruption: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoQuantized, RejectsTrailingGarbage) {
+  const auto table = makeTable();
+  const auto path = tempPath("trailing.uniqq");
+  saveHrtfTableQuantized(path, table);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os << "extra bytes that should not be here";
+  }
+  EXPECT_THROW(loadHrtfTable(path), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoQuantized, LoadedTableRendersCloseToOriginal) {
+  const auto table = makeTable();
+  const auto path = tempPath("render_q.uniqq");
+  saveHrtfTableQuantized(path, table);
+  const auto loaded = loadHrtfTable(path);
+  const std::vector<double> click{1.0, -0.5, 0.25};
+  const auto a = table.renderFar(72.0, click);
+  const auto b = loaded.renderFar(72.0, click);
+  ASSERT_EQ(a.left.size(), b.left.size());
+  // Rendering convolves ~192 taps, each within the per-sample budget, so
+  // the output error is bounded by sum(|x|) * peak * kQuantSampleError.
+  const double budget =
+      1.75 * degreePeak(table.farAt(72)) * kQuantSampleError *
+      static_cast<double>(table.farAt(72).left.size());
+  for (std::size_t i = 0; i < a.left.size(); ++i) {
+    EXPECT_NEAR(a.left[i], b.left[i], budget);
+    EXPECT_NEAR(a.right[i], b.right[i], budget);
+  }
   std::remove(path.c_str());
 }
 
