@@ -27,12 +27,20 @@
 //   serve-load --users N --duration-s S [--threads T] [--skew Z]
 //              [--shards K] [--cache-capacity C] [--warm W]
 //              [--table-dir DIR] [--load-report out.json]
-//              [--metrics-out m.json]
+//              [--metrics-out m.json] [--scrape-port P]
+//              [--sample-interval-ms X] [--slo-rules rules.json]
+//              [--fail-on-slo] [--exposition-out m.prom]
 //       Zipfian-skewed load driver over N simulated users against the
 //       sharded serving stack: mostly table lookups, with AoA queries and
 //       batch/streaming calibration jobs mixed in. Reports p50/p99/p999
 //       latency, per-tier hit rates over time, and saturation throughput
-//       (see docs/CAPACITY.md).
+//       (see docs/CAPACITY.md). Runs a continuous-telemetry sampler; with
+//       --scrape-port it serves live Prometheus exposition on localhost
+//       and with --slo-rules it evaluates burn-rate SLOs per window
+//       (--fail-on-slo exits 5 on breach; see docs/OBSERVABILITY.md).
+//   monitor --port P [--interval-ms X] [--iterations N]
+//       Poll a serve-load scrape endpoint and render a live terminal view
+//       of rates, window quantiles, shard depths, and SLO status.
 //   convert --in table.uniq --out table.uniqq [--format quantized|float64]
 //       Re-encode an HRTF table between the float64 and quantized
 //       containers and print the size ratio.
@@ -42,6 +50,7 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
@@ -64,8 +73,12 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "obs/scrape.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
 #include "serve/batch_aoa.h"
 #include "serve/calibration_service.h"
+#include "serve/latency_stats.h"
 #include "serve/table_cache.h"
 #include "sim/fault_injector.h"
 #include "sim/measurement_session.h"
@@ -664,34 +677,8 @@ int cmdConvert(const Args& args) {
   return 0;
 }
 
-/// Latency sample sink with bounded memory: past `kCap` samples it halves
-/// the kept set and doubles the sampling stride, so a multi-million-op run
-/// still yields statistically sound percentiles from ~1M samples.
-struct LatencyReservoir {
-  static constexpr std::size_t kCap = 1u << 20;
-  std::vector<double> samples;
-  std::uint64_t stride = 1;
-  std::uint64_t seen = 0;
-
-  void record(double ms) {
-    if (seen++ % stride != 0) return;
-    if (samples.size() >= kCap) {
-      std::size_t w = 0;
-      for (std::size_t r = 0; r < samples.size(); r += 2)
-        samples[w++] = samples[r];
-      samples.resize(w);
-      stride *= 2;
-    }
-    samples.push_back(ms);
-  }
-};
-
-double percentileMs(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size()));
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
+using serve::LatencyReservoir;
+using serve::percentileMs;
 
 std::string percentileJson(std::vector<double> samples) {
   std::sort(samples.begin(), samples.end());
@@ -726,10 +713,20 @@ int cmdServeLoad(const Args& args) {
   const auto tableDir = optional(args, "table-dir", "");
   const auto loadReport = optional(args, "load-report", "");
   const auto metricsOut = optional(args, "metrics-out", "");
+  const bool scrapeEnabled = args.count("scrape-port") > 0;
+  const auto scrapePort = static_cast<std::uint16_t>(
+      std::stoul(optional(args, "scrape-port", "0")));
+  const auto sampleIntervalMs = static_cast<std::uint64_t>(
+      std::stoull(optional(args, "sample-interval-ms", "250")));
+  const auto sloRulesPath = optional(args, "slo-rules", "");
+  const bool failOnSlo = args.count("fail-on-slo") > 0;
+  const auto expositionOut = optional(args, "exposition-out", "");
 
   UNIQ_REQUIRE(users >= 1, "--users must be >= 1");
   UNIQ_REQUIRE(threads >= 1, "--threads must be >= 1");
   UNIQ_REQUIRE(durationS > 0.0, "--duration-s must be > 0");
+  UNIQ_REQUIRE(sampleIntervalMs >= 1,
+               "--sample-interval-ms must be >= 1");
 
   serve::CalibrationServiceOptions serveOpts;
   serveOpts.workers =
@@ -788,6 +785,56 @@ int cmdServeLoad(const Args& args) {
 
   const ZipfSampler zipf(users, skew);
   const serve::BatchAoaEngine engine(service.cache());
+
+  // --- Continuous telemetry: sampler + SLO rules + scrape endpoint. -----
+  auto& reg = obs::registry();
+  // Lookup latencies feed this registry histogram alongside the exact
+  // LatencyReservoir so the two estimators can be cross-checked below.
+  obs::Histogram& lookupHist = reg.histogram(
+      "serve.load.lookup_ms", obs::HistogramOptions{1e-4, 2.0, 32});
+
+  std::unique_ptr<obs::SloEvaluator> slo;
+  if (!sloRulesPath.empty()) {
+    std::ifstream rulesIn(sloRulesPath);
+    UNIQ_REQUIRE(rulesIn.good(),
+                 "cannot read --slo-rules file " + sloRulesPath);
+    std::stringstream rulesBuf;
+    rulesBuf << rulesIn.rdbuf();
+    std::vector<obs::SloRule> rules;
+    std::string sloError;
+    if (!obs::SloEvaluator::parseRules(rulesBuf.str(), &rules, &sloError)) {
+      std::cerr << "error: " << sloError << "\n";
+      return 1;
+    }
+    slo = std::make_unique<obs::SloEvaluator>(reg, std::move(rules));
+    std::cout << "slo: " << slo->rules().size() << " rule(s) from "
+              << sloRulesPath << "\n";
+  }
+
+  obs::TelemetrySamplerOptions samplerOpts;
+  samplerOpts.intervalMs = sampleIntervalMs;
+  obs::TelemetrySampler sampler(reg, samplerOpts);
+  if (slo) {
+    sampler.onWindow(
+        [&slo](const obs::TelemetryWindow& w) { slo->observe(w); });
+  }
+
+  const auto scrapeContent = [&reg, &sampler, &slo] {
+    const obs::TelemetryWindow window = sampler.latest();
+    const std::vector<obs::SloStatus> sloStatus =
+        slo ? slo->status() : std::vector<obs::SloStatus>{};
+    return obs::prometheusText(reg.snapshot(), &window,
+                               slo ? &sloStatus : nullptr);
+  };
+  std::unique_ptr<obs::ScrapeServer> scrape;
+  if (scrapeEnabled) {
+    scrape = std::make_unique<obs::ScrapeServer>(scrapeContent, scrapePort);
+    // Flushed immediately: the CI smoke harness parses this line to learn
+    // the ephemeral port before the run finishes.
+    std::cout << "scrape endpoint: http://127.0.0.1:" << scrape->port()
+              << "/metrics" << std::endl;
+  }
+  sampler.start();
 
   struct ThreadStats {
     LatencyReservoir lookup;
@@ -868,8 +915,10 @@ int cmdServeLoad(const Args& args) {
       const auto table = service.cache().getOrFallback(userId, fs, &tier);
       const auto t1 = std::chrono::steady_clock::now();
       (void)table;
-      st.lookup.record(
-          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      const double lookupElapsedMs =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      st.lookup.record(lookupElapsedMs);
+      lookupHist.observe(lookupElapsedMs);
       ++st.opsLookup;
       ++st.tiers[static_cast<std::size_t>(tier)];
       auto& bucket = st.perSec[sec];
@@ -887,6 +936,12 @@ int cmdServeLoad(const Args& args) {
   const double wallS = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();
+
+  // Deterministic tail window covering everything since the last tick,
+  // then park the background thread; the scrape server (when on) keeps
+  // answering from this final state until the run exits.
+  sampler.sampleNow();
+  sampler.stop();
 
   // Calibration jobs were submitted open-loop; their latency is the
   // service-observed queue+run split, collected here.
@@ -941,7 +996,6 @@ int cmdServeLoad(const Args& args) {
   const double p99 = percentileMs(sortedAll, 0.99);
   const double p999 = percentileMs(sortedAll, 0.999);
 
-  auto& reg = obs::registry();
   reg.gauge("serve.load.ops").set(static_cast<double>(opsTotal));
   reg.gauge("serve.load.throughput_ops_per_s").set(throughput);
   reg.gauge("serve.load.saturation_ops_per_s")
@@ -950,6 +1004,17 @@ int cmdServeLoad(const Args& args) {
   reg.gauge("serve.load.p99_ms").set(p99);
   reg.gauge("serve.load.p999_ms").set(p999);
   reg.gauge("serve.load.hit_rate").set(hitRate);
+
+  // Estimator cross-check: the exact (stride-sampled) reservoir versus the
+  // log-binned histogram over the same lookup-latency stream. Large drift
+  // here means the histogram bin layout no longer fits the workload; the
+  // nightly flags it from the report JSON.
+  auto sortedLookup = lookupMs;
+  std::sort(sortedLookup.begin(), sortedLookup.end());
+  const double reservoirP50 = percentileMs(sortedLookup, 0.50);
+  const double reservoirP99 = percentileMs(sortedLookup, 0.99);
+  const double histP50 = lookupHist.quantile(0.50);
+  const double histP99 = lookupHist.quantile(0.99);
 
   std::cout << std::setprecision(4) << "load run: " << wallS << " s wall, "
             << opsTotal << " ops (" << throughput << " ops/s, peak "
@@ -964,6 +1029,19 @@ int cmdServeLoad(const Args& args) {
             << " miss (memory hit rate " << 100.0 * hitRate << "%)\n";
   for (const auto& [state, count] : jobStates)
     std::cout << "  jobs " << state << ": " << count << "\n";
+  std::cout << "  lookup estimators: reservoir p50 " << reservoirP50
+            << " ms / hist p50 " << histP50 << " ms, reservoir p99 "
+            << reservoirP99 << " ms / hist p99 " << histP99 << " ms\n"
+            << "  telemetry: " << sampler.windowCount() << " window(s) at "
+            << sampleIntervalMs << " ms\n";
+  if (slo) {
+    for (const auto& st : slo->status()) {
+      std::cout << "  slo " << st.rule.name << ": "
+                << (st.breached ? "BREACHED"
+                                : (st.measurable ? "ok" : "no data"))
+                << " (value " << st.value << ", limit " << st.limit << ")\n";
+    }
+  }
   std::cout << "serve metrics:\n"
             << obs::summarizeMetrics(obs::registry().snapshot(), {"serve."});
 
@@ -1004,6 +1082,40 @@ int cmdServeLoad(const Args& args) {
            << "}";
     }
     json << "],\n";
+    json << "  \"estimator_check\": {\"reservoir_p50_ms\": " << reservoirP50
+         << ", \"histogram_p50_ms\": " << histP50
+         << ", \"reservoir_p99_ms\": " << reservoirP99
+         << ", \"histogram_p99_ms\": " << histP99 << "},\n";
+    json << "  \"telemetry\": {\"windows\": " << sampler.windowCount()
+         << ", \"interval_ms\": " << sampleIntervalMs << "},\n";
+    json << "  \"slo\": {\"enabled\": " << (slo ? "true" : "false")
+         << ", \"breached\": "
+         << (slo && slo->anyBreached() ? "true" : "false")
+         << ", \"rules\": [";
+    if (slo) {
+      bool firstRule = true;
+      for (const auto& st : slo->status()) {
+        if (!firstRule) json << ", ";
+        firstRule = false;
+        json << "{\"name\": \"" << obs::jsonEscape(st.rule.name)
+             << "\", \"value\": " << st.value << ", \"limit\": " << st.limit
+             << ", \"measurable\": " << (st.measurable ? "true" : "false")
+             << ", \"breached\": " << (st.breached ? "true" : "false")
+             << "}";
+      }
+    }
+    json << "], \"breaches\": [";
+    if (slo) {
+      bool firstBreach = true;
+      for (const auto& b : slo->breaches()) {
+        if (!firstBreach) json << ", ";
+        firstBreach = false;
+        json << "{\"rule\": \"" << obs::jsonEscape(b.rule)
+             << "\", \"value\": " << b.value << ", \"limit\": " << b.limit
+             << ", \"window\": " << b.windowSeq << "}";
+      }
+    }
+    json << "]},\n";
     json << "  \"jobs\": {";
     first = true;
     for (const auto& [state, count] : jobStates) {
@@ -1021,10 +1133,104 @@ int cmdServeLoad(const Args& args) {
         metricsOut, obs::metricsJson(obs::registry().snapshot()), "metrics");
     if (rc != 0) return rc;
   }
+  if (!expositionOut.empty()) {
+    std::string error;
+    if (!obs::writeTextFile(expositionOut, scrapeContent(), &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+  }
 
-  // A load run that did no work is a broken run; everything else exits 0
-  // and leaves judgement to the regression gate over the report JSON.
-  return opsTotal > 0 ? 0 : 1;
+  // A load run that did no work is a broken run; a breached SLO under
+  // --fail-on-slo exits 5 so CI gates can distinguish it from crashes.
+  if (opsTotal == 0) return 1;
+  if (failOnSlo && slo && slo->anyBreached()) {
+    std::cerr << "error: SLO breached (--fail-on-slo)\n";
+    return 5;
+  }
+  return 0;
+}
+
+int cmdMonitor(const Args& args) {
+  const auto port =
+      static_cast<std::uint16_t>(std::stoul(require(args, "port")));
+  const auto intervalMs = static_cast<std::uint64_t>(
+      std::stoull(optional(args, "interval-ms", "1000")));
+  const auto iterations = static_cast<std::uint64_t>(
+      std::stoull(optional(args, "iterations", "0")));
+
+  for (std::uint64_t iter = 0; iterations == 0 || iter < iterations; ++iter) {
+    if (iter > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(intervalMs));
+    std::string body, error;
+    if (!obs::httpGet(port, "/metrics", &body, &error)) {
+      if (iter == 0) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+      }
+      // The load run under observation finished — that's a clean end.
+      std::cout << "endpoint gone (" << error << ") — monitor exiting\n";
+      return 0;
+    }
+
+    // Flatten the exposition into name{labels} -> value.
+    std::map<std::string, double> samples;
+    std::istringstream lines(body);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const auto space = line.rfind(' ');
+      if (space == std::string::npos) continue;
+      try {
+        samples[line.substr(0, space)] = std::stod(line.substr(space + 1));
+      } catch (const std::exception&) {
+      }
+    }
+
+    std::cout << "--- scrape " << iter << " (127.0.0.1:" << port
+              << ") ---\n" << std::setprecision(4);
+    std::cout << "rates (events/s):\n";
+    for (const auto& [key, value] : samples) {
+      if (key.size() > 5 && key.compare(key.size() - 5, 5, "_rate") == 0 &&
+          value > 0.0)
+        std::cout << "  " << key << " " << value << "\n";
+    }
+    std::cout << "window quantiles (p50/p90/p99):\n";
+    for (const auto& [key, value] : samples) {
+      const auto tag = key.find("_window_q{q=\"0.5\"}");
+      if (tag == std::string::npos) continue;
+      const std::string base = key.substr(0, tag);
+      const auto p90 = samples.find(base + "_window_q{q=\"0.9\"}");
+      const auto p99 = samples.find(base + "_window_q{q=\"0.99\"}");
+      std::cout << "  " << base << " " << value << " / "
+                << (p90 != samples.end() ? p90->second : 0.0) << " / "
+                << (p99 != samples.end() ? p99->second : 0.0) << "\n";
+    }
+    bool anyShard = false;
+    for (const auto& [key, value] : samples) {
+      if (key.rfind("uniq_serve_shard_", 0) != 0) continue;
+      if (!anyShard) std::cout << "shards:\n";
+      anyShard = true;
+      std::cout << "  " << key << " " << value << "\n";
+    }
+    bool anySlo = false;
+    for (const auto& [key, value] : samples) {
+      if (key.rfind("uniq_slo_breached{", 0) != 0) continue;
+      if (!anySlo) std::cout << "slo:\n";
+      anySlo = true;
+      const std::string rule =
+          key.substr(sizeof("uniq_slo_breached{rule=\"") - 1,
+                     key.size() - sizeof("uniq_slo_breached{rule=\"") - 1);
+      const auto v = samples.find("uniq_slo_value{rule=\"" + rule + "\"}");
+      const auto l = samples.find("uniq_slo_limit{rule=\"" + rule + "\"}");
+      std::cout << "  " << rule << ": "
+                << (value != 0.0 ? "BREACHED" : "ok") << " (value "
+                << (v != samples.end() ? v->second : 0.0) << ", limit "
+                << (l != samples.end() ? l->second : 0.0) << ")\n";
+    }
+    std::cout.flush();
+  }
+  return 0;
 }
 
 void usage() {
@@ -1064,10 +1270,21 @@ void usage() {
       "              [--workers N] [--queue N] [--seed N]\n"
       "              [--calibrate-interval-ms X] [--aoa-every N]\n"
       "              [--table-dir DIR] [--load-report out.json]\n"
-      "              [--metrics-out metrics.json]\n"
+      "              [--metrics-out metrics.json] [--scrape-port P]\n"
+      "              [--sample-interval-ms X] [--slo-rules rules.json]\n"
+      "              [--fail-on-slo] [--exposition-out metrics.prom]\n"
       "              Zipfian load driver over the sharded serving stack:\n"
       "              reports p50/p99/p999 latency, tier hit rates, and\n"
-      "              saturation throughput (docs/CAPACITY.md)\n"
+      "              saturation throughput (docs/CAPACITY.md). With\n"
+      "              --scrape-port the run serves live Prometheus\n"
+      "              exposition on 127.0.0.1 (0 = ephemeral, port is\n"
+      "              printed); --slo-rules evaluates burn-rate SLOs per\n"
+      "              sampler window and --fail-on-slo exits 5 on breach\n"
+      "              (docs/OBSERVABILITY.md)\n"
+      "  monitor     --port P [--interval-ms X] [--iterations N]\n"
+      "              live terminal view of a serve-load scrape endpoint:\n"
+      "              rates, per-window p50/p90/p99, shard depths, SLO\n"
+      "              status (N = 0 polls until the endpoint goes away)\n"
       "  convert     --in table.uniq --out table.uniqq\n"
       "              [--format quantized|float64]\n"
       "              re-encode a table between containers\n";
@@ -1090,6 +1307,7 @@ int main(int argc, char** argv) {
     if (cmd == "demo-render") return cmdRender(args, true);
     if (cmd == "serve-batch") return cmdServeBatch(args);
     if (cmd == "serve-load") return cmdServeLoad(args);
+    if (cmd == "monitor") return cmdMonitor(args);
     if (cmd == "convert") return cmdConvert(args);
     usage();
     return 2;

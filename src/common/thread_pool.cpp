@@ -8,6 +8,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uniq::common {
 
@@ -71,6 +72,16 @@ std::size_t ThreadPool::queueDepth() const {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Capture the submitter's trace context so spans recorded inside the
+  // task attribute to the job that queued it, not to the worker thread.
+  // The common case (no active context) skips the wrapper entirely.
+  const obs::TraceId trace = obs::currentTraceId();
+  if (trace != 0) {
+    task = [trace, inner = std::move(task)] {
+      obs::TraceContextScope scope(trace);
+      inner();
+    };
+  }
   std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);

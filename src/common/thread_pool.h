@@ -47,7 +47,9 @@ class ThreadPool {
   /// use for observability, not for scheduling decisions.
   std::size_t queueDepth() const;
 
-  /// Enqueue a background task.
+  /// Enqueue a background task. The submitter's trace context
+  /// (obs::currentTraceId) is captured and restored around the task on the
+  /// worker, so spans the task records attribute to the submitting job.
   void submit(std::function<void()> task);
 
   /// Run fn(i) for every i in [begin, end), blocking until all complete.

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -61,17 +62,36 @@ std::string traceEventJson(const std::vector<SpanRecord>& spans) {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  // Chrome trace viewers group rows by pid, so spans are grouped by their
+  // trace context (the owning job); context-less spans share pid 1. Trace
+  // ids are small sequential integers, safely below the 2^53 JSON limit.
+  std::vector<TraceId> seenTraces;
   for (const auto& span : spans) {
+    const std::uint64_t pid = span.traceId != 0 ? span.traceId : 1;
     if (!first) os << ",";
     first = false;
     os << "{\"name\":\"" << jsonEscape(span.name)
-       << "\",\"cat\":\"uniq\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid
-       << ",\"ts\":";
+       << "\",\"cat\":\"uniq\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << span.tid << ",\"ts\":";
     appendNumber(os, span.startUs);
     os << ",\"dur\":";
     appendNumber(os, span.durUs);
     os << ",\"args\":{\"id\":" << span.id << ",\"parent\":" << span.parent
-       << ",\"depth\":" << span.depth << "}}";
+       << ",\"depth\":" << span.depth << ",\"trace\":" << span.traceId
+       << "}}";
+    if (std::find(seenTraces.begin(), seenTraces.end(), span.traceId) ==
+        seenTraces.end()) {
+      seenTraces.push_back(span.traceId);
+    }
+  }
+  for (const TraceId traceId : seenTraces) {
+    const std::uint64_t pid = traceId != 0 ? traceId : 1;
+    const std::string label =
+        traceId != 0 ? "trace " + std::to_string(traceId) : "untraced";
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << jsonEscape(label) << "\"}}";
   }
   os << "]}";
   return os.str();

@@ -10,6 +10,9 @@ namespace uniq::obs {
 
 /// Serialize spans as Chrome trace_event JSON (the "Trace Event Format"):
 /// one complete ("ph":"X") event per span with microsecond timestamps.
+/// Spans are grouped by trace context — pid is the span's trace id (1 for
+/// context-less spans) with a process_name metadata row per trace — so the
+/// viewer shows one lane per job rather than one flat lane per thread.
 /// Open the result at chrome://tracing or https://ui.perfetto.dev.
 std::string traceEventJson(const std::vector<SpanRecord>& spans);
 

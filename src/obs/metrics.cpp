@@ -42,6 +42,55 @@ void Histogram::observe(double v) {
   counts_[k].fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Shared log-linear quantile estimator over log-scale bucket counts.
+/// `binCount(k)` supplies finite bucket k; buckets cover
+/// [lo*growth^k, lo*growth^(k+1)). The rank walks underflow, then the
+/// finite buckets, then overflow; inside a finite bucket the value is
+/// interpolated geometrically (linear in log space), which is exact for a
+/// log-uniform in-bucket distribution and never leaves the bucket.
+template <typename BinCountFn>
+double quantileFromBins(double q, const HistogramOptions& opts,
+                        std::uint64_t underflow, std::uint64_t overflow,
+                        std::uint64_t total, const BinCountFn& binCount) {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, total]: the smallest value with at least q of the
+  // mass at or below it.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cum = underflow;
+  if (target <= cum) return opts.lo;
+  double edge = opts.lo;
+  for (std::size_t k = 0; k < opts.bins; ++k, edge *= opts.growth) {
+    const std::uint64_t c = binCount(k);
+    if (c == 0) continue;
+    if (target <= cum + c) {
+      const double frac = static_cast<double>(target - cum) /
+                          static_cast<double>(c);
+      return edge * std::pow(opts.growth, frac);
+    }
+    cum += c;
+  }
+  (void)overflow;
+  return edge;  // overflow bucket: the last finite edge is the best bound
+}
+
+}  // namespace
+
+double Histogram::quantile(double q) const {
+  return quantileFromBins(
+      q, opts_, underflow(), overflow(), count(),
+      [this](std::size_t k) { return binCount(k); });
+}
+
+double MetricsSnapshot::HistogramEntry::quantile(double q) const {
+  return quantileFromBins(
+      q, options, underflow, overflow, count,
+      [this](std::size_t k) { return counts[k]; });
+}
+
 void Histogram::reset() {
   for (std::size_t k = 0; k < opts_.bins; ++k)
     counts_[k].store(0, std::memory_order_relaxed);

@@ -100,6 +100,14 @@ class Histogram {
   /// Sum of all observed values.
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
+  /// Estimated q-quantile (q clamped to [0, 1]) by log-linear interpolation
+  /// inside the owning bucket: the true quantile and the estimate share a
+  /// bucket, so the estimate is within a multiplicative factor of `growth`
+  /// of the truth (see docs/OBSERVABILITY.md, "Quantile semantics").
+  /// Returns 0.0 when the histogram is empty; quantiles landing in the
+  /// underflow bucket return the lo edge, overflow returns the last edge.
+  double quantile(double q) const;
+
   /// Zero every bucket and the count/sum (bin layout is kept).
   void reset();
 
@@ -133,6 +141,10 @@ struct MetricsSnapshot {
     std::uint64_t overflow = 0;
     std::uint64_t count = 0;
     double sum = 0.0;
+
+    /// Same log-linear quantile estimate as Histogram::quantile, computed
+    /// on the copied bucket counts (usable on per-window deltas too).
+    double quantile(double q) const;
   };
   std::vector<CounterEntry> counters;
   std::vector<GaugeEntry> gauges;

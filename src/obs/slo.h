@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace uniq::obs {
+
+/// What an SLO rule measures over its window.
+enum class SloObjective {
+  kQuantile,  ///< histogram quantile over the trailing window (merged deltas)
+  kRate,      ///< counter rate (events/sec averaged over the window)
+  kGauge,     ///< latest gauge value
+};
+
+/// One declarative SLO rule, parsed from JSON. A rule breaches when its
+/// measured value exceeds threshold * burnRate over the trailing window —
+/// the burn-rate multiplier expresses "alert when we consume error budget
+/// N times faster than the objective allows".
+struct SloRule {
+  std::string name;      ///< unique rule name (exported as slo.<name>.*)
+  std::string metric;    ///< instrument name, e.g. "serve.load.lookup_ms"
+  SloObjective objective = SloObjective::kQuantile;
+  double quantile = 0.99;  ///< for kQuantile only
+  double threshold = 0.0;  ///< objective limit in the metric's unit
+  double windowS = 5.0;    ///< trailing evaluation window, seconds
+  double burnRate = 1.0;   ///< multiplier on threshold before breaching
+};
+
+/// One edge-triggered breach event (raised when a rule transitions from
+/// healthy to breached; cleared breaches are not recorded).
+struct SloBreach {
+  std::string rule;
+  double value = 0.0;  ///< measured value at breach
+  double limit = 0.0;  ///< threshold * burnRate it exceeded
+  double atMs = 0.0;   ///< sampler timestamp of the breaching window
+  std::uint64_t windowSeq = 0;
+};
+
+/// Current per-rule evaluation state.
+struct SloStatus {
+  SloRule rule;
+  double value = 0.0;     ///< latest measured value (NaN until measurable)
+  double limit = 0.0;     ///< threshold * burnRate
+  bool measurable = false;  ///< false until the metric has data
+  bool breached = false;
+};
+
+/// Evaluates declarative SLO rules against sampler windows. Feed every
+/// TelemetryWindow to observe() (typically from TelemetrySampler::onWindow);
+/// each call re-evaluates all rules over their trailing windows, updates
+/// slo.<name>.{value,limit,breached} gauges plus the slo.breach_windows
+/// counter in `reg`, and records edge-triggered breach events.
+///
+/// Thread-safe: observe() and the accessors may race (the sampler thread
+/// ticks while the CLI polls status()).
+class SloEvaluator {
+ public:
+  /// `reg` receives the exported slo.* instruments.
+  explicit SloEvaluator(Registry& reg, std::vector<SloRule> rules);
+
+  /// Parse rules from a JSON document:
+  ///
+  ///   {"rules": [{"name": "lookup-p99", "metric": "serve.load.lookup_ms",
+  ///               "objective": "quantile", "quantile": 0.99,
+  ///               "threshold": 5.0, "window_s": 5, "burn_rate": 2.0}]}
+  ///
+  /// objective is "quantile" (default), "rate", or "gauge"; quantile
+  /// defaults to 0.99, window_s to 5, burn_rate to 1. Returns false and
+  /// fills `error` on malformed JSON, unknown objectives, missing
+  /// name/metric, duplicate names, or non-positive threshold/window.
+  static bool parseRules(const std::string& json, std::vector<SloRule>* rules,
+                         std::string* error);
+
+  /// Evaluate all rules against the trailing windows ending at `window`.
+  void observe(const TelemetryWindow& window);
+
+  /// Latest per-rule status, in rule order.
+  std::vector<SloStatus> status() const;
+  /// All edge-triggered breach events so far, oldest first.
+  std::vector<SloBreach> breaches() const;
+  /// Whether any rule has ever breached (sticky; what --fail-on-slo uses).
+  bool anyBreached() const;
+  const std::vector<SloRule>& rules() const { return rules_; }
+
+ private:
+  double evaluateRule(const SloRule& rule, bool* measurable) const;
+
+  Registry& reg_;
+  std::vector<SloRule> rules_;
+
+  mutable std::mutex mutex_;
+  std::deque<TelemetryWindow> history_;  ///< trailing windows, oldest first
+  double maxWindowS_ = 0.0;              ///< widest rule window (history cap)
+  std::vector<SloStatus> status_;
+  std::vector<SloBreach> breaches_;
+  bool everBreached_ = false;
+};
+
+}  // namespace uniq::obs

@@ -8,6 +8,8 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace uniq::obs {
 
 namespace {
@@ -24,6 +26,7 @@ struct RawRecord {
   std::uint64_t parent;
   std::uint32_t depth;
   std::uint32_t tid;
+  TraceId traceId;
   double startUs;
   double durUs;
 };
@@ -43,8 +46,10 @@ struct TraceState {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   Clock::time_point epoch = Clock::now();
   std::atomic<std::uint64_t> nextSpanId{1};
+  std::atomic<std::uint64_t> nextTraceId{1};
   std::atomic<std::uint32_t> nextTid{1};
   std::atomic<bool> enabled{true};
+  std::atomic<std::size_t> maxSpansPerThread{1u << 18};
 };
 
 TraceState& state() {
@@ -57,10 +62,29 @@ TraceState& state() {
         t->enabled.store(false, std::memory_order_relaxed);
       }
     }
+    if (const char* env = std::getenv("UNIQ_TRACE_MAX_SPANS")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env) {
+        t->maxSpansPerThread.store(static_cast<std::size_t>(parsed),
+                                   std::memory_order_relaxed);
+      }
+    }
     return t;
   }();
   return *s;
 }
+
+/// Spans dropped by the per-thread buffer cap. Lives in the process-wide
+/// registry so serve-load exports and the scrape endpoint surface it.
+Counter& droppedCounter() {
+  static Counter& c = registry().counter("obs.trace.dropped");
+  return c;
+}
+
+/// The calling thread's active trace context (0 = none). A plain
+/// thread_local: reads cost a few nanoseconds on the span hot path.
+thread_local TraceId tlTraceId = 0;
 
 /// Per-thread recording context. The buffer is shared with the global list
 /// so records survive thread exit; the open-span stack is touched only by
@@ -83,6 +107,26 @@ ThreadContext& threadContext() {
 }
 
 }  // namespace
+
+TraceId newTraceId() {
+  return state().nextTraceId.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceId currentTraceId() { return tlTraceId; }
+
+TraceContextScope::TraceContextScope(TraceId id) : prev_(tlTraceId) {
+  tlTraceId = id;
+}
+
+TraceContextScope::~TraceContextScope() { tlTraceId = prev_; }
+
+std::size_t traceMaxSpansPerThread() {
+  return state().maxSpansPerThread.load(std::memory_order_relaxed);
+}
+
+void setTraceMaxSpansPerThread(std::size_t cap) {
+  state().maxSpansPerThread.store(cap, std::memory_order_relaxed);
+}
 
 bool traceEnabled() {
   return state().enabled.load(std::memory_order_relaxed);
@@ -126,6 +170,7 @@ std::vector<SpanRecord> collectSpans() {
       rec.parent = raw.parent;
       rec.depth = raw.depth;
       rec.tid = raw.tid;
+      rec.traceId = raw.traceId;
       rec.startUs = raw.startUs;
       rec.durUs = raw.durUs;
       all.push_back(std::move(rec));
@@ -145,6 +190,7 @@ Span::Span(const char* name) : name_(name) {
   id_ = state().nextSpanId.fetch_add(1, std::memory_order_relaxed);
   parent_ = ctx.openIds.empty() ? 0 : ctx.openIds.back();
   depth_ = static_cast<std::uint32_t>(ctx.openIds.size());
+  traceId_ = tlTraceId;
   ctx.openIds.push_back(id_);
   active_ = true;
   startUs_ = nowUs();
@@ -161,10 +207,19 @@ Span::~Span() {
   record.parent = parent_;
   record.depth = depth_;
   record.tid = ctx.buffer->tid;
+  record.traceId = traceId_;
   record.startUs = startUs_;
   record.durUs = endUs - startUs_;
-  std::lock_guard<std::mutex> lock(ctx.buffer->mutex);
-  ctx.buffer->records.push_back(record);
+  const std::size_t cap = traceMaxSpansPerThread();
+  {
+    std::lock_guard<std::mutex> lock(ctx.buffer->mutex);
+    if (cap == 0 || ctx.buffer->records.size() < cap) {
+      ctx.buffer->records.push_back(record);
+      return;
+    }
+  }
+  // Buffer full: drop the span (never grow without bound) and count it.
+  droppedCounter().inc();
 }
 
 }  // namespace uniq::obs

@@ -115,6 +115,7 @@ struct CalibrationService::Job {
   std::string userId;
   std::shared_ptr<const sim::CalibrationCapture> capture;
   JobOptions opts;
+  obs::TraceId traceId = 0;  ///< job's trace context (allocated at submit)
   core::RunAbortToken token;
 
   JobState state = JobState::kQueued;
@@ -137,6 +138,7 @@ struct CalibrationService::Job {
     JobResult r;
     r.id = id;
     r.userId = userId;
+    r.traceId = traceId;
     r.state = state;
     r.status = status;
     r.table = table;
@@ -260,6 +262,9 @@ std::uint64_t CalibrationService::submit(
   job->userId = std::move(userId);
   job->capture = std::move(capture);
   job->opts = jobOpts;
+  // Every job gets its own trace context at admission; the worker installs
+  // it around the run so all spans (on any pool thread) attribute to it.
+  job->traceId = obs::newTraceId();
   job->submitMs = nowMs();
   if (jobOpts.deadlineMs > 0.0) {
     job->token.setDeadline(
@@ -368,6 +373,7 @@ core::PersonalHrtf CalibrationService::runStreaming(
 }
 
 void CalibrationService::executeJob(const std::shared_ptr<Job>& job) {
+  obs::TraceContextScope traceScope(job->traceId);
   UNIQ_SPAN("serve.job");
   Shard& shard = *shards_[job->shardIdx];
   JobState terminalState = JobState::kDone;

@@ -55,6 +55,10 @@ struct JobOptions {
 struct JobResult {
   std::uint64_t id = 0;
   std::string userId;
+  /// The job's trace context: every span recorded while the job ran — on
+  /// whichever pool worker — carries this id, and obs::traceEventJson
+  /// groups the export by it. 0 only for rejected jobs.
+  std::uint64_t traceId = 0;
   JobState state = JobState::kRejected;
   /// Calibration outcome; meaningful only when state == kDone.
   core::PipelineStatus status = core::PipelineStatus::kFailed;

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace uniq::serve {
+
+/// Latency sample sink with bounded memory: past `kCap` samples it halves
+/// the kept set and doubles the sampling stride, so a multi-million-op run
+/// still yields statistically sound percentiles from ~1M samples. Exact
+/// within its sample (no binning) — serve-load uses it as the reference
+/// estimator the log-binned obs::Histogram::quantile is cross-checked
+/// against (the "estimator_check" section of the load report).
+///
+/// Single-threaded by design: each load worker owns one reservoir and the
+/// driver merges the sample vectors afterwards.
+struct LatencyReservoir {
+  static constexpr std::size_t kCap = 1u << 20;
+  std::vector<double> samples;
+  std::uint64_t stride = 1;
+  std::uint64_t seen = 0;
+
+  void record(double ms) {
+    if (seen++ % stride != 0) return;
+    if (samples.size() >= kCap) {
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < samples.size(); r += 2)
+        samples[w++] = samples[r];
+      samples.resize(w);
+      stride *= 2;
+    }
+    samples.push_back(ms);
+  }
+};
+
+/// q-quantile of an ascending-sorted sample by rank (no interpolation);
+/// 0.0 for an empty sample.
+inline double percentileMs(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace uniq::serve

@@ -33,6 +33,10 @@ const char* arcName(double angleDeg) {
 StreamingSession::StreamingSession(CaptureHeader header, Options opts)
     : header_(std::move(header)),
       opts_(opts),
+      // Inherit the constructing thread's context (a service job) when one
+      // is active; a directly-constructed session gets its own.
+      traceId_(obs::currentTraceId() != 0 ? obs::currentTraceId()
+                                          : obs::newTraceId()),
       extractor_(header_.hardwareResponseEstimate, header_.sampleRate,
                  opts_.pipeline.extractor),
       fusion_([&] {
@@ -57,8 +61,17 @@ StreamingSession::StreamingSession(CaptureHeader header, Options opts)
   snapshot_.worstGapHiDeg = 180.0;
   snapshot_.hint = "sweep just started — cover the full arc";
   liveNodes_ = 2;
-  nodes_.submit([this] { extractLoop(); });
-  nodes_.submit([this] { fuseLoop(); });
+  // Explicit scopes (rather than relying on pool propagation alone) so the
+  // node loops carry the session's context even when it was freshly
+  // allocated above, after the constructing thread's context was captured.
+  nodes_.submit([this] {
+    obs::TraceContextScope scope(traceId_);
+    extractLoop();
+  });
+  nodes_.submit([this] {
+    obs::TraceContextScope scope(traceId_);
+    fuseLoop();
+  });
 }
 
 StreamingSession::~StreamingSession() {

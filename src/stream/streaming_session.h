@@ -14,6 +14,7 @@
 #include "core/pipeline.h"
 #include "core/sensor_fusion.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/measurement_session.h"
 #include "stream/bounded_queue.h"
 
@@ -170,6 +171,11 @@ class StreamingSession {
   /// Must be called at most once; the session refuses pushes afterwards.
   StreamingResult finalize(obs::RunReport* report = nullptr);
 
+  /// The session's trace context: inherited from the constructing thread
+  /// (e.g. a CalibrationService job) when one is active, freshly allocated
+  /// otherwise. Spans from both node loops carry it.
+  obs::TraceId traceId() const { return traceId_; }
+
  private:
   struct IngestedStop {
     std::size_t seq = 0;
@@ -195,6 +201,7 @@ class StreamingSession {
 
   CaptureHeader header_;
   Options opts_;
+  obs::TraceId traceId_ = 0;
   core::ChannelExtractor extractor_;
   core::SensorFusion fusion_;  ///< persistent: geometry LRU warms up across
                                ///< incremental solves

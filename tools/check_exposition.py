@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition validator for the uniq scrape endpoint
+(stdlib only).
+
+Validates a document in exposition format 0.0.4 against the subset the
+repo emits (see docs/OBSERVABILITY.md, "Scrape endpoint"):
+
+  - line grammar: ``# TYPE`` comments, then ``name[{labels}] value``
+  - metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``
+  - every sample belongs to a declared ``# TYPE`` family (the family name
+    for ``*_bucket``/``*_sum``/``*_count`` histogram series is the base)
+  - no family is declared twice; no identical series appears twice
+  - values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed)
+  - histogram families are internally consistent: ``le`` buckets are
+    cumulative (non-decreasing in ascending edge order), a ``+Inf`` bucket
+    exists and equals ``_count``, and ``_sum``/``_count`` are present
+  - counters (``_total``) and histogram counts are non-negative
+
+Usage:
+  tools/check_exposition.py FILE       # validate a saved scrape
+  ... | tools/check_exposition.py -    # validate stdin
+
+Exit status: 0 when the document is valid, 1 otherwise (problems are
+listed on stderr). An empty document is valid (an empty registry scrapes
+to an empty body).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{label="value",...} value  — label values may contain escaped quotes.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{(?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\",?)*\})?"
+    r" (?P<value>\S+)$"
+)
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r" (?P<kind>counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def family_of(name: str) -> str:
+    """Family a sample belongs to: histogram series fold to their base."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(text: str | None) -> dict[str, str]:
+    if not text:
+        return {}
+    labels: dict[str, str] = {}
+    for match in re.finditer(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"', text):
+        labels[match.group(1)] = match.group(2)
+    return labels
+
+
+def check(text: str) -> list[str]:
+    """Validate an exposition document; returns a list of problems."""
+    problems: list[str] = []
+    families: dict[str, str] = {}  # name -> kind
+    seen_series: set[str] = set()
+    # histogram family -> {"buckets": [(le, count)], "sum": v, "count": v}
+    histograms: dict[str, dict] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                m = TYPE_RE.match(line)
+                if not m:
+                    problems.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                    continue
+                name = m.group("name")
+                if name in families:
+                    problems.append(f"line {lineno}: duplicate TYPE for {name}")
+                families[name] = m.group("kind")
+            # Other comments (# HELP, ...) are legal and ignored.
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        if not NAME_RE.match(name):
+            problems.append(f"line {lineno}: illegal metric name {name!r}")
+            continue
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: bad sample value {m.group('value')!r}"
+            )
+            continue
+
+        series = f"{name}{m.group('labels') or ''}"
+        if series in seen_series:
+            problems.append(f"line {lineno}: duplicate series {series!r}")
+        seen_series.add(series)
+
+        family = family_of(name)
+        kind = families.get(family) or families.get(name)
+        if kind is None:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no # TYPE declaration"
+            )
+            continue
+
+        if kind == "counter":
+            if not (value >= 0):
+                problems.append(
+                    f"line {lineno}: counter {name} is negative ({value})"
+                )
+        if kind == "histogram" and family != name:
+            h = histograms.setdefault(
+                family, {"buckets": [], "sum": None, "count": None}
+            )
+            if name.endswith("_bucket"):
+                labels = parse_labels(m.group("labels"))
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                    continue
+                h["buckets"].append((parse_value(labels["le"]), value))
+            elif name.endswith("_sum"):
+                h["sum"] = value
+            elif name.endswith("_count"):
+                h["count"] = value
+
+    for family, h in sorted(histograms.items()):
+        buckets = sorted(h["buckets"], key=lambda b: b[0])
+        if not buckets or buckets[-1][0] != math.inf:
+            problems.append(f"histogram {family}: missing +Inf bucket")
+            continue
+        prev = 0.0
+        for le, cum in buckets:
+            if cum < prev:
+                problems.append(
+                    f"histogram {family}: bucket le={le} count {cum} "
+                    f"below previous bucket ({prev}) — not cumulative"
+                )
+            prev = cum
+        if h["count"] is None:
+            problems.append(f"histogram {family}: missing _count")
+        elif buckets[-1][1] != h["count"]:
+            problems.append(
+                f"histogram {family}: +Inf bucket {buckets[-1][1]} != "
+                f"_count {h['count']}"
+            )
+        if h["sum"] is None:
+            problems.append(f"histogram {family}: missing _sum")
+
+    return problems
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if sys.argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            text = f.read()
+    problems = check(text)
+    for p in problems:
+        print(f"check_exposition: {p}", file=sys.stderr)
+    if problems:
+        print(f"check_exposition: FAIL ({len(problems)} problem(s))",
+              file=sys.stderr)
+        return 1
+    samples = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"check_exposition: OK ({samples} sample(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
